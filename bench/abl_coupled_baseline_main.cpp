@@ -1,0 +1,59 @@
+// Ablation A5: RTPB's decoupled update scheduling vs the coupled
+// window-consistent baseline (Mehra et al.), which transmits on every
+// client write.
+//
+// The paper credits its fast client response to "the decoupling of client
+// updates from backup updates" (§5.1, §7).  Under coupling, backup traffic
+// and transmission CPU time scale with the WRITE rate: at high write rates
+// the transmission jobs crowd the IPC service queue and message counts
+// balloon, while decoupled RTPB holds both at the window-derived rate.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace rtpb;
+using namespace rtpb::bench;
+
+int main() {
+  banner("Ablation A5: decoupled (RTPB) vs coupled (window-consistent baseline)",
+         "decoupling keeps response time and update bandwidth independent of write rate");
+
+  Table table({"write_hz", "mode", "updates", "resp_ms", "p90_ms", "dist_ms", "viol"});
+  for (std::int64_t period_ms : {20, 10, 5, 2}) {
+    for (int coupled = 0; coupled <= 1; ++coupled) {
+      core::ServiceParams params;
+      params.seed = 9300 + static_cast<std::uint64_t>(period_ms);
+      params.link.propagation = millis(1);
+      params.link.jitter = micros(200);
+      params.config.cpu_policy = sched::Policy::kFifo;
+      params.config.update_scheduling = coupled == 1 ? core::UpdateScheduling::kCoupled
+                                                     : core::UpdateScheduling::kNormal;
+      core::RtpbService service(params);
+      service.start();
+      for (core::ObjectId id = 1; id <= 10; ++id) {
+        core::ObjectSpec object;
+        object.id = id;
+        object.name = "obj" + std::to_string(id);
+        object.client_period = millis(period_ms);
+        object.client_exec = micros(200);
+        object.update_exec = millis(1);
+        object.delta_primary = millis(period_ms);
+        object.delta_backup = object.delta_primary + millis(80);
+        (void)service.register_object(object);
+      }
+      service.warm_up(seconds(1));
+      service.run_for(seconds(10));
+      service.finish();
+      const auto& m = service.metrics();
+      table.add_row({1000.0 / static_cast<double>(period_ms), static_cast<double>(coupled),
+                     static_cast<double>(service.primary().updates_sent()),
+                     m.response_times().mean(), m.response_times().quantile(0.9),
+                     m.average_max_excess_distance_ms(),
+                     static_cast<double>(m.inconsistency_intervals())});
+    }
+  }
+  table.print();
+  std::printf("\n(mode 0 = decoupled periodic updates [RTPB], mode 1 = coupled per-write\n"
+              " transmission [window-consistent baseline]; 10 objects, zero loss)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 6: client response time vs number of objects, WITH admission
+// control, one curve per window size.
+//
+// Expected shape (paper §5.1): response time is flat in the number of
+// offered objects because admission caps the accepted set; larger windows
+// give slightly better response times (fewer update transmissions steal
+// the CPU from client requests).
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace rtpb;
+using namespace rtpb::bench;
+
+int main() {
+  banner("Figure 6: client response time with admission control",
+         "number of objects has little impact; larger window => better response");
+
+  const std::vector<Duration> windows = {millis(40), millis(80), millis(160), millis(320)};
+  std::vector<std::string> cols = {"objects"};
+  for (Duration w : windows) {
+    cols.push_back("acc_w" + std::to_string(w.nanos() / 1'000'000));
+    cols.push_back("ms_w" + std::to_string(w.nanos() / 1'000'000));
+  }
+  Table table(cols);
+
+  for (std::size_t objects = 4; objects <= 40; objects += 4) {
+    std::vector<double> row = {static_cast<double>(objects)};
+    for (Duration w : windows) {
+      ExperimentSpec spec;
+      spec.seed = 100 + objects;
+      spec.objects = objects;
+      spec.window = w;
+      spec.admission_control = true;
+      const RunResult r = run_experiment(spec);
+      row.push_back(static_cast<double>(r.accepted));
+      row.push_back(r.mean_response_ms);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n(acc_wN = objects accepted at window N ms; ms_wN = mean client response, ms)\n");
+  return 0;
+}

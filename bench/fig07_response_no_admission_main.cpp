@@ -1,0 +1,42 @@
+// Figure 7: client response time vs number of objects, WITHOUT admission
+// control, one curve per window size.
+//
+// Expected shape (paper §5.1): flat while the object count is within what
+// the window size could support, then a dramatic blow-up once the
+// unchecked load exceeds the server's capacity.
+#include <cstdio>
+
+#include "common/harness.hpp"
+
+using namespace rtpb;
+using namespace rtpb::bench;
+
+int main() {
+  banner("Figure 7: client response time without admission control",
+         "response time increases dramatically past the per-window capacity");
+
+  const std::vector<Duration> windows = {millis(40), millis(80), millis(160), millis(320)};
+  std::vector<std::string> cols = {"objects"};
+  for (Duration w : windows) {
+    cols.push_back("ms_w" + std::to_string(w.nanos() / 1'000'000));
+  }
+  Table table(cols);
+
+  for (std::size_t objects = 4; objects <= 60; objects += 4) {
+    std::vector<double> row = {static_cast<double>(objects)};
+    for (Duration w : windows) {
+      ExperimentSpec spec;
+      spec.seed = 200 + objects;
+      spec.objects = objects;
+      spec.window = w;
+      spec.admission_control = false;
+      spec.duration = seconds(5);  // queues grow without bound past capacity
+      const RunResult r = run_experiment(spec);
+      row.push_back(r.mean_response_ms);
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\n(mean client response in ms; all offered objects are accepted)\n");
+  return 0;
+}

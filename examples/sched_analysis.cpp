@@ -1,0 +1,119 @@
+// Scheduling-analysis walk-through: exercises the sched library on its own
+// — schedulability tests, DCS pinwheel specialisation, analytic
+// phase-variance bounds (Theorem 2), and measured phase variance on the
+// simulated CPU under EDF, RM and DCS-S_r.  This is the paper's section 2
+// in executable form.
+//
+//   ./build/examples/example_sched_analysis
+#include <cstdio>
+
+#include "sched/analysis.hpp"
+#include "sched/cpu.hpp"
+#include "sched/gantt.hpp"
+#include "sched/theory.hpp"
+#include "sim/simulator.hpp"
+
+using namespace rtpb;
+using namespace rtpb::sched;
+
+int main() {
+  // A task set updating four replicated objects.
+  TaskSet set;
+  auto add = [&set](const char* name, Duration p, Duration e) {
+    TaskSpec t;
+    t.id = static_cast<TaskId>(set.size() + 1);
+    t.name = name;
+    t.period = p;
+    t.wcet = e;
+    set.push_back(t);
+  };
+  add("radar-track", millis(10), millis(2));
+  add("nav-state", millis(25), millis(4));
+  add("telemetry", millis(50), millis(5));
+  add("display", millis(120), millis(10));
+
+  const double u = total_utilization(set);
+  std::printf("=== task set ===\n");
+  for (const auto& t : set) {
+    std::printf("  %-12s p=%-9s e=%-8s u=%.3f\n", t.name.c_str(), t.period.to_string().c_str(),
+                t.wcet.to_string().c_str(), t.utilization());
+  }
+  std::printf("total utilisation: %.3f\n\n", u);
+
+  std::printf("=== schedulability ===\n");
+  std::printf("  Liu-Layland bound n(2^(1/n)-1) for n=%zu : %.4f\n", set.size(),
+              liu_layland_bound(set.size()));
+  std::printf("  RM utilisation test   : %s\n", rm_utilization_test(set) ? "pass" : "fail");
+  std::printf("  RM hyperbolic test    : %s\n", rm_hyperbolic_test(set) ? "pass" : "fail");
+  std::printf("  RM exact (resp. time) : %s\n", rm_exact_test(set) ? "pass" : "fail");
+  std::printf("  EDF (U <= 1)          : %s\n", edf_test(set) ? "pass" : "fail");
+  if (const auto rt = rm_response_times(set)) {
+    std::printf("  worst-case response times under RM:\n");
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      std::printf("    %-12s R=%s\n", set[i].name.c_str(), (*rt)[i].to_string().c_str());
+    }
+  }
+
+  std::printf("\n=== DCS S_r pinwheel specialisation (Theorem 3) ===\n");
+  const DcsSpecialization dcs = dcs_specialize(set);
+  std::printf("  base b=%s, specialised density %.3f (%s)\n", dcs.base.to_string().c_str(),
+              dcs.density, dcs.feasible() ? "feasible" : "infeasible");
+  std::printf("  zero-variance condition sum(e/p) <= n(2^(1/n)-1): %s\n",
+              dcs_zero_variance_condition(set) ? "met" : "not met");
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    std::printf("    %-12s %s -> %s\n", set[i].name.c_str(), set[i].period.to_string().c_str(),
+                dcs.periods[i].to_string().c_str());
+  }
+
+  std::printf("\n=== phase variance: analytic bound vs measured (20s sim) ===\n");
+  std::printf("  %-12s %10s %10s %10s | %10s %10s %10s\n", "task", "eq2.1", "thm2-EDF",
+              "thm2-RM", "EDF", "RM", "DCS-Sr");
+  struct Measured {
+    Duration edf, rm, dcs;
+  };
+  std::vector<Measured> measured(set.size());
+  for (Policy policy : {Policy::kEdf, Policy::kRateMonotonic, Policy::kDcsSr}) {
+    sim::Simulator sim(1);
+    Cpu cpu(sim, policy);
+    std::vector<TaskId> ids;
+    for (const auto& t : set) {
+      TaskSpec copy = t;
+      copy.id = kInvalidTask;
+      ids.push_back(cpu.add_task(copy, nullptr));
+    }
+    cpu.start(TimePoint::zero());
+    sim.run_until(TimePoint::zero() + seconds(20));
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      const Duration v = cpu.tracker(ids[i]).phase_variance();
+      if (policy == Policy::kEdf) measured[i].edf = v;
+      if (policy == Policy::kRateMonotonic) measured[i].rm = v;
+      if (policy == Policy::kDcsSr) measured[i].dcs = v;
+    }
+  }
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    std::printf("  %-12s %9.3fms %9.3fms %9.3fms | %9.3fms %9.3fms %9.3fms\n",
+                set[i].name.c_str(), phase_variance_bound_universal(set[i]).millis(),
+                phase_variance_bound_edf(set[i], u).millis(),
+                phase_variance_bound_rm(set[i], u, set.size()).millis(), measured[i].edf.millis(),
+                measured[i].rm.millis(), measured[i].dcs.millis());
+  }
+
+  std::printf("\n=== schedule close-ups (first 60ms, 1ms columns) ===\n");
+  GanttOptions gantt;
+  gantt.horizon = millis(60);
+  gantt.show_releases = false;
+  std::printf("%s\n", render_gantt(set, Policy::kRateMonotonic, gantt).c_str());
+  std::printf("%s", render_gantt(set, Policy::kDcsSr, gantt).c_str());
+  std::printf("(under DCS-Sr every task finishes at a fixed offset in each period\n"
+              " — the zero phase variance of Theorem 3, visible to the eye)\n");
+
+  std::printf("\n=== temporal-consistency admission (Theorem 1) ===\n");
+  std::printf("  With measured v under RM, the largest admissible delta_P per object:\n");
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    // Theorem 1: consistency iff p <= delta - v, so delta >= p + v.
+    const Duration min_delta = set[i].period + measured[i].rm;
+    std::printf("    %-12s needs delta_P >= %s\n", set[i].name.c_str(),
+                min_delta.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,244 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+
+#include "sched/theory.hpp"
+#include "util/log.hpp"
+
+namespace rtpb::core {
+
+AdmissionController::AdmissionController(ServiceConfig config, Duration link_delay_bound)
+    : config_(config), ell_(link_delay_bound) {
+  RTPB_EXPECTS(ell_ >= Duration::zero());
+  RTPB_EXPECTS(config_.slack_factor >= 1);
+}
+
+Duration AdmissionController::normal_period(const ObjectSpec& spec) const {
+  if (config_.update_period_override > Duration::zero()) {
+    return config_.update_period_override;
+  }
+  Duration period = sched::theory::update_period(spec.window(), ell_, config_.slack_factor);
+  if (config_.variance_aware_admission) {
+    // Lemma 2-style sufficient condition, stated on the window: staleness
+    // peaks at p + r + v' + ℓ and v' ≤ r − e' (Eq. 2.1), so requiring
+    //   r ≤ (δ − ℓ − p + e') / 2
+    // keeps the backup inside its window for ANY phase variance the
+    // transmission task can exhibit — the guarantee the paper's §4.2
+    // admission gives up when the CPU runs close to the RM bound.
+    const Duration cap =
+        (spec.window() - ell_ - spec.client_period + spec.update_exec) / 2;
+    period = std::min(period, cap);
+  }
+  return period;
+}
+
+Duration AdmissionController::tightest_constraint(ObjectId id) const {
+  Duration tightest = Duration::max();
+  for (const auto& c : constraints_) {
+    if (c.first == id || c.second == id) tightest = std::min(tightest, c.delta);
+  }
+  return tightest;
+}
+
+bool AdmissionController::schedulable(const std::map<ObjectId, Duration>& periods,
+                                      const ObjectSpec* extra) const {
+  sched::TaskSet tasks;
+  sched::TaskId next = 1;
+  auto add = [&tasks, &next](Duration period, Duration exec) {
+    sched::TaskSpec t;
+    t.id = next++;
+    t.period = period;
+    t.wcet = exec;
+    if (!t.valid()) return false;
+    tasks.push_back(t);
+    return true;
+  };
+  for (const auto& [id, spec] : specs_) {
+    if (!add(spec.client_period, spec.client_exec)) return false;
+    auto it = periods.find(id);
+    RTPB_ASSERT(it != periods.end());
+    if (!add(it->second, spec.update_exec)) return false;
+  }
+  if (extra != nullptr) {
+    if (!add(extra->client_period, extra->client_exec)) return false;
+    // The candidate object's transmission period: its normal period,
+    // already merged into `periods` by the caller when needed; here the
+    // caller passes it via `periods` only for admitted ids, so add the
+    // candidate explicitly.
+    if (!add(normal_period(*extra), extra->update_exec)) return false;
+  }
+  // The paper's §4.2 admission runs "a schedulability test based on the
+  // rate-monotonic scheduling algorithm [Liu & Layland]" — the utilisation
+  // bound.  It is deliberately conservative: staying under n(2^{1/n}-1)
+  // keeps client response times low (Figure 6), which exact response-time
+  // analysis (available as sched::rm_exact_test) would not.
+  return sched::rm_utilization_test(tasks);
+}
+
+std::optional<AdmissionError> AdmissionController::check(const ObjectSpec& spec) const {
+  if (specs_.contains(spec.id)) return AdmissionError::kDuplicate;
+
+  if (spec.id == kInvalidObject || spec.client_period <= Duration::zero() ||
+      spec.client_exec <= Duration::zero() || spec.update_exec <= Duration::zero() ||
+      spec.delta_primary <= Duration::zero() || spec.delta_backup <= Duration::zero()) {
+    return AdmissionError::kInvalidSpec;
+  }
+  if (!config_.admission_control_enabled) return std::nullopt;
+
+  // (1) p_i ≤ δ_iP: with zero-variance update scheduling at the client
+  // (paper §4.2), the primary copy stays inside δ_iP iff the client
+  // period is within it.
+  if (spec.client_period > spec.delta_primary) return AdmissionError::kPeriodExceedsDelta;
+  // (2) window must exceed the communication delay bound.
+  if (spec.window() <= ell_) return AdmissionError::kWindowTooSmall;
+
+  const Duration period = normal_period(spec);
+  if (period <= Duration::zero()) return AdmissionError::kWindowTooSmall;
+  if (period < spec.update_exec) return AdmissionError::kUnschedulable;
+
+  // (3) RM schedulability of everything on the primary's CPU, judged at
+  // the window-derived baseline periods.  Compressed scheduling may then
+  // send *more* often with the spare capacity — that is best-effort and
+  // must not block admission of further objects.
+  std::map<ObjectId, Duration> baseline;
+  for (const auto& [id, s] : specs_) {
+    baseline[id] = std::min(normal_period(s), tightest_constraint(id));
+  }
+  if (!schedulable(baseline, &spec)) return AdmissionError::kUnschedulable;
+  return std::nullopt;
+}
+
+std::optional<ObjectSpec> AdmissionController::suggest_alternative(const ObjectSpec& spec) const {
+  if (spec.id == kInvalidObject || specs_.contains(spec.id) ||
+      spec.client_period <= Duration::zero() || spec.client_exec <= Duration::zero() ||
+      spec.update_exec <= Duration::zero()) {
+    return std::nullopt;  // nothing sensible to negotiate from
+  }
+  ObjectSpec cand = spec;
+  // Satisfy (1): the primary constraint cannot be tighter than the rate
+  // the client is willing to write at.
+  cand.delta_primary = std::max(cand.delta_primary, cand.client_period);
+  // Satisfy (2) and leave room for the transmission task: window w needs
+  // (w − ℓ)/slack ≥ e', i.e. w ≥ ℓ + slack·e' — with margin so the
+  // schedulability test has something to work with.
+  const Duration min_window = ell_ + (spec.update_exec * config_.slack_factor) * 4;
+  if (cand.window() < min_window) cand.delta_backup = cand.delta_primary + min_window;
+
+  // Satisfy (3): halve the demanded rates (doubling periods and windows)
+  // until the set becomes schedulable.  Give up after 1:64 — a client
+  // asked for orders of magnitude more than the server can carry.
+  for (int attempt = 0; attempt < 7; ++attempt) {
+    if (!check(cand).has_value()) return cand;
+    cand.client_period = cand.client_period * 2;
+    cand.delta_primary = std::max(cand.delta_primary * 2, cand.client_period);
+    cand.delta_backup = cand.delta_primary + cand.window() * 2;
+  }
+  return std::nullopt;
+}
+
+AdmissionResult AdmissionController::admit(const ObjectSpec& spec) {
+  if (const auto error = check(spec)) {
+    AdmissionRejection rejection;
+    rejection.code = *error;
+    rejection.reason = admission_error_name(*error);
+    if (*error != AdmissionError::kDuplicate && *error != AdmissionError::kInvalidSpec) {
+      rejection.suggestion = suggest_alternative(spec);
+    }
+    return rejection;
+  }
+
+  Duration period = normal_period(spec);
+  if (period <= Duration::zero()) period = spec.client_period;  // checks off: best effort
+  if (period < spec.update_exec) period = spec.update_exec;
+
+  specs_.emplace(spec.id, spec);
+  update_periods_[spec.id] = period;
+  if (config_.update_scheduling == UpdateScheduling::kCompressed) recompute_compressed();
+  return AdmissionDecision{update_periods_[spec.id]};
+}
+
+void AdmissionController::remove(ObjectId id) {
+  specs_.erase(id);
+  update_periods_.erase(id);
+  std::erase_if(constraints_, [id](const InterObjectConstraint& c) {
+    return c.first == id || c.second == id;
+  });
+  if (config_.update_scheduling == UpdateScheduling::kCompressed) recompute_compressed();
+}
+
+AdmissionStatus AdmissionController::add_constraint(const InterObjectConstraint& c) {
+  auto it_i = specs_.find(c.first);
+  auto it_j = specs_.find(c.second);
+  if (it_i == specs_.end() || it_j == specs_.end()) {
+    return Error<AdmissionError>{AdmissionError::kUnknownObject,
+                                 "inter-object constraint names unregistered object"};
+  }
+  if (c.delta <= Duration::zero()) {
+    return Error<AdmissionError>{AdmissionError::kInvalidSpec, "non-positive delta_ij"};
+  }
+  if (!config_.admission_control_enabled) {
+    constraints_.push_back(c);
+    return {};
+  }
+
+  // §3 / Theorem 6 with zero phase variance: both client periods must be
+  // within δ_ij at the primary ...
+  if (it_i->second.client_period > c.delta || it_j->second.client_period > c.delta) {
+    return Error<AdmissionError>{AdmissionError::kInterObjectViolation,
+                                 "client period exceeds inter-object bound"};
+  }
+  // ... and both transmission periods within δ_ij at the backup; tighten
+  // them if the constraint is stricter than the window-derived period.
+  std::map<ObjectId, Duration> tightened = update_periods_;
+  for (ObjectId id : {c.first, c.second}) {
+    Duration& r = tightened[id];
+    r = std::min(r, c.delta);
+    if (r < specs_.at(id).update_exec) {
+      return Error<AdmissionError>{AdmissionError::kInterObjectViolation,
+                                   "inter-object bound tighter than update execution time"};
+    }
+  }
+  if (!schedulable(tightened, nullptr)) {
+    return Error<AdmissionError>{AdmissionError::kUnschedulable,
+                                 "tightened update task set fails RM schedulability"};
+  }
+  update_periods_ = std::move(tightened);
+  constraints_.push_back(c);
+  return {};
+}
+
+void AdmissionController::recompute_compressed() {
+  // Compressed scheduling (§5.3): update transmissions consume all spare
+  // capacity up to the configured target, shared equally among objects.
+  if (specs_.empty()) return;
+  double client_util = 0.0;
+  for (const auto& [id, spec] : specs_) {
+    client_util += spec.client_exec.ratio(spec.client_period);
+  }
+  const double spare = std::max(0.05, config_.compressed_target_utilization - client_util);
+  const double per_object = spare / static_cast<double>(specs_.size());
+  for (auto& [id, spec] : specs_) {
+    Duration r = spec.update_exec.scaled(1.0 / per_object);
+    r = std::max(r, spec.update_exec);  // never below the job's own length
+    // Inter-object constraints still cap the period.
+    r = std::min(r, tightest_constraint(id));
+    update_periods_[id] = r;
+  }
+}
+
+Duration AdmissionController::update_period(ObjectId id) const {
+  auto it = update_periods_.find(id);
+  RTPB_EXPECTS(it != update_periods_.end());
+  return it->second;
+}
+
+double AdmissionController::total_utilization() const {
+  double u = 0.0;
+  for (const auto& [id, spec] : specs_) {
+    u += spec.client_exec.ratio(spec.client_period);
+    u += spec.update_exec.ratio(update_periods_.at(id));
+  }
+  return u;
+}
+
+}  // namespace rtpb::core

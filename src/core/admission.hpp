@@ -1,0 +1,100 @@
+// Admission control (paper §4.2).
+//
+// Before a client may stream updates for an object, the primary checks
+//   (1) p_i ≤ δ_iP                — the client updates often enough,
+//   (2) δ_i = δ_iB − δ_iP > ℓ    — the window can out-run the network,
+//   (3) the update-transmission task set (period r_i = (δ_i − ℓ)/slack)
+//       plus all client tasks passes a rate-monotonic schedulability test,
+//   (4) every inter-object constraint δ_ij, converted to two external
+//       constraints (§3), still holds.
+// A rejected registration carries a reason so the client can negotiate an
+// alternative quality of service.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sched/analysis.hpp"
+#include "util/result.hpp"
+
+namespace rtpb::core {
+
+struct AdmissionDecision {
+  /// Assigned primary→backup transmission period r_i.
+  Duration update_period{};
+};
+
+/// A rejection carries the reason plus, where one exists, a concrete
+/// feasible alternative QoS for the same object — the paper's §4.2
+/// "feedback so that the client can negotiate an alternative quality of
+/// service".  Re-submitting the suggestion (when present) is guaranteed
+/// to pass the same checks against the current admitted set.
+struct AdmissionRejection {
+  AdmissionError code{};
+  std::string reason;
+  std::optional<ObjectSpec> suggestion;
+};
+
+using AdmissionResult = Result<AdmissionDecision, AdmissionRejection>;
+using AdmissionStatus = Status<Error<AdmissionError>>;
+
+class AdmissionController {
+ public:
+  AdmissionController(ServiceConfig config, Duration link_delay_bound);
+
+  /// Evaluate a registration.  On success the object is recorded and its
+  /// transmission period returned.  Under compressed scheduling, periods
+  /// of *all* admitted objects may be recomputed — read them back via
+  /// update_periods().
+  AdmissionResult admit(const ObjectSpec& spec);
+
+  /// Remove an object (and any constraints that reference it).
+  void remove(ObjectId id);
+
+  /// Register an inter-object constraint between two admitted objects.
+  /// May tighten their transmission periods; re-runs schedulability.
+  AdmissionStatus add_constraint(const InterObjectConstraint& c);
+
+  [[nodiscard]] const std::map<ObjectId, Duration>& update_periods() const {
+    return update_periods_;
+  }
+  [[nodiscard]] Duration update_period(ObjectId id) const;
+  [[nodiscard]] std::size_t admitted_count() const { return specs_.size(); }
+  [[nodiscard]] const std::vector<InterObjectConstraint>& constraints() const {
+    return constraints_;
+  }
+  [[nodiscard]] Duration link_delay_bound() const { return ell_; }
+
+  /// Total utilisation of client + transmission tasks as admitted.
+  [[nodiscard]] double total_utilization() const;
+
+  /// Compute a feasible alternative spec for a rejected registration, or
+  /// nullopt when no plausible relaxation exists.  Public so clients can
+  /// pre-negotiate without a rejected attempt.
+  [[nodiscard]] std::optional<ObjectSpec> suggest_alternative(const ObjectSpec& spec) const;
+
+ private:
+  /// All §4.2 checks against the current admitted set, without admitting.
+  /// nullopt = would be admitted.
+  [[nodiscard]] std::optional<AdmissionError> check(const ObjectSpec& spec) const;
+  /// Baseline §4.3 period from the object's window (before inter-object
+  /// tightening): (δ_i − ℓ) / slack_factor.
+  [[nodiscard]] Duration normal_period(const ObjectSpec& spec) const;
+  /// Tightest δ_ij involving `id`, or Duration::max().
+  [[nodiscard]] Duration tightest_constraint(ObjectId id) const;
+  /// Recompute compressed-mode periods for the whole admitted set.
+  void recompute_compressed();
+  /// Schedulability of client tasks + hypothetical update periods.
+  [[nodiscard]] bool schedulable(const std::map<ObjectId, Duration>& periods,
+                                 const ObjectSpec* extra) const;
+
+  ServiceConfig config_;
+  Duration ell_;
+  std::map<ObjectId, ObjectSpec> specs_;
+  std::map<ObjectId, Duration> update_periods_;
+  std::vector<InterObjectConstraint> constraints_;
+};
+
+}  // namespace rtpb::core

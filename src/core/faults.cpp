@@ -1,0 +1,58 @@
+#include "core/faults.hpp"
+
+#include "util/log.hpp"
+
+namespace rtpb::core {
+
+FaultPlan& FaultPlan::loss_storm(TimePoint from, TimePoint until, double probability) {
+  at(from, "loss-storm-start", [this, probability] {
+    service_.acting_primary().set_update_loss_probability(probability);
+  });
+  at(until, "loss-storm-end",
+     [this] { service_.acting_primary().set_update_loss_probability(0.0); });
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_degradation(TimePoint from, TimePoint until, double probability) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  at(from, "link-degradation-start",
+     [this, a, b, probability] { service_.network().set_loss_probability(a, b, probability); });
+  at(until, "link-degradation-end",
+     [this, a, b] { service_.network().set_loss_probability(a, b, 0.0); });
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_primary(TimePoint when) {
+  return at(when, "crash-primary", [this] { service_.crash_primary(); });
+}
+
+FaultPlan& FaultPlan::crash_backup(TimePoint when) {
+  return at(when, "crash-backup", [this] { service_.crash_backup(); });
+}
+
+FaultPlan& FaultPlan::add_standby(TimePoint when) {
+  return at(when, "add-standby", [this] { service_.add_standby(); });
+}
+
+FaultPlan& FaultPlan::at(TimePoint when, std::string label, std::function<void()> action) {
+  RTPB_EXPECTS(!armed_);
+  RTPB_EXPECTS(action != nullptr);
+  actions_.push_back({when, std::move(label), std::move(action)});
+  return *this;
+}
+
+void FaultPlan::arm() {
+  RTPB_EXPECTS(!armed_);
+  armed_ = true;
+  for (auto& action : actions_) {
+    service_.simulator().schedule_at(
+        action.when, [this, label = action.label, fn = std::move(action.fn)] {
+          RTPB_INFO("faults", "firing %s", label.c_str());
+          fired_.push_back(label);
+          fn();
+        });
+  }
+}
+
+}  // namespace rtpb::core

@@ -1,0 +1,58 @@
+// Scripted fault injection for experiments and chaos tests.
+//
+// A FaultPlan is a timeline of actions applied to a running RtpbService:
+// loss storms, link degradation, node crashes, standby recruitment.  The
+// plan arms itself on the service's simulator, so faults land at exact
+// virtual times regardless of how the experiment slices its run_for calls.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/service.hpp"
+
+namespace rtpb::core {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(RtpbService& service) : service_(service) {}
+
+  /// Inject update-stream loss (the paper's §5 loss knob) on the primary
+  /// from `from` until `until`.
+  FaultPlan& loss_storm(TimePoint from, TimePoint until, double probability);
+
+  /// Degrade the genuine link (every message class at risk) between the
+  /// primary and the designated-successor backup.
+  FaultPlan& link_degradation(TimePoint from, TimePoint until, double probability);
+
+  /// Crash the primary at `at`.
+  FaultPlan& crash_primary(TimePoint at);
+  /// Crash the successor backup at `at`.
+  FaultPlan& crash_backup(TimePoint at);
+  /// Recruit a fresh standby at `at` (wired to whoever is primary then).
+  FaultPlan& add_standby(TimePoint at);
+
+  /// Arbitrary scripted action.
+  FaultPlan& at(TimePoint when, std::string label, std::function<void()> action);
+
+  /// Schedule every recorded action on the service's simulator.
+  void arm();
+
+  /// Labels of actions that have fired so far (for assertions).
+  [[nodiscard]] const std::vector<std::string>& fired() const { return fired_; }
+
+ private:
+  struct Action {
+    TimePoint when;
+    std::string label;
+    std::function<void()> fn;
+  };
+
+  RtpbService& service_;
+  std::vector<Action> actions_;
+  std::vector<std::string> fired_;
+  bool armed_ = false;
+};
+
+}  // namespace rtpb::core

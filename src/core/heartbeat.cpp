@@ -1,0 +1,66 @@
+#include "core/heartbeat.hpp"
+
+#include "util/log.hpp"
+
+namespace rtpb::core {
+
+FailureDetector::FailureDetector(sim::Simulator& sim, Params params, SendPingFn send_ping,
+                                 PeerDeadFn on_peer_dead)
+    : sim_(sim),
+      params_(params),
+      send_ping_(std::move(send_ping)),
+      on_peer_dead_(std::move(on_peer_dead)),
+      timer_(sim, params.ping_period, [this] { this->send_ping(); }) {
+  RTPB_EXPECTS(send_ping_ != nullptr);
+  RTPB_EXPECTS(on_peer_dead_ != nullptr);
+  RTPB_EXPECTS(params_.ack_timeout <= params_.ping_period);
+}
+
+void FailureDetector::start() {
+  misses_ = 0;
+  peer_dead_ = false;
+  last_traffic_ = sim_.now();
+  timer_.start();
+}
+
+void FailureDetector::stop() {
+  timer_.stop();
+  timeout_event_.cancel();
+}
+
+void FailureDetector::send_ping() {
+  if (peer_dead_) return;
+  const std::uint64_t seq = next_seq_++;
+  ++pings_sent_;
+  send_ping_(seq);
+  const TimePoint sent_at = sim_.now();
+  timeout_event_.cancel();
+  timeout_event_ =
+      sim_.schedule_after(params_.ack_timeout, [this, seq, sent_at] { on_timeout(seq, sent_at); });
+}
+
+void FailureDetector::on_timeout(std::uint64_t seq, TimePoint sent_at) {
+  if (peer_dead_) return;
+  if (last_traffic_ >= sent_at) {
+    misses_ = 0;
+    return;
+  }
+  ++misses_;
+  RTPB_DEBUG("heartbeat", "ping %llu unanswered (miss %u/%u)",
+             static_cast<unsigned long long>(seq), misses_, params_.max_misses);
+  if (misses_ >= params_.max_misses) {
+    peer_dead_ = true;
+    timer_.stop();
+    RTPB_INFO("heartbeat", "peer declared dead after %u misses", misses_);
+    on_peer_dead_();
+  }
+}
+
+void FailureDetector::on_ping_ack(std::uint64_t /*seq*/) { note_traffic(); }
+
+void FailureDetector::note_traffic() {
+  last_traffic_ = sim_.now();
+  if (!peer_dead_) misses_ = 0;
+}
+
+}  // namespace rtpb::core

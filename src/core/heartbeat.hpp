@@ -1,0 +1,61 @@
+// Failure detection (paper §4.4): both the primary and the backup run a
+// "ping thread" that sends periodic PINGs to the other server and expects
+// acknowledgments.  A ping that goes unanswered past the timeout counts as
+// a miss; enough consecutive misses and the peer is declared dead.  Any
+// traffic from the peer (not just acks) resets the miss counter — an
+// UPDATE stream is as good a liveness proof as a PING_ACK.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::core {
+
+class FailureDetector {
+ public:
+  struct Params {
+    Duration ping_period = millis(100);
+    Duration ack_timeout = millis(50);
+    std::uint32_t max_misses = 3;
+  };
+
+  using SendPingFn = std::function<void(std::uint64_t seq)>;
+  using PeerDeadFn = std::function<void()>;
+
+  FailureDetector(sim::Simulator& sim, Params params, SendPingFn send_ping,
+                  PeerDeadFn on_peer_dead);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return timer_.running(); }
+
+  /// The peer answered ping `seq`.
+  void on_ping_ack(std::uint64_t seq);
+  /// Any other message arrived from the peer (counts as liveness).
+  void note_traffic();
+
+  [[nodiscard]] bool peer_declared_dead() const { return peer_dead_; }
+  [[nodiscard]] std::uint32_t consecutive_misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t pings_sent() const { return pings_sent_; }
+
+ private:
+  void send_ping();
+  void on_timeout(std::uint64_t seq, TimePoint sent_at);
+
+  sim::Simulator& sim_;
+  Params params_;
+  SendPingFn send_ping_;
+  PeerDeadFn on_peer_dead_;
+  sim::PeriodicTimer timer_;
+  sim::EventHandle timeout_event_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t pings_sent_ = 0;
+  TimePoint last_traffic_{};
+  std::uint32_t misses_ = 0;
+  bool peer_dead_ = false;
+};
+
+}  // namespace rtpb::core

@@ -1,0 +1,126 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rtpb::core {
+
+void Metrics::track_object(ObjectId id, Duration window, Duration client_period) {
+  ObjectTrack& t = objects_[id];
+  t.window = window;
+  t.client_period = client_period;
+}
+
+void Metrics::untrack_object(ObjectId id) { objects_.erase(id); }
+
+void Metrics::ObjectTrack::refresh(TimePoint now) {
+  if (!primary_written || !backup_applied) return;
+  const Duration distance = primary_ts - backup_origin_ts;
+  max_distance = std::max(max_distance, distance);
+  if (distance > window) {
+    inconsistency.open(now);
+  } else {
+    inconsistency.close(now);
+  }
+}
+
+void Metrics::on_primary_write(ObjectId id, TimePoint ts) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  ObjectTrack& t = it->second;
+  t.primary_ts = std::max(t.primary_ts, ts);
+  t.primary_written = true;
+  t.refresh(ts);
+}
+
+void Metrics::on_backup_apply(ObjectId id, TimePoint origin_ts, TimePoint now) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  ObjectTrack& t = it->second;
+  t.backup_origin_ts = std::max(t.backup_origin_ts, origin_ts);
+  t.backup_applied = true;
+  t.refresh(now);
+}
+
+void Metrics::finish(TimePoint now) {
+  for (auto& [id, t] : objects_) {
+    // An object the backup never caught up on has been maximally stale.
+    if (t.primary_written && !t.backup_applied) {
+      t.max_distance = std::max(t.max_distance, t.primary_ts - t.backup_origin_ts);
+    }
+    t.inconsistency.finish(now);
+  }
+}
+
+void Metrics::reset_statistics() {
+  response_times_.clear();
+  for (auto& [id, t] : objects_) {
+    t.max_distance = Duration::zero();
+    const bool was_open = t.inconsistency.is_open();
+    t.inconsistency = IntervalRecorder{};
+    // If reset lands mid-violation, keep the interval open from the reset
+    // point so its tail still counts.
+    if (was_open) t.inconsistency.open(TimePoint::zero());
+  }
+}
+
+double Metrics::average_max_distance_ms() const {
+  if (objects_.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, t] : objects_) {
+    if (!t.primary_written) continue;
+    sum += t.max_distance.millis();
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Metrics::average_max_excess_distance_ms() const {
+  if (objects_.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, t] : objects_) {
+    if (!t.primary_written) continue;
+    sum += std::max(Duration::zero(), t.max_distance - t.client_period).millis();
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double Metrics::mean_inconsistency_duration_ms() const {
+  double total_ms = 0.0;
+  std::uint64_t intervals = 0;
+  for (const auto& [id, t] : objects_) {
+    total_ms += t.inconsistency.total().millis();
+    intervals += t.inconsistency.interval_count();
+  }
+  return intervals > 0 ? total_ms / static_cast<double>(intervals) : 0.0;
+}
+
+Duration Metrics::total_inconsistency() const {
+  Duration total{};
+  for (const auto& [id, t] : objects_) total += t.inconsistency.total();
+  return total;
+}
+
+std::uint64_t Metrics::inconsistency_intervals() const {
+  std::uint64_t n = 0;
+  for (const auto& [id, t] : objects_) n += t.inconsistency.interval_count();
+  return n;
+}
+
+Duration Metrics::max_distance(ObjectId id) const {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  return it->second.max_distance;
+}
+
+bool Metrics::in_violation(ObjectId id) const {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  return it->second.inconsistency.is_open();
+}
+
+}  // namespace rtpb::core

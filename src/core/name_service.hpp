@@ -1,0 +1,30 @@
+// Simulated name service — the "name file" of paper §4.4.  Clients resolve
+// the service name to the current primary's address; on failover the new
+// primary rewrites the entry to point at itself.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/address.hpp"
+
+namespace rtpb::core {
+
+class NameService {
+ public:
+  void publish(const std::string& service, net::Endpoint where) { entries_[service] = where; }
+
+  [[nodiscard]] std::optional<net::Endpoint> lookup(const std::string& service) const {
+    auto it = entries_.find(service);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void withdraw(const std::string& service) { entries_.erase(service); }
+
+ private:
+  std::map<std::string, net::Endpoint> entries_;
+};
+
+}  // namespace rtpb::core

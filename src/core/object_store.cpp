@@ -1,0 +1,59 @@
+#include "core/object_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace rtpb::core {
+
+bool ObjectStore::insert(const ObjectSpec& spec) {
+  RTPB_EXPECTS(spec.id != kInvalidObject);
+  ObjectState state;
+  state.spec = spec;
+  return objects_.emplace(spec.id, std::move(state)).second;
+}
+
+bool ObjectStore::erase(ObjectId id) { return objects_.erase(id) > 0; }
+
+std::uint64_t ObjectStore::write(ObjectId id, Bytes value, TimePoint now) {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  ObjectState& s = it->second;
+  s.value = std::move(value);
+  ++s.version;
+  s.timestamp = now;
+  s.origin_timestamp = now;
+  return s.version;
+}
+
+bool ObjectStore::apply(ObjectId id, std::uint64_t version, TimePoint origin_ts, Bytes value,
+                        TimePoint now) {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  ObjectState& s = it->second;
+  if (version <= s.version) return false;  // stale or duplicate
+  s.value = std::move(value);
+  s.version = version;
+  s.timestamp = now;
+  s.origin_timestamp = origin_ts;
+  return true;
+}
+
+const ObjectState& ObjectStore::get(ObjectId id) const {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  return it->second;
+}
+
+std::optional<ObjectState> ObjectStore::find(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ObjectId> ObjectStore::ids() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, s] : objects_) out.push_back(id);
+  return out;
+}
+
+}  // namespace rtpb::core

@@ -1,0 +1,63 @@
+// In-memory replicated object table.  Both the primary and the backup keep
+// one; the primary's versions advance on client updates, the backup's on
+// applied UPDATE messages.  Timestamps record the T_i(t) of the paper's
+// consistency definitions: the finish time of the last update at that site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::core {
+
+struct ObjectState {
+  ObjectSpec spec;
+  Bytes value;
+  std::uint64_t version = 0;       ///< 0 = never written
+  TimePoint timestamp{};           ///< finish time of the last update here
+  /// Primary-side origin timestamp of the version the site holds.  On the
+  /// primary this equals `timestamp`; on the backup it is the T_i^P
+  /// carried in the UPDATE that produced this version.
+  TimePoint origin_timestamp{};
+};
+
+class ObjectStore {
+ public:
+  /// Insert a new object in the unwritten state.  Fails (returns false)
+  /// on a duplicate id.
+  bool insert(const ObjectSpec& spec);
+  bool erase(ObjectId id);
+
+  [[nodiscard]] bool contains(ObjectId id) const { return objects_.contains(id); }
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  /// Record a local write: bumps the version, stamps `now`.
+  /// Returns the new version.
+  std::uint64_t write(ObjectId id, Bytes value, TimePoint now);
+
+  /// Apply a remote update (backup side).  Ignored (returns false) if
+  /// `version` is not newer than what is held.
+  bool apply(ObjectId id, std::uint64_t version, TimePoint origin_ts, Bytes value,
+             TimePoint now);
+
+  [[nodiscard]] const ObjectState& get(ObjectId id) const;
+  [[nodiscard]] std::optional<ObjectState> find(ObjectId id) const;
+
+  /// Iterate deterministically (ascending id).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, state] : objects_) fn(state);
+  }
+
+  [[nodiscard]] std::vector<ObjectId> ids() const;
+
+ private:
+  std::map<ObjectId, ObjectState> objects_;
+};
+
+}  // namespace rtpb::core

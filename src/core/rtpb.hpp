@@ -1,0 +1,24 @@
+// Umbrella header: the RTPB replication service public API.
+//
+//   #include "core/rtpb.hpp"
+//
+//   rtpb::core::ServiceParams params;
+//   rtpb::core::RtpbService service(params);
+//   service.start();
+//   service.register_object(spec);
+//   service.run_for(rtpb::seconds(10));
+//
+// See examples/quickstart.cpp for a complete walk-through.
+#pragma once
+
+#include "core/admission.hpp"     // IWYU pragma: export
+#include "core/client.hpp"        // IWYU pragma: export
+#include "core/heartbeat.hpp"     // IWYU pragma: export
+#include "core/metrics.hpp"       // IWYU pragma: export
+#include "core/name_service.hpp"  // IWYU pragma: export
+#include "core/object_store.hpp"  // IWYU pragma: export
+#include "core/server.hpp"        // IWYU pragma: export
+#include "core/service.hpp"       // IWYU pragma: export
+#include "core/types.hpp"         // IWYU pragma: export
+#include "core/wire.hpp"          // IWYU pragma: export
+#include "sched/theory.hpp"       // IWYU pragma: export

@@ -1,0 +1,571 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace rtpb::core {
+
+ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
+                             ServiceConfig config, Metrics& metrics, Role role,
+                             std::string service_name)
+    : sim_(sim),
+      network_(network),
+      names_(names),
+      config_(config),
+      metrics_(metrics),
+      role_(role),
+      service_name_(std::move(service_name)),
+      stack_(network),
+      cpu_(sim, config.cpu_policy, std::string(role_name(role)) + "-cpu"),
+      rng_(sim.rng().fork()) {
+  if (config_.enable_fragmentation) {
+    frag_ = std::make_unique<xkernel::FragLite>(sim, config_.fragment_payload);
+    frag_->connect_down(stack_.udp());
+    frag_->set_handler([this](xkernel::Message& msg, const xkernel::MsgAttrs& attrs) {
+      handle_message(msg, attrs);
+    });
+    stack_.udp().bind(kRtpbPort, [this](xkernel::Message& msg, const xkernel::MsgAttrs& attrs) {
+      xkernel::MsgAttrs mutable_attrs = attrs;
+      frag_->demux(msg, mutable_attrs);
+    });
+  } else {
+    stack_.udp().bind(kRtpbPort, [this](xkernel::Message& msg, const xkernel::MsgAttrs& attrs) {
+      handle_message(msg, attrs);
+    });
+  }
+}
+
+ReplicaServer::~ReplicaServer() = default;
+
+void ReplicaServer::add_peer(net::Endpoint peer) {
+  RTPB_EXPECTS(peer.node != net::kInvalidNode);
+  peers_.push_back(peer);
+}
+
+void ReplicaServer::start() {
+  RTPB_EXPECTS(!started_);
+  started_ = true;
+
+  // Admission control needs the delay bound ℓ of the replication link.
+  Duration ell = Duration::zero();
+  if (!peers_.empty()) {
+    if (auto params = network_.link_params(node(), peers_.front().node)) {
+      // Bound for a full-size update frame (largest object payload is not
+      // known yet; use a 1 KiB budget, generous for the paper's objects).
+      ell = params->delay_bound(1024);
+    }
+  }
+  admission_ = std::make_unique<AdmissionController>(config_, ell);
+
+  cpu_.start(sim_.now());
+  if (role_ == Role::kPrimary) {
+    names_.publish(service_name_, endpoint());
+  }
+  if (!peers_.empty()) start_heartbeat();
+}
+
+void ReplicaServer::start_heartbeat() {
+  RTPB_EXPECTS(!peers_.empty());
+  FailureDetector::Params params;
+  params.ping_period = config_.ping_period;
+  params.ack_timeout = config_.ping_ack_timeout;
+  params.max_misses = config_.ping_max_misses;
+  const net::Endpoint partner = peers_.front();
+  detector_ = std::make_unique<FailureDetector>(
+      sim_, params,
+      [this, partner](std::uint64_t seq) { send_to(partner, wire::encode(wire::Ping{seq})); },
+      [this] {
+        RTPB_INFO("rtpb", "%s: heartbeat partner declared dead", role_name(role_));
+        if (role_ == Role::kBackup) {
+          if (successor_) {
+            promote();
+          } else if (hooks_.on_primary_lost) {
+            hooks_.on_primary_lost();
+          }
+        } else {
+          // §4.4: "If the backup is dead, the primary cancels the ping
+          // messages as well as update events for each registered object."
+          for (auto& [id, task] : update_tasks_) cpu_.remove_task(task.task);
+          update_tasks_.clear();
+          peers_.clear();
+          transfer_retry_.cancel();
+          pending_transfers_.clear();
+        }
+      });
+  detector_->start();
+}
+
+void ReplicaServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  cpu_.stop();
+  if (detector_) detector_->stop();
+  transfer_retry_.cancel();
+  for (auto& [id, w] : watchdogs_) w.timer.cancel();
+  for (auto& [id, a] : ack_state_) a.timeout.cancel();
+  network_.set_node_up(node(), false);
+  RTPB_INFO("rtpb", "%s@node%u crashed", role_name(role_), node());
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing interface.
+// ---------------------------------------------------------------------------
+
+AdmissionResult ReplicaServer::register_object(const ObjectSpec& spec) {
+  RTPB_EXPECTS(started_);
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  AdmissionResult result = admission_->admit(spec);
+  if (!result.ok()) {
+    RTPB_DEBUG("rtpb", "admission rejected object %u: %s", spec.id,
+               admission_error_name(result.code()));
+    return result;
+  }
+  const bool inserted = store_.insert(spec);
+  RTPB_ASSERT(inserted);
+  metrics_.track_object(spec.id, spec.window(), spec.client_period);
+
+  // One periodic update-transmission task per admitted object (§4.3).
+  sync_update_tasks();
+  replicate_registration(spec.id);
+  RTPB_INFO("rtpb", "admitted object %u (r=%s)", spec.id,
+            admission_->update_period(spec.id).to_string().c_str());
+  return result;
+}
+
+AdmissionStatus ReplicaServer::add_constraint(const InterObjectConstraint& c) {
+  RTPB_EXPECTS(started_);
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  AdmissionStatus status = admission_->add_constraint(c);
+  if (status.ok()) {
+    replicated_constraints_.push_back(c);
+    sync_update_tasks();  // constraint may have tightened periods
+
+    // Replicate the constraint table to the backups (acked + retried like
+    // a registration, with no object entries).
+    if (!peers_.empty()) {
+      const std::uint64_t tid = next_transfer_id_++;
+      PendingTransfer& pending = pending_transfers_[tid];
+      for (const net::Endpoint& peer : peers_) pending.awaiting.insert(peer.node);
+      wire::StateTransfer st;
+      st.transfer_id = tid;
+      st.constraints = replicated_constraints_;
+      const Bytes payload = wire::encode(st);
+      for (const net::Endpoint& peer : peers_) send_to(peer, payload);
+      if (!transfer_retry_.pending()) {
+        transfer_retry_ = sim_.schedule_after(config_.ping_period * 2,
+                                              [this] { retry_pending_registrations(); });
+      }
+    }
+  }
+  return status;
+}
+
+void ReplicaServer::local_write(ObjectId id, Bytes value, const sched::JobInfo& info) {
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  if (!store_.contains(id)) return;  // racing a failed registration
+  store_.write(id, std::move(value), info.finish);
+  metrics_.record_response(info.finish - info.release);
+  metrics_.on_primary_write(id, info.finish);
+
+  // Window-consistent baseline: each write immediately queues its own
+  // transmission job (coupled), instead of the decoupled periodic tasks.
+  if (config_.update_scheduling == UpdateScheduling::kCoupled && !peers_.empty() &&
+      cpu_.started()) {
+    const Duration cost = store_.get(id).spec.update_exec;
+    cpu_.submit_job("xmit-now-" + std::to_string(id), cost,
+                    [this, id](const sched::JobInfo&) { send_update(id, false); });
+  }
+}
+
+std::optional<ObjectState> ReplicaServer::read(ObjectId id) const { return store_.find(id); }
+
+// ---------------------------------------------------------------------------
+// Update transmission (primary side).
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::sync_update_tasks() {
+  if (role_ != Role::kPrimary || peers_.empty()) return;
+  if (config_.update_scheduling == UpdateScheduling::kCoupled) return;  // per-write sends
+  for (const auto& [id, period] : admission_->update_periods()) {
+    auto it = update_tasks_.find(id);
+    if (it != update_tasks_.end() && it->second.period == period) continue;
+    if (it != update_tasks_.end()) cpu_.remove_task(it->second.task);
+
+    sched::TaskSpec task;
+    task.name = "xmit-" + std::to_string(id);
+    task.period = period;
+    task.wcet = store_.contains(id) ? store_.get(id).spec.update_exec : millis(1);
+    const ObjectId obj = id;
+    const sched::TaskId tid = cpu_.add_task(
+        task, [this, obj](const sched::JobInfo&) { send_update(obj, /*retransmission=*/false); });
+    update_tasks_[id] = UpdateTaskState{tid, period};
+  }
+  // Drop tasks for objects no longer admitted.
+  for (auto it = update_tasks_.begin(); it != update_tasks_.end();) {
+    if (!admission_->update_periods().contains(it->first)) {
+      cpu_.remove_task(it->second.task);
+      it = update_tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReplicaServer::send_update(ObjectId id, bool retransmission) {
+  if (crashed_ || peers_.empty() || !store_.contains(id)) return;
+  const ObjectState& state = store_.get(id);
+  if (state.version == 0) return;  // nothing written yet
+
+  ++updates_sent_;
+  if (retransmission) ++retransmissions_;
+
+  // §5 methodology: loss injected on the update stream itself (the paper's
+  // "probability of message loss from the primary to the backup").
+  if (rng_.bernoulli(config_.update_loss_probability)) {
+    ++updates_loss_injected_;
+  } else {
+    wire::Update u;
+    u.object = id;
+    u.version = state.version;
+    u.timestamp = state.origin_timestamp;
+    u.retransmission = retransmission;
+    u.value = state.value;
+    const Bytes payload = wire::encode(u);
+    for (const net::Endpoint& peer : peers_) send_to(peer, payload);
+  }
+
+  if (config_.ack_every_update && !retransmission) arm_ack_timeout(id, state.version);
+}
+
+void ReplicaServer::arm_ack_timeout(ObjectId id, std::uint64_t version) {
+  auto task_it = update_tasks_.find(id);
+  const Duration period =
+      task_it != update_tasks_.end() ? task_it->second.period : config_.ping_period;
+  AckState& ack = ack_state_[id];
+  ack.timeout.cancel();
+  ack.timeout = sim_.schedule_after(period * config_.ack_timeout_periods, [this, id, version] {
+    auto it = ack_state_.find(id);
+    if (it == ack_state_.end() || it->second.acked_version >= version) return;
+    RTPB_DEBUG("rtpb", "update %u v%llu unacked; retransmitting", id,
+               static_cast<unsigned long long>(version));
+    send_update(id, /*retransmission=*/true);
+    arm_ack_timeout(id, version);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Registration replication.
+// ---------------------------------------------------------------------------
+
+Duration ReplicaServer::effective_update_interval(ObjectId id) const {
+  if (config_.update_scheduling == UpdateScheduling::kCoupled) {
+    return store_.get(id).spec.client_period;
+  }
+  return admission_->update_period(id);
+}
+
+void ReplicaServer::replicate_registration(ObjectId id) {
+  if (peers_.empty()) return;
+  const std::uint64_t tid = next_transfer_id_++;
+  PendingTransfer& pending = pending_transfers_[tid];
+  pending.ids = {id};
+  for (const net::Endpoint& peer : peers_) pending.awaiting.insert(peer.node);
+
+  wire::StateTransfer st;
+  st.transfer_id = tid;
+  const ObjectState& state = store_.get(id);
+  wire::StateEntry entry;
+  entry.spec = state.spec;
+  entry.update_period = effective_update_interval(id);
+  entry.version = state.version;
+  entry.timestamp = state.origin_timestamp;
+  entry.value = state.value;
+  st.entries.push_back(std::move(entry));
+  st.constraints = replicated_constraints_;
+
+  const Bytes payload = wire::encode(st);
+  for (const net::Endpoint& peer : peers_) send_to(peer, payload);
+  if (!transfer_retry_.pending()) {
+    transfer_retry_ =
+        sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
+  }
+}
+
+void ReplicaServer::retry_pending_registrations() {
+  if (crashed_ || peers_.empty() || pending_transfers_.empty()) return;
+  for (const auto& [tid, pending] : pending_transfers_) {
+    wire::StateTransfer st;
+    st.transfer_id = tid;
+    for (ObjectId id : pending.ids) {
+      if (!store_.contains(id)) continue;
+      const ObjectState& state = store_.get(id);
+      wire::StateEntry entry;
+      entry.spec = state.spec;
+      entry.update_period = effective_update_interval(id);
+      entry.version = state.version;
+      entry.timestamp = state.origin_timestamp;
+      entry.value = state.value;
+      st.entries.push_back(std::move(entry));
+    }
+    st.constraints = replicated_constraints_;
+    const Bytes payload = wire::encode(st);
+    // Only peers that have not acknowledged yet need the retry.
+    for (const net::Endpoint& peer : peers_) {
+      if (pending.awaiting.contains(peer.node)) send_to(peer, payload);
+    }
+  }
+  transfer_retry_ =
+      sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
+}
+
+// ---------------------------------------------------------------------------
+// Failover.
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::promote() {
+  RTPB_EXPECTS(role_ == Role::kBackup);
+  RTPB_EXPECTS(!crashed_);
+  role_ = Role::kPrimary;
+  promoted_at_ = sim_.now();
+  if (sim_.trace().enabled()) {
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kService, "promote",
+                        "node" + std::to_string(node()));
+  }
+  if (detector_) detector_->stop();
+  for (auto& [id, w] : watchdogs_) w.timer.cancel();
+  watchdogs_.clear();
+  peers_.clear();  // the old primary is gone
+
+  // Rewrite the name file to point clients at us (§4.4).
+  names_.publish(service_name_, endpoint());
+
+  // Rebuild admission state from the replicated specs so the service can
+  // keep enforcing temporal constraints for new registrations.
+  Duration ell = admission_ ? admission_->link_delay_bound() : Duration::zero();
+  admission_ = std::make_unique<AdmissionController>(config_, ell);
+  store_.for_each([this](const ObjectState& state) {
+    const AdmissionResult r = admission_->admit(state.spec);
+    if (!r.ok()) {
+      RTPB_WARN("rtpb", "object %u no longer admissible after failover: %s", state.spec.id,
+                admission_error_name(r.code()));
+    }
+  });
+  for (const auto& c : replicated_constraints_) (void)admission_->add_constraint(c);
+
+  RTPB_INFO("rtpb", "backup promoted to primary at %s", sim_.now().to_string().c_str());
+  // Bring up the local (backup) client application via up-call.
+  if (hooks_.on_promoted) hooks_.on_promoted();
+}
+
+void ReplicaServer::follow_new_primary(net::Endpoint new_primary) {
+  RTPB_EXPECTS(role_ == Role::kBackup);
+  RTPB_EXPECTS(!crashed_);
+  if (detector_) detector_->stop();
+  peers_.clear();
+  peers_.push_back(new_primary);
+  start_heartbeat();
+  RTPB_INFO("rtpb", "backup@node%u now follows primary at node%u", node(), new_primary.node);
+}
+
+void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  RTPB_EXPECTS(!crashed_);
+  if (std::find(peers_.begin(), peers_.end(), new_backup) == peers_.end()) {
+    peers_.push_back(new_backup);
+  }
+
+  const std::uint64_t tid = next_transfer_id_++;
+  std::vector<ObjectId> ids = store_.ids();
+  PendingTransfer& pending = pending_transfers_[tid];
+  pending.ids = ids;
+  pending.awaiting.insert(new_backup.node);
+
+  wire::StateTransfer st;
+  st.transfer_id = tid;
+  for (ObjectId id : ids) {
+    const ObjectState& state = store_.get(id);
+    wire::StateEntry entry;
+    entry.spec = state.spec;
+    entry.update_period = effective_update_interval(id);
+    entry.version = state.version;
+    entry.timestamp = state.origin_timestamp;
+    entry.value = state.value;
+    st.entries.push_back(std::move(entry));
+  }
+  st.constraints = replicated_constraints_;
+  send_to(new_backup, wire::encode(st));
+  if (!transfer_retry_.pending()) {
+    transfer_retry_ =
+        sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message handling.
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::send_to(net::Endpoint to, Bytes payload) {
+  if (crashed_) return;
+  if (frag_) {
+    xkernel::Message msg{std::move(payload)};
+    xkernel::MsgAttrs attrs;
+    attrs.src = endpoint();
+    attrs.dst = to;
+    frag_->push(msg, attrs);
+  } else {
+    stack_.send_datagram(kRtpbPort, to, std::move(payload));
+  }
+}
+
+void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttrs& attrs) {
+  if (crashed_) return;
+  const auto decoded = wire::decode(msg.contents());
+  if (!decoded) {
+    RTPB_WARN("rtpb", "undecodable RTPB message from node%u; dropped", attrs.src.node);
+    return;
+  }
+  const net::Endpoint from = attrs.src;
+  if (detector_) detector_->note_traffic();
+
+  switch (decoded->type) {
+    case wire::MsgType::kUpdate:
+      handle_update(*decoded->update, from);
+      break;
+    case wire::MsgType::kUpdateAck:
+      handle_update_ack(*decoded->update_ack);
+      break;
+    case wire::MsgType::kRetransmitRequest:
+      handle_retransmit_request(*decoded->retransmit, from);
+      break;
+    case wire::MsgType::kPing:
+      handle_ping(*decoded->ping, from);
+      break;
+    case wire::MsgType::kPingAck:
+      handle_ping_ack(*decoded->ping_ack);
+      break;
+    case wire::MsgType::kStateTransfer:
+      handle_state_transfer(*decoded->state_transfer, from);
+      break;
+    case wire::MsgType::kStateTransferAck:
+      handle_state_transfer_ack(*decoded->state_transfer_ack, from);
+      break;
+    case wire::MsgType::kActivePrepare:
+    case wire::MsgType::kActiveAck:
+      // Active-replication traffic never targets an RTPB replica.
+      RTPB_WARN("rtpb", "unexpected active-replication message; dropped");
+      break;
+  }
+}
+
+void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
+  if (!store_.contains(u.object)) {
+    // Registration hasn't reached us yet; the acked transfer will retry.
+    ++stale_updates_;
+    return;
+  }
+  const bool applied = store_.apply(u.object, u.version, u.timestamp, u.value, sim_.now());
+  if (applied) {
+    ++updates_applied_;
+    metrics_.on_backup_apply(u.object, u.timestamp, sim_.now());
+  } else {
+    ++stale_updates_;
+  }
+  arm_watchdog(u.object);
+  if (config_.ack_every_update) {
+    ++acks_sent_;
+    send_to(from, wire::encode(wire::UpdateAck{u.object, u.version}));
+  }
+}
+
+void ReplicaServer::handle_update_ack(const wire::UpdateAck& a) {
+  auto it = ack_state_.find(a.object);
+  if (it == ack_state_.end()) {
+    ack_state_[a.object].acked_version = a.version;
+    return;
+  }
+  it->second.acked_version = std::max(it->second.acked_version, a.version);
+}
+
+void ReplicaServer::handle_retransmit_request(const wire::RetransmitRequest& r,
+                                              net::Endpoint /*from*/) {
+  if (role_ != Role::kPrimary) return;
+  if (!store_.contains(r.object)) return;
+  if (store_.get(r.object).version <= r.have_version) return;  // backup is current
+  // Serving a retransmission costs CPU like a regular transmission, but at
+  // background priority: it must not perturb the admitted periodic tasks.
+  const ObjectId id = r.object;
+  const Duration cost = store_.get(id).spec.update_exec;
+  if (cpu_.started()) {
+    cpu_.submit_job("retx-" + std::to_string(id), cost, [this, id](const sched::JobInfo&) {
+      send_update(id, /*retransmission=*/true);
+    });
+  } else {
+    send_update(id, /*retransmission=*/true);
+  }
+}
+
+void ReplicaServer::handle_ping(const wire::Ping& p, net::Endpoint from) {
+  send_to(from, wire::encode(wire::PingAck{p.seq}));
+}
+
+void ReplicaServer::handle_ping_ack(const wire::PingAck& p) {
+  if (detector_) detector_->on_ping_ack(p.seq);
+}
+
+void ReplicaServer::handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from) {
+  for (const auto& entry : st.entries) {
+    if (!store_.contains(entry.spec.id)) {
+      store_.insert(entry.spec);
+      metrics_.track_object(entry.spec.id, entry.spec.window(), entry.spec.client_period);
+    }
+    if (entry.version > 0) {
+      if (store_.apply(entry.spec.id, entry.version, entry.timestamp, entry.value, sim_.now())) {
+        metrics_.on_backup_apply(entry.spec.id, entry.timestamp, sim_.now());
+      }
+    }
+    WatchdogState& w = watchdogs_[entry.spec.id];
+    w.expected_period = entry.update_period;
+    arm_watchdog(entry.spec.id);
+  }
+  replicated_constraints_ = st.constraints;
+  send_to(from, wire::encode(wire::StateTransferAck{st.transfer_id}));
+}
+
+void ReplicaServer::handle_state_transfer_ack(const wire::StateTransferAck& ack,
+                                              net::Endpoint from) {
+  auto it = pending_transfers_.find(ack.transfer_id);
+  if (it == pending_transfers_.end()) return;
+  it->second.awaiting.erase(from.node);
+  const bool was_pending = it->second.awaiting.empty();
+  if (was_pending) pending_transfers_.erase(it);
+  if (was_pending && pending_transfers_.empty()) transfer_retry_.cancel();
+  if (was_pending && role_ == Role::kPrimary && !peers_.empty()) {
+    // Recruited backup (or fresh registration) confirmed: (re)start
+    // replication machinery.
+    sync_update_tasks();
+    if (!detector_ || !detector_->running()) start_heartbeat();
+    if (hooks_.on_backup_recruited) hooks_.on_backup_recruited();
+  }
+}
+
+void ReplicaServer::arm_watchdog(ObjectId id) {
+  if (role_ != Role::kBackup) return;
+  auto it = watchdogs_.find(id);
+  if (it == watchdogs_.end()) return;
+  WatchdogState& w = it->second;
+  if (w.expected_period <= Duration::zero()) return;
+  w.timer.cancel();
+  w.timer = sim_.schedule_after(w.expected_period * config_.watchdog_factor, [this, id] {
+    if (crashed_ || role_ != Role::kBackup) return;
+    const auto state = store_.find(id);
+    if (!state) return;
+    ++nacks_sent_;
+    if (!peers_.empty()) {
+      send_to(peers_.front(), wire::encode(wire::RetransmitRequest{id, state->version}));
+    }
+    arm_watchdog(id);
+  });
+}
+
+}  // namespace rtpb::core

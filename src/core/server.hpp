@@ -1,0 +1,230 @@
+// The RTPB replica server — the paper's primary and backup servers in one
+// role-switching class (a backup *becomes* the primary at failover, §4.4).
+//
+// As PRIMARY it:
+//   - accepts client registrations through admission control (§4.2),
+//   - hosts the client application's periodic update tasks on its CPU,
+//   - runs one periodic update-transmission task per admitted object
+//     (period r_i from admission; normal or compressed scheduling, §4.3),
+//   - replicates registrations to the backup via acknowledged state
+//     transfer, answers retransmission requests, optionally tracks
+//     per-update acks (ablation mode),
+//   - exchanges heartbeats with the backup.
+//
+// As BACKUP it:
+//   - applies UPDATE messages to its object store,
+//   - runs a per-object watchdog that requests retransmission when the
+//     update stream stalls (§4.3: "retransmission is triggered by a
+//     request from the backup"),
+//   - exchanges heartbeats with the primary and, when the primary is
+//     declared dead, promotes itself: rewrites the name-service entry,
+//     activates the local (backup) client application, and can recruit a
+//     fresh backup via full state transfer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/heartbeat.hpp"
+#include "core/metrics.hpp"
+#include "core/name_service.hpp"
+#include "core/object_store.hpp"
+#include "core/types.hpp"
+#include "core/wire.hpp"
+#include "net/network.hpp"
+#include "sched/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "xkernel/fraglite.hpp"
+#include "xkernel/graph.hpp"
+
+namespace rtpb::core {
+
+/// UDP port the RTPB anchor protocol binds on every replica.
+inline constexpr net::Port kRtpbPort = 5000;
+
+enum class Role { kPrimary, kBackup };
+[[nodiscard]] inline const char* role_name(Role r) {
+  return r == Role::kPrimary ? "primary" : "backup";
+}
+
+class ReplicaServer {
+ public:
+  struct Hooks {
+    /// Fired when this (backup) server promotes itself to primary.
+    std::function<void()> on_promoted;
+    /// Fired on the new primary when a recruited backup acknowledged the
+    /// full state transfer and replication is re-established.
+    std::function<void()> on_backup_recruited;
+    /// Fired on a backup that detected the primary's death but is NOT the
+    /// designated successor (multi-backup deployments): it should re-peer
+    /// with the new primary once the name service is rewritten.
+    std::function<void()> on_primary_lost;
+  };
+
+  ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
+                ServiceConfig config, Metrics& metrics, Role role, std::string service_name);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  [[nodiscard]] net::NodeId node() const { return stack_.node(); }
+  [[nodiscard]] net::Endpoint endpoint() const { return {node(), kRtpbPort}; }
+  [[nodiscard]] Role role() const { return role_; }
+  [[nodiscard]] sched::Cpu& cpu() { return cpu_; }
+  [[nodiscard]] const ObjectStore& store() const { return store_; }
+  [[nodiscard]] const AdmissionController& admission() const { return *admission_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Fault injection: change the §5 injected update-loss probability at
+  /// runtime (applies to subsequent update transmissions).
+  void set_update_loss_probability(double p) {
+    RTPB_EXPECTS(p >= 0.0 && p <= 1.0);
+    config_.update_loss_probability = p;
+  }
+
+  /// Primary: the backup(s) updates replicate to.  The first entry is the
+  /// heartbeat partner / failover successor.
+  void add_peer(net::Endpoint peer);
+  [[nodiscard]] const std::vector<net::Endpoint>& peers() const { return peers_; }
+
+  /// Start serving: publish the name (primary), start CPU and heartbeats.
+  void start();
+  /// Crash the server: halts the CPU, closes the port, marks the node
+  /// down.  Used for failure injection.
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  // ---- client-facing interface (Mach IPC in the paper; a co-located
+  // ---- call here).  Valid only while role() == kPrimary.
+  AdmissionResult register_object(const ObjectSpec& spec);
+  AdmissionStatus add_constraint(const InterObjectConstraint& c);
+  /// Record a client write that completed at `info.finish` (the client
+  /// app's CPU job callback funnels here).
+  void local_write(ObjectId id, Bytes value, const sched::JobInfo& info);
+  /// Read an object (either role; failover reads come through here).
+  [[nodiscard]] std::optional<ObjectState> read(ObjectId id) const;
+
+  // ---- failover ----
+  /// Backup only: promote to primary immediately (normally triggered by
+  /// the failure detector; exposed for drills).
+  void promote();
+  /// New primary: establish a (further) backup by full state transfer.
+  /// Existing peers are kept; the new endpoint is appended if absent.
+  void recruit_backup(net::Endpoint new_backup);
+  /// Backup: whether this replica promotes itself when the primary dies
+  /// (the designated successor) or defers via Hooks::on_primary_lost.
+  void set_successor(bool is_successor) { successor_ = is_successor; }
+  [[nodiscard]] bool is_successor() const { return successor_; }
+  /// Backup (non-successor, after failover): forget the dead primary and
+  /// follow `new_primary` instead; restarts the heartbeat.
+  void follow_new_primary(net::Endpoint new_primary);
+
+  // ---- introspection / stats ----
+  [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
+  [[nodiscard]] std::uint64_t updates_loss_injected() const { return updates_loss_injected_; }
+  [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
+  [[nodiscard]] std::uint64_t stale_updates() const { return stale_updates_; }
+  [[nodiscard]] std::uint64_t retransmit_requests_sent() const { return nacks_sent_; }
+  [[nodiscard]] std::uint64_t retransmissions_served() const { return retransmissions_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] const FailureDetector& detector() const { return *detector_; }
+  /// The FRAGLITE layer, or nullptr when fragmentation is disabled.
+  [[nodiscard]] const xkernel::FragLite* frag() const { return frag_.get(); }
+  [[nodiscard]] TimePoint promoted_at() const { return promoted_at_; }
+
+ private:
+  struct UpdateTaskState {
+    sched::TaskId task = sched::kInvalidTask;
+    Duration period{};
+  };
+  /// Primary-side per-object ack bookkeeping (ack_every_update mode).
+  struct AckState {
+    std::uint64_t acked_version = 0;
+    sim::EventHandle timeout;
+  };
+  /// Backup-side per-object watchdog.
+  struct WatchdogState {
+    Duration expected_period{};
+    sim::EventHandle timer;
+  };
+
+  void handle_message(xkernel::Message& msg, const xkernel::MsgAttrs& attrs);
+  void handle_update(const wire::Update& u, net::Endpoint from);
+  void handle_update_ack(const wire::UpdateAck& a);
+  void handle_retransmit_request(const wire::RetransmitRequest& r, net::Endpoint from);
+  void handle_ping(const wire::Ping& p, net::Endpoint from);
+  void handle_ping_ack(const wire::PingAck& p);
+  void handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from);
+  void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
+
+  void send_to(net::Endpoint to, Bytes payload);
+  void send_update(ObjectId id, bool retransmission);
+  /// Reconcile CPU update tasks with admission's current period table
+  /// (periods move under compressed scheduling and constraint tightening).
+  void sync_update_tasks();
+  /// Replicate a new registration to all peers (retried until acked).
+  void replicate_registration(ObjectId id);
+  void retry_pending_registrations();
+  void arm_watchdog(ObjectId id);
+  /// The interval at which the backup should expect updates for `id`: the
+  /// admitted transmission period, or the client period in coupled mode.
+  [[nodiscard]] Duration effective_update_interval(ObjectId id) const;
+  void arm_ack_timeout(ObjectId id, std::uint64_t version);
+  void start_heartbeat();
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  NameService& names_;
+  ServiceConfig config_;
+  Metrics& metrics_;
+  Role role_;
+  std::string service_name_;
+
+  xkernel::HostStack stack_;
+  std::unique_ptr<xkernel::FragLite> frag_;  ///< null when fragmentation is off
+  sched::Cpu cpu_;
+  ObjectStore store_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<FailureDetector> detector_;
+  Hooks hooks_;
+
+  std::vector<net::Endpoint> peers_;
+  std::vector<InterObjectConstraint> replicated_constraints_;
+  std::map<ObjectId, UpdateTaskState> update_tasks_;
+  std::map<ObjectId, AckState> ack_state_;
+  std::map<ObjectId, WatchdogState> watchdogs_;
+
+  /// Registrations / state transfers not yet acknowledged by every peer.
+  struct PendingTransfer {
+    std::vector<ObjectId> ids;
+    std::set<net::NodeId> awaiting;
+  };
+  std::map<std::uint64_t, PendingTransfer> pending_transfers_;
+  std::uint64_t next_transfer_id_ = 1;
+  sim::EventHandle transfer_retry_;
+
+  bool started_ = false;
+  bool crashed_ = false;
+  bool successor_ = true;
+  TimePoint promoted_at_{};
+
+  Rng rng_{0};
+  std::uint64_t updates_sent_ = 0;
+  std::uint64_t updates_loss_injected_ = 0;
+  std::uint64_t updates_applied_ = 0;
+  std::uint64_t stale_updates_ = 0;
+  std::uint64_t nacks_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+}  // namespace rtpb::core

@@ -1,0 +1,120 @@
+#include "core/service.hpp"
+
+#include "util/log.hpp"
+
+namespace rtpb::core {
+
+RtpbService::RtpbService(ServiceParams params)
+    : params_(std::move(params)), sim_(params_.seed), network_(sim_) {
+  RTPB_EXPECTS(params_.backup_count >= 1);
+  primary_ = std::make_unique<ReplicaServer>(sim_, network_, names_, params_.config, metrics_,
+                                             Role::kPrimary, params_.service_name);
+  for (std::size_t i = 0; i < params_.backup_count; ++i) {
+    auto backup = std::make_unique<ReplicaServer>(sim_, network_, names_, params_.config,
+                                                  metrics_, Role::kBackup, params_.service_name);
+    network_.connect(primary_->node(), backup->node(), params_.link);
+    primary_->add_peer(backup->endpoint());
+    backup->add_peer(primary_->endpoint());
+    backup->set_successor(i == 0);
+    backups_.push_back(std::move(backup));
+  }
+  // Backups must be able to reach each other after a failover.
+  for (std::size_t i = 0; i < backups_.size(); ++i) {
+    for (std::size_t j = i + 1; j < backups_.size(); ++j) {
+      network_.connect(backups_[i]->node(), backups_[j]->node(), params_.link);
+    }
+  }
+
+  client_ = std::make_unique<ClientApp>(sim_, *primary_, sim_.rng().fork(), /*active=*/true);
+  backup_client_ =
+      std::make_unique<ClientApp>(sim_, *backups_.front(), sim_.rng().fork(), /*active=*/false);
+
+  wire_backup_hooks();
+}
+
+void RtpbService::wire_backup_hooks() {
+  // Successor: on promotion, activate its local client twin and recruit
+  // every other surviving backup.
+  ReplicaServer::Hooks successor_hooks;
+  successor_hooks.on_promoted = [this] {
+    backup_client_->activate();
+    for (auto& b : backups_) {
+      if (b.get() == backups_.front().get()) continue;
+      if (b->crashed()) continue;
+      backups_.front()->recruit_backup(b->endpoint());
+    }
+  };
+  backups_.front()->set_hooks(std::move(successor_hooks));
+
+  // Non-successors: when they lose the primary, follow whoever the name
+  // service points at once it changes.
+  const net::Endpoint original_primary = primary_->endpoint();
+  for (std::size_t i = 1; i < backups_.size(); ++i) {
+    ReplicaServer* b = backups_[i].get();
+    ReplicaServer::Hooks hooks;
+    hooks.on_primary_lost = [this, b, original_primary] {
+      repoint_backup(*b, original_primary);
+    };
+    b->set_hooks(std::move(hooks));
+  }
+}
+
+void RtpbService::repoint_backup(ReplicaServer& backup, net::Endpoint dead_primary) {
+  if (backup.crashed()) return;
+  const auto addr = names_.lookup(params_.service_name);
+  if (addr && *addr != dead_primary && addr->node != backup.node()) {
+    backup.follow_new_primary(*addr);
+    return;
+  }
+  // Successor hasn't rewritten the name file yet: retry shortly.
+  sim_.schedule_after(params_.config.ping_period,
+                      [this, &backup, dead_primary] { repoint_backup(backup, dead_primary); });
+}
+
+void RtpbService::start() {
+  RTPB_EXPECTS(!started_);
+  started_ = true;
+  primary_->start();
+  for (auto& b : backups_) b->start();
+}
+
+void RtpbService::run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+void RtpbService::warm_up(Duration d) {
+  run_for(d);
+  metrics_.reset_statistics();
+}
+
+void RtpbService::finish() { metrics_.finish(sim_.now()); }
+
+void RtpbService::crash_primary() { primary_->crash(); }
+
+void RtpbService::crash_backup() { backups_.front()->crash(); }
+
+ReplicaServer& RtpbService::acting_primary() {
+  if (!primary_->crashed() && primary_->role() == Role::kPrimary) return *primary_;
+  for (auto& b : backups_) {
+    if (!b->crashed() && b->role() == Role::kPrimary) return *b;
+  }
+  if (standby_ && standby_->role() == Role::kPrimary) return *standby_;
+  return *primary_;
+}
+
+ReplicaServer& RtpbService::add_standby() {
+  RTPB_EXPECTS(standby_ == nullptr);
+  standby_ = std::make_unique<ReplicaServer>(sim_, network_, names_, params_.config, metrics_,
+                                             Role::kBackup, params_.service_name);
+  ReplicaServer& new_primary = acting_primary();
+  network_.connect(new_primary.node(), standby_->node(), params_.link);
+  standby_->add_peer(new_primary.endpoint());
+  standby_->start();
+  new_primary.recruit_backup(standby_->endpoint());
+  return *standby_;
+}
+
+Duration RtpbService::link_delay_bound() const {
+  auto p = network_.link_params(primary_->node(), backups_.front()->node());
+  return p ? p->delay_bound(1024) : Duration::zero();
+}
+
+}  // namespace rtpb::core

@@ -1,0 +1,104 @@
+// RtpbService — the public facade.  Assembles the full system of the
+// paper's Figure 5 on a simulated two-host LAN: a primary server with a
+// co-located client application, a backup server with a standby client
+// twin, the x-kernel protocol stacks, the name service, and the shared
+// metrics recorder.  Examples and benches drive experiments through this
+// type alone.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/metrics.hpp"
+#include "core/name_service.hpp"
+#include "core/server.hpp"
+#include "core/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtpb::core {
+
+struct ServiceParams {
+  std::uint64_t seed = 1;
+  net::LinkParams link;           ///< primary↔backup link characteristics
+  ServiceConfig config;
+  std::string service_name = "rtpb-service";
+  /// Number of backup replicas (paper future work: "support for multiple
+  /// backups").  The first backup is the designated failover successor;
+  /// further backups re-peer with the new primary after a failover.
+  std::size_t backup_count = 1;
+};
+
+class RtpbService {
+ public:
+  explicit RtpbService(ServiceParams params);
+
+  RtpbService(const RtpbService&) = delete;
+  RtpbService& operator=(const RtpbService&) = delete;
+
+  /// Start both servers and heartbeats.  Call before registering objects.
+  void start();
+
+  /// Advance virtual time by `d`.
+  void run_for(Duration d);
+  /// Advance by `d`, then discard all metrics gathered so far (warm-up).
+  void warm_up(Duration d);
+  /// Close open inconsistency intervals at the current instant (call once
+  /// at the end of an experiment, before reading metrics).
+  void finish();
+
+  // ---- workload ----
+  AdmissionResult register_object(const ObjectSpec& spec) { return client_->add_object(spec); }
+  AdmissionStatus add_constraint(const InterObjectConstraint& c) {
+    return client_->add_constraint(c);
+  }
+
+  // ---- failure injection / failover ----
+  void crash_primary();
+  void crash_backup();
+  /// Create a fresh standby host wired to the current primary, have the
+  /// primary recruit it, and return it.  Models §4.4's "waits to recruit a
+  /// new backup".
+  ReplicaServer& add_standby();
+
+  /// The server currently acting as primary (changes after failover).
+  [[nodiscard]] ReplicaServer& acting_primary();
+
+  // ---- accessors ----
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] NameService& names() { return names_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] ReplicaServer& primary() { return *primary_; }
+  /// The designated-successor backup (first of backups()).
+  [[nodiscard]] ReplicaServer& backup() { return *backups_.front(); }
+  [[nodiscard]] std::vector<std::unique_ptr<ReplicaServer>>& backups() { return backups_; }
+  [[nodiscard]] ClientApp& client() { return *client_; }
+  [[nodiscard]] ClientApp& backup_client() { return *backup_client_; }
+  /// The standby created by add_standby(), or nullptr before that.
+  [[nodiscard]] ReplicaServer* standby() { return standby_.get(); }
+  [[nodiscard]] const ServiceParams& params() const { return params_; }
+  /// Delay bound ℓ of the replication link as admission control sees it.
+  [[nodiscard]] Duration link_delay_bound() const;
+
+ private:
+  ServiceParams params_;
+  sim::Simulator sim_;
+  net::Network network_;
+  NameService names_;
+  Metrics metrics_;
+  std::unique_ptr<ReplicaServer> primary_;
+  std::vector<std::unique_ptr<ReplicaServer>> backups_;
+  std::unique_ptr<ClientApp> client_;
+  std::unique_ptr<ClientApp> backup_client_;
+  std::unique_ptr<ReplicaServer> standby_;
+  bool started_ = false;
+
+  void wire_backup_hooks();
+  /// Non-successor backup lost the primary: poll the name service until
+  /// the successor has published itself, then follow it.
+  void repoint_backup(ReplicaServer& backup, net::Endpoint dead_primary);
+};
+
+}  // namespace rtpb::core

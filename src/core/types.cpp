@@ -1,0 +1,18 @@
+#include "core/types.hpp"
+
+namespace rtpb::core {
+
+const char* admission_error_name(AdmissionError e) {
+  switch (e) {
+    case AdmissionError::kInvalidSpec: return "invalid-spec";
+    case AdmissionError::kPeriodExceedsDelta: return "period-exceeds-delta";
+    case AdmissionError::kWindowTooSmall: return "window-too-small";
+    case AdmissionError::kUnschedulable: return "unschedulable";
+    case AdmissionError::kInterObjectViolation: return "inter-object-violation";
+    case AdmissionError::kUnknownObject: return "unknown-object";
+    case AdmissionError::kDuplicate: return "duplicate-object";
+  }
+  return "?";
+}
+
+}  // namespace rtpb::core

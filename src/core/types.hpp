@@ -1,0 +1,120 @@
+// Object model and service-level configuration for the RTPB replication
+// service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/cpu.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::core {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kInvalidObject = 0xFFFFFFFF;
+
+/// What a client declares when registering an object with the service
+/// (paper §4.2): its update period, execution costs, and the external
+/// temporal constraints at the primary and at the backup.
+struct ObjectSpec {
+  ObjectId id = kInvalidObject;
+  std::string name;
+  std::uint32_t size_bytes = 64;   ///< payload size of one update
+
+  Duration client_period{};        ///< p_i: client sensing/update period
+  Duration client_exec{};          ///< e_i: cost of one client update job
+  Duration update_exec{};          ///< e'_i: cost of one backup-transmission job
+
+  Duration delta_primary{};        ///< δ_iP: external constraint at the primary
+  Duration delta_backup{};         ///< δ_iB: external constraint at the backup
+
+  /// Window of inconsistency between primary and backup: δ_i = δ_iB − δ_iP.
+  [[nodiscard]] Duration window() const { return delta_backup - delta_primary; }
+};
+
+/// Inter-object temporal constraint δ_ij between two registered objects
+/// (paper §3): |T_j(t) − T_i(t)| ≤ δ_ij must hold at both sites.
+struct InterObjectConstraint {
+  ObjectId first = kInvalidObject;
+  ObjectId second = kInvalidObject;
+  Duration delta{};
+};
+
+/// How the primary schedules update transmissions to the backup (§4.3,
+/// §5.3).  Normal derives each period from the object's window; compressed
+/// sends as often as spare CPU capacity allows; coupled is the
+/// window-consistent baseline (Mehra et al.) the paper contrasts with —
+/// every client write triggers a transmission job, so backup traffic
+/// scales with the write rate instead of the window.
+enum class UpdateScheduling { kNormal, kCompressed, kCoupled };
+
+/// Admission-control outcomes, exposed so rejected clients can negotiate
+/// an alternative quality of service (paper §4.2).
+enum class AdmissionError {
+  kInvalidSpec,            ///< malformed object parameters
+  kPeriodExceedsDelta,     ///< p_i > δ_iP: client updates too slow for the constraint
+  kWindowTooSmall,         ///< δ_iB − δ_iP ≤ ℓ: cannot out-run the network delay
+  kUnschedulable,          ///< update task set fails the RM schedulability test
+  kInterObjectViolation,   ///< δ_ij constraint unsatisfiable with these periods
+  kUnknownObject,          ///< inter-object constraint names an unregistered object
+  kDuplicate,              ///< object id already registered
+};
+
+[[nodiscard]] const char* admission_error_name(AdmissionError e);
+
+/// Service-level configuration shared by primary and backup.
+struct ServiceConfig {
+  sched::Policy cpu_policy = sched::Policy::kRateMonotonic;
+  UpdateScheduling update_scheduling = UpdateScheduling::kNormal;
+  /// Slack factor applied to the §4.3 transmission period: period =
+  /// (δ_i − ℓ) / slack_factor.  The paper uses 2 to ride out one loss.
+  std::int64_t slack_factor = 2;
+  /// Experiment knob: force every object's transmission period to this
+  /// value (bypasses the window formula; still subject to inter-object
+  /// tightening).  Zero disables.  Used by the consistency-frontier bench
+  /// to sweep r_i across the Theorem 4/5 boundary.
+  Duration update_period_override{};
+  /// Extension: additionally cap each transmission period with Lemma 2's
+  /// sufficient condition r ≤ (δ_B + e + e' − ℓ)/2 − p, which absorbs the
+  /// worst-case phase variance of both tasks.  The paper's §4.2 admission
+  /// (default, false) ignores v/v' and can suffer brief window violations
+  /// when the CPU runs near its admission bound — see
+  /// bench/abl_variance_admission.
+  bool variance_aware_admission = false;
+  /// Target CPU utilisation for compressed scheduling's update tasks.
+  double compressed_target_utilization = 0.85;
+  /// Probability that an UPDATE (or retransmission) from the primary is
+  /// dropped before reaching the wire.  This reproduces the paper's §5
+  /// methodology: loss is injected on the update stream while control
+  /// traffic (heartbeats, registration) still flows, so the service is
+  /// degraded, not partitioned.  Use net::LinkParams::loss_probability for
+  /// genuine link faults instead.
+  double update_loss_probability = 0.0;
+  /// Backup acknowledges every update (ablation A1); default off per §4.3.
+  bool ack_every_update = false;
+  /// Run RTPB above FRAGLITE so updates larger than the link MTU are
+  /// fragmented and reassembled (x-kernel BLAST's role).  Disabling it
+  /// makes >MTU objects silently unreplicable — see the object-size
+  /// supplementary experiment.
+  bool enable_fragmentation = true;
+  /// Payload bytes per fragment (header overhead rides on top; keep below
+  /// the link MTU minus ~50 bytes of stacked headers).
+  std::size_t fragment_payload = 1400;
+  /// Primary retransmits an unacked update after this many of the object's
+  /// transmission periods (only in ack mode).
+  std::int64_t ack_timeout_periods = 2;
+
+  // Failure detection (§4.4).
+  Duration ping_period = millis(100);
+  Duration ping_ack_timeout = millis(50);
+  std::uint32_t ping_max_misses = 3;
+
+  /// Backup requests retransmission after watchdog_factor × r_i without an
+  /// update for an object (§4.3 backup-triggered retransmission).
+  std::int64_t watchdog_factor = 3;
+
+  bool admission_control_enabled = true;
+};
+
+}  // namespace rtpb::core

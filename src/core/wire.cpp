@@ -1,0 +1,235 @@
+#include "core/wire.hpp"
+
+namespace rtpb::core::wire {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kUpdate: return "UPDATE";
+    case MsgType::kUpdateAck: return "UPDATE_ACK";
+    case MsgType::kRetransmitRequest: return "RETRANSMIT_REQ";
+    case MsgType::kPing: return "PING";
+    case MsgType::kPingAck: return "PING_ACK";
+    case MsgType::kStateTransfer: return "STATE_TRANSFER";
+    case MsgType::kStateTransferAck: return "STATE_TRANSFER_ACK";
+    case MsgType::kActivePrepare: return "ACTIVE_PREPARE";
+    case MsgType::kActiveAck: return "ACTIVE_ACK";
+  }
+  return "?";
+}
+
+namespace {
+
+void encode_spec(ByteWriter& w, const ObjectSpec& s) {
+  w.u32(s.id);
+  w.string(s.name);
+  w.u32(s.size_bytes);
+  w.duration(s.client_period);
+  w.duration(s.client_exec);
+  w.duration(s.update_exec);
+  w.duration(s.delta_primary);
+  w.duration(s.delta_backup);
+}
+
+ObjectSpec decode_spec(ByteReader& r) {
+  ObjectSpec s;
+  s.id = r.u32();
+  s.name = r.string();
+  s.size_bytes = r.u32();
+  s.client_period = r.duration();
+  s.client_exec = r.duration();
+  s.update_exec = r.duration();
+  s.delta_primary = r.duration();
+  s.delta_backup = r.duration();
+  return s;
+}
+
+}  // namespace
+
+Bytes encode(const Update& m) {
+  ByteWriter w(64 + m.value.size());
+  w.u8(static_cast<std::uint8_t>(MsgType::kUpdate));
+  w.u32(m.object);
+  w.u64(m.version);
+  w.timepoint(m.timestamp);
+  w.u8(m.retransmission ? 1 : 0);
+  w.bytes(m.value);
+  return std::move(w).take();
+}
+
+Bytes encode(const UpdateAck& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kUpdateAck));
+  w.u32(m.object);
+  w.u64(m.version);
+  return std::move(w).take();
+}
+
+Bytes encode(const RetransmitRequest& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kRetransmitRequest));
+  w.u32(m.object);
+  w.u64(m.have_version);
+  return std::move(w).take();
+}
+
+Bytes encode(const Ping& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kPing));
+  w.u64(m.seq);
+  return std::move(w).take();
+}
+
+Bytes encode(const PingAck& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kPingAck));
+  w.u64(m.seq);
+  return std::move(w).take();
+}
+
+Bytes encode(const StateTransfer& m) {
+  ByteWriter w(256);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStateTransfer));
+  w.u64(m.transfer_id);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    encode_spec(w, e.spec);
+    w.duration(e.update_period);
+    w.u64(e.version);
+    w.timepoint(e.timestamp);
+    w.bytes(e.value);
+  }
+  w.u32(static_cast<std::uint32_t>(m.constraints.size()));
+  for (const auto& c : m.constraints) {
+    w.u32(c.first);
+    w.u32(c.second);
+    w.duration(c.delta);
+  }
+  return std::move(w).take();
+}
+
+Bytes encode(const StateTransferAck& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kStateTransferAck));
+  w.u64(m.transfer_id);
+  return std::move(w).take();
+}
+
+Bytes encode(const ActivePrepare& m) {
+  ByteWriter w(48 + m.value.size());
+  w.u8(static_cast<std::uint8_t>(MsgType::kActivePrepare));
+  w.u64(m.sequence);
+  w.u32(m.object);
+  w.timepoint(m.timestamp);
+  w.bytes(m.value);
+  return std::move(w).take();
+}
+
+Bytes encode(const ActiveAck& m) {
+  ByteWriter w(16);
+  w.u8(static_cast<std::uint8_t>(MsgType::kActiveAck));
+  w.u64(m.sequence);
+  return std::move(w).take();
+}
+
+std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
+  if (data.empty()) return std::nullopt;
+  ByteReader r(data);
+  AnyMessage out;
+  const auto raw_type = r.u8();
+  out.type = static_cast<MsgType>(raw_type);
+  switch (out.type) {
+    case MsgType::kUpdate: {
+      Update m;
+      m.object = r.u32();
+      m.version = r.u64();
+      m.timestamp = r.timepoint();
+      m.retransmission = r.u8() != 0;
+      m.value = r.bytes();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.update = std::move(m);
+      return out;
+    }
+    case MsgType::kUpdateAck: {
+      UpdateAck m;
+      m.object = r.u32();
+      m.version = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.update_ack = m;
+      return out;
+    }
+    case MsgType::kRetransmitRequest: {
+      RetransmitRequest m;
+      m.object = r.u32();
+      m.have_version = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.retransmit = m;
+      return out;
+    }
+    case MsgType::kPing: {
+      Ping m;
+      m.seq = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.ping = m;
+      return out;
+    }
+    case MsgType::kPingAck: {
+      PingAck m;
+      m.seq = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.ping_ack = m;
+      return out;
+    }
+    case MsgType::kStateTransfer: {
+      StateTransfer m;
+      m.transfer_id = r.u64();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        StateEntry e;
+        e.spec = decode_spec(r);
+        e.update_period = r.duration();
+        e.version = r.u64();
+        e.timestamp = r.timepoint();
+        e.value = r.bytes();
+        m.entries.push_back(std::move(e));
+      }
+      const std::uint32_t nc = r.u32();
+      for (std::uint32_t i = 0; i < nc && r.ok(); ++i) {
+        InterObjectConstraint c;
+        c.first = r.u32();
+        c.second = r.u32();
+        c.delta = r.duration();
+        m.constraints.push_back(c);
+      }
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.state_transfer = std::move(m);
+      return out;
+    }
+    case MsgType::kStateTransferAck: {
+      StateTransferAck m;
+      m.transfer_id = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.state_transfer_ack = m;
+      return out;
+    }
+    case MsgType::kActivePrepare: {
+      ActivePrepare m;
+      m.sequence = r.u64();
+      m.object = r.u32();
+      m.timestamp = r.timepoint();
+      m.value = r.bytes();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.active_prepare = std::move(m);
+      return out;
+    }
+    case MsgType::kActiveAck: {
+      ActiveAck m;
+      m.sequence = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.active_ack = m;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtpb::core::wire

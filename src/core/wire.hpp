@@ -1,0 +1,122 @@
+// RTPB anchor-protocol wire format.
+//
+// The RTPB protocol sits above UDPLITE (paper Figure 5) and is therefore
+// responsible for its own loss handling: updates carry object sequence
+// numbers so the backup can detect gaps and request retransmission
+// (paper §4.3 — no per-update acknowledgments by default).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/bytebuffer.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::core::wire {
+
+enum class MsgType : std::uint8_t {
+  kUpdate = 1,           ///< primary → backup: object value + timestamp
+  kUpdateAck = 2,        ///< backup → primary (ack mode only)
+  kRetransmitRequest = 3,///< backup → primary: gap detected
+  kPing = 4,             ///< either direction: heartbeat
+  kPingAck = 5,
+  kStateTransfer = 6,    ///< primary → recruited backup: full object table
+  kStateTransferAck = 7,
+  // Active-replication baseline (§6.1 comparison):
+  kActivePrepare = 8,    ///< leader → replicas: sequenced write
+  kActiveAck = 9,        ///< replica → leader: write applied
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType t);
+
+struct Update {
+  ObjectId object = kInvalidObject;
+  std::uint64_t version = 0;      ///< per-object sequence number
+  TimePoint timestamp{};          ///< T_i^P: finish time of the client update
+  bool retransmission = false;
+  Bytes value;
+};
+
+struct UpdateAck {
+  ObjectId object = kInvalidObject;
+  std::uint64_t version = 0;
+};
+
+struct RetransmitRequest {
+  ObjectId object = kInvalidObject;
+  std::uint64_t have_version = 0;  ///< newest version the backup holds
+};
+
+struct Ping {
+  std::uint64_t seq = 0;
+};
+
+struct PingAck {
+  std::uint64_t seq = 0;
+};
+
+/// One object's entry in a state transfer (spec + current state).  Carries
+/// the primary's assigned transmission period r_i so the backup can size
+/// its retransmission watchdog.
+struct StateEntry {
+  ObjectSpec spec;
+  Duration update_period{};
+  std::uint64_t version = 0;
+  TimePoint timestamp{};
+  Bytes value;
+};
+
+struct StateTransfer {
+  std::uint64_t transfer_id = 0;
+  std::vector<StateEntry> entries;
+  std::vector<InterObjectConstraint> constraints;
+};
+
+struct StateTransferAck {
+  std::uint64_t transfer_id = 0;
+};
+
+/// Active baseline: a write stamped with a global sequence number; every
+/// replica applies writes in sequence order.
+struct ActivePrepare {
+  std::uint64_t sequence = 0;
+  ObjectId object = kInvalidObject;
+  TimePoint timestamp{};
+  Bytes value;
+};
+
+struct ActiveAck {
+  std::uint64_t sequence = 0;
+};
+
+// Encoding: 1-byte type tag followed by the body.
+[[nodiscard]] Bytes encode(const Update& m);
+[[nodiscard]] Bytes encode(const UpdateAck& m);
+[[nodiscard]] Bytes encode(const RetransmitRequest& m);
+[[nodiscard]] Bytes encode(const Ping& m);
+[[nodiscard]] Bytes encode(const PingAck& m);
+[[nodiscard]] Bytes encode(const StateTransfer& m);
+[[nodiscard]] Bytes encode(const StateTransferAck& m);
+[[nodiscard]] Bytes encode(const ActivePrepare& m);
+[[nodiscard]] Bytes encode(const ActiveAck& m);
+
+/// Decoded message (one alternative set).  decode() returns nullopt on a
+/// malformed buffer — the caller drops it, as UDP consumers must.
+struct AnyMessage {
+  MsgType type{};
+  std::optional<Update> update;
+  std::optional<UpdateAck> update_ack;
+  std::optional<RetransmitRequest> retransmit;
+  std::optional<Ping> ping;
+  std::optional<PingAck> ping_ack;
+  std::optional<StateTransfer> state_transfer;
+  std::optional<StateTransferAck> state_transfer_ack;
+  std::optional<ActivePrepare> active_prepare;
+  std::optional<ActiveAck> active_ack;
+};
+
+[[nodiscard]] std::optional<AnyMessage> decode(std::span<const std::uint8_t> data);
+
+}  // namespace rtpb::core::wire

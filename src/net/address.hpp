@@ -1,0 +1,35 @@
+// Addressing for the simulated network: hosts are NodeIds, transport
+// endpoints add a port (UDPLITE-level).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rtpb::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+using Port = std::uint16_t;
+
+struct Endpoint {
+  NodeId node = kInvalidNode;
+  Port port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "node" + std::to_string(node) + ":" + std::to_string(port);
+  }
+};
+
+}  // namespace rtpb::net
+
+template <>
+struct std::hash<rtpb::net::Endpoint> {
+  std::size_t operator()(const rtpb::net::Endpoint& e) const noexcept {
+    return (static_cast<std::size_t>(e.node) << 16) ^ e.port;
+  }
+};

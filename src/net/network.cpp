@@ -1,0 +1,135 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace rtpb::net {
+
+Duration LinkParams::delay_bound(std::size_t frame_size) const {
+  Duration tx = Duration::zero();
+  if (bandwidth_bps > 0) {
+    const double secs = static_cast<double>(frame_size) * 8.0 / bandwidth_bps;
+    tx = Duration{static_cast<std::int64_t>(secs * 1e9 + 0.5)};
+  }
+  return tx + propagation + jitter;
+}
+
+Network::Network(sim::Simulator& sim) : sim_(sim), rng_(sim.rng().fork()) {}
+
+NodeId Network::add_node(DeliveryFn on_deliver) {
+  RTPB_EXPECTS(on_deliver != nullptr);
+  const NodeId id = next_node_++;
+  nodes_.emplace(id, Node{std::move(on_deliver), true});
+  return id;
+}
+
+void Network::connect(NodeId a, NodeId b, LinkParams params) {
+  RTPB_EXPECTS(nodes_.contains(a) && nodes_.contains(b));
+  RTPB_EXPECTS(a != b);
+  links_[{a, b}] = DirectedLink{params, {}, sim_.now()};
+  links_[{b, a}] = DirectedLink{params, {}, sim_.now()};
+}
+
+Network::DirectedLink* Network::find_link(NodeId src, NodeId dst) {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+bool Network::send(NodeId src, NodeId dst, Bytes payload) {
+  DirectedLink* link = find_link(src, dst);
+  if (link == nullptr) {
+    RTPB_WARN("net", "send node%u->node%u: no link", src, dst);
+    return false;
+  }
+  ++link->stats.sent;
+
+  if (link->params.mtu > 0 && payload.size() > link->params.mtu) {
+    ++link->stats.mtu_drops;
+    ++link->stats.dropped;
+    RTPB_DEBUG("net", "frame of %zu bytes exceeds MTU %zu; dropped", payload.size(),
+               link->params.mtu);
+    return true;  // like UDP over a real link: silently gone
+  }
+
+  Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.payload = std::move(payload);
+  pkt.seq = next_seq_++;
+
+  if (rng_.bernoulli(link->params.loss_probability)) {
+    ++link->stats.dropped;
+    RTPB_TRACE("net", "drop pkt %llu node%u->node%u (loss)",
+               static_cast<unsigned long long>(pkt.seq), src, dst);
+    if (sim_.trace().enabled()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-drop",
+                          "node" + std::to_string(src) + "->node" + std::to_string(dst));
+    }
+    return true;  // sender cannot tell — fire and forget
+  }
+  if (sim_.trace().enabled()) {
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-send",
+                        "node" + std::to_string(src) + "->node" + std::to_string(dst) + " " +
+                            std::to_string(pkt.wire_size()) + "B");
+  }
+
+  Duration delay = Duration::zero();
+  if (link->params.bandwidth_bps > 0) {
+    const double secs = static_cast<double>(pkt.wire_size()) * 8.0 / link->params.bandwidth_bps;
+    delay += Duration{static_cast<std::int64_t>(secs * 1e9 + 0.5)};
+  }
+  delay += link->params.propagation;
+  if (link->params.jitter > Duration::zero()) {
+    delay += Duration{rng_.uniform(0, link->params.jitter.nanos() - 1)};
+  }
+
+  // Preserve FIFO per direction.
+  TimePoint deliver_at = sim_.now() + delay;
+  deliver_at = std::max(deliver_at, link->last_delivery);
+  link->last_delivery = deliver_at;
+  link->stats.delays_ms.add((deliver_at - sim_.now()).millis());
+
+  sim_.schedule_at(deliver_at, [this, pkt = std::move(pkt)]() mutable {
+    auto node_it = nodes_.find(pkt.dst);
+    if (node_it == nodes_.end() || !node_it->second.up) {
+      if (DirectedLink* l = find_link(pkt.src, pkt.dst)) ++l->stats.dropped;
+      return;
+    }
+    if (DirectedLink* l = find_link(pkt.src, pkt.dst)) ++l->stats.delivered;
+    node_it->second.on_deliver(pkt);
+  });
+  return true;
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  auto it = nodes_.find(node);
+  RTPB_EXPECTS(it != nodes_.end());
+  it->second.up = up;
+}
+
+bool Network::node_up(NodeId node) const {
+  auto it = nodes_.find(node);
+  RTPB_EXPECTS(it != nodes_.end());
+  return it->second.up;
+}
+
+void Network::set_loss_probability(NodeId a, NodeId b, double p) {
+  RTPB_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (DirectedLink* l = find_link(a, b)) l->params.loss_probability = p;
+  if (DirectedLink* l = find_link(b, a)) l->params.loss_probability = p;
+}
+
+const LinkStats& Network::stats(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  RTPB_EXPECTS(it != links_.end());
+  return it->second.stats;
+}
+
+std::optional<LinkParams> Network::link_params(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  if (it == links_.end()) return std::nullopt;
+  return it->second.params;
+}
+
+}  // namespace rtpb::net

@@ -1,0 +1,100 @@
+// Point-to-point link fabric with the failure model the paper assumes
+// (§4.1): a known upper bound ℓ on delay, message loss (Bernoulli, i.e.
+// the "performance failures" of an overloaded LAN), no partitions — a
+// down node simply stops receiving.
+//
+// Delay model per packet: transmission (wire_size / bandwidth) +
+// propagation (base + uniform jitter), FIFO-preserved per direction.
+// With jitter j, the delay bound to feed admission control is
+// ℓ = tx(max frame) + base + j.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rtpb::net {
+
+struct LinkParams {
+  Duration propagation = millis(1);     ///< fixed one-way latency component
+  Duration jitter = Duration::zero();   ///< uniform extra in [0, jitter)
+  double loss_probability = 0.0;        ///< independent per-packet drop
+  double bandwidth_bps = 10e6;          ///< 10 Mb/s LAN by default; <=0 → infinite
+  std::size_t mtu = 1500;               ///< max frame payload; 0 → unlimited
+  /// Upper bound ℓ on one-way delay for a frame of `frame_size` bytes.
+  [[nodiscard]] Duration delay_bound(std::size_t frame_size) const;
+};
+
+struct LinkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t mtu_drops = 0;  ///< frames exceeding the link MTU
+  SampleSet delays_ms;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  using DeliveryFn = std::function<void(const Packet&)>;
+
+  /// Register a host.  `on_deliver` is invoked, in virtual time, for each
+  /// packet that survives the link.
+  NodeId add_node(DeliveryFn on_deliver);
+
+  /// Create (or replace) the bidirectional link between two hosts.
+  void connect(NodeId a, NodeId b, LinkParams params);
+
+  /// Inject a packet.  Returns false if there is no link or the
+  /// destination is down (callers treat both as silent loss — UDP).
+  bool send(NodeId src, NodeId dst, Bytes payload);
+
+  /// Crash / restore a node.  A down node receives nothing; packets to it
+  /// count as dropped.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+
+  /// Update loss probability mid-run (failure injection).
+  void set_loss_probability(NodeId a, NodeId b, double p);
+
+  [[nodiscard]] const LinkStats& stats(NodeId a, NodeId b) const;
+  [[nodiscard]] std::optional<LinkParams> link_params(NodeId a, NodeId b) const;
+
+ private:
+  struct DirectedLink {
+    LinkParams params;
+    LinkStats stats;
+    TimePoint last_delivery{};  ///< FIFO floor for this direction
+  };
+  struct Node {
+    DeliveryFn on_deliver;
+    bool up = true;
+  };
+
+  using LinkKey = std::pair<NodeId, NodeId>;  // directed (src, dst)
+
+  DirectedLink* find_link(NodeId src, NodeId dst);
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::map<NodeId, Node> nodes_;
+  std::map<LinkKey, DirectedLink> links_;
+  NodeId next_node_ = 1;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace rtpb::net

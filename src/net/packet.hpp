@@ -1,0 +1,24 @@
+// A frame in flight on the simulated network.  The payload is an opaque
+// byte string assembled by the x-kernel protocol stack (link header and
+// up); wire_size additionally accounts for framing overhead so bandwidth
+// modelling sees realistic sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace rtpb::net {
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Bytes payload;
+  std::uint64_t seq = 0;  ///< network-assigned, for tracing
+
+  [[nodiscard]] std::size_t wire_size() const { return payload.size() + kFramingOverhead; }
+  static constexpr std::size_t kFramingOverhead = 18;  // Ethernet-ish header+FCS
+};
+
+}  // namespace rtpb::net

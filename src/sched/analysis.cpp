@@ -1,0 +1,152 @@
+#include "sched/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rtpb::sched {
+
+double total_utilization(const TaskSet& tasks) {
+  double u = 0.0;
+  for (const auto& t : tasks) u += t.utilization();
+  return u;
+}
+
+double liu_layland_bound(std::size_t n) {
+  if (n == 0) return 1.0;
+  const auto nd = static_cast<double>(n);
+  return nd * (std::pow(2.0, 1.0 / nd) - 1.0);
+}
+
+bool rm_utilization_test(const TaskSet& tasks) {
+  return total_utilization(tasks) <= liu_layland_bound(tasks.size()) + 1e-12;
+}
+
+bool rm_hyperbolic_test(const TaskSet& tasks) {
+  double prod = 1.0;
+  for (const auto& t : tasks) prod *= t.utilization() + 1.0;
+  return prod <= 2.0 + 1e-12;
+}
+
+std::optional<std::vector<Duration>> rm_response_times(const TaskSet& tasks) {
+  // Sort by period (RM priority order), remembering original positions.
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].period != tasks[b].period) return tasks[a].period < tasks[b].period;
+    return tasks[a].id < tasks[b].id;
+  });
+
+  std::vector<Duration> response(tasks.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const TaskSpec& t = tasks[order[rank]];
+    const Duration deadline = t.effective_deadline();
+    // Fixed-point iteration: R = e + Σ_{hp} ceil(R / p_j) e_j.
+    Duration r = t.wcet;
+    for (;;) {
+      Duration interference = Duration::zero();
+      for (std::size_t j = 0; j < rank; ++j) {
+        const TaskSpec& hp = tasks[order[j]];
+        const std::int64_t jobs =
+            (r.nanos() + hp.period.nanos() - 1) / hp.period.nanos();
+        interference += hp.wcet * jobs;
+      }
+      const Duration next = t.wcet + interference;
+      if (next > deadline) return std::nullopt;
+      if (next == r) break;
+      r = next;
+    }
+    response[order[rank]] = r;
+  }
+  return response;
+}
+
+bool rm_exact_test(const TaskSet& tasks) { return rm_response_times(tasks).has_value(); }
+
+bool edf_test(const TaskSet& tasks) { return total_utilization(tasks) <= 1.0 + 1e-12; }
+
+namespace {
+/// Largest b * 2^k that is ≤ c, for base b.
+Duration specialize_down(Duration c, Duration b) {
+  Duration s = b;
+  while (s * 2 <= c) s = s * 2;
+  return s;
+}
+}  // namespace
+
+DcsSpecialization dcs_specialize_with_base(const TaskSet& tasks, Duration base) {
+  RTPB_EXPECTS(base > Duration::zero());
+  DcsSpecialization out;
+  out.base = base;
+  out.periods.reserve(tasks.size());
+  double density = 0.0;
+  for (const auto& t : tasks) {
+    RTPB_EXPECTS(t.period >= base);
+    const Duration s = specialize_down(t.period, base);
+    out.periods.push_back(s);
+    density += t.wcet.ratio(s);
+  }
+  out.density = density;
+  return out;
+}
+
+DcsSpecialization dcs_specialize_sx(const TaskSet& tasks) {
+  if (tasks.empty()) return {};
+  Duration cmin = Duration::max();
+  for (const auto& t : tasks) cmin = std::min(cmin, t.period);
+  return dcs_specialize_with_base(tasks, cmin);
+}
+
+DcsSpecialization dcs_specialize(const TaskSet& tasks) {
+  DcsSpecialization best;
+  if (tasks.empty()) {
+    best.density = 0.0;
+    return best;
+  }
+  Duration cmin = Duration::max();
+  for (const auto& t : tasks) cmin = std::min(cmin, t.period);
+
+  // Candidate bases: for every task, c_i / 2^k brought into (cmin/2, cmin].
+  std::vector<Duration> candidates;
+  for (const auto& t : tasks) {
+    Duration b = t.period;
+    while (b > cmin) b = b / 2;
+    if (b * 2 > cmin && b <= cmin) candidates.push_back(b);
+  }
+  candidates.push_back(cmin);
+
+  best.density = std::numeric_limits<double>::infinity();
+  for (Duration b : candidates) {
+    DcsSpecialization cand;
+    cand.base = b;
+    cand.periods.reserve(tasks.size());
+    double density = 0.0;
+    for (const auto& t : tasks) {
+      const Duration s = specialize_down(t.period, b);
+      cand.periods.push_back(s);
+      density += t.wcet.ratio(s);
+    }
+    cand.density = density;
+    if (density < best.density) best = std::move(cand);
+  }
+  return best;
+}
+
+bool dcs_zero_variance_condition(const TaskSet& tasks) {
+  return total_utilization(tasks) <= liu_layland_bound(tasks.size()) + 1e-12;
+}
+
+Duration phase_variance_bound_universal(const TaskSpec& t) { return t.period - t.wcet; }
+
+Duration phase_variance_bound_edf(const TaskSpec& t, double utilization) {
+  const Duration b = t.period.scaled(utilization) - t.wcet;
+  return std::max(b, Duration::zero());
+}
+
+Duration phase_variance_bound_rm(const TaskSpec& t, double utilization, std::size_t n_tasks) {
+  const double bound = liu_layland_bound(n_tasks);
+  const Duration b = t.period.scaled(utilization / bound) - t.wcet;
+  return std::max(b, Duration::zero());
+}
+
+}  // namespace rtpb::sched

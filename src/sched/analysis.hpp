@@ -1,0 +1,83 @@
+// Schedulability analysis: the classical tests the paper's admission
+// control and theorems rely on.
+//
+//  - Liu & Layland utilisation bound and exact response-time analysis for
+//    Rate Monotonic (used by admission control, paper §4.2),
+//  - EDF utilisation test,
+//  - Han & Lin distance-constrained (pinwheel) specialisation used by the
+//    DCS S_r scheduler (paper Theorem 3),
+//  - analytic phase-variance bounds (Eq. 2.1 and Theorem 2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::sched {
+
+/// n(2^{1/n} - 1): the Liu–Layland RM utilisation bound for n tasks.
+[[nodiscard]] double liu_layland_bound(std::size_t n);
+
+/// Sufficient RM test: total utilisation ≤ n(2^{1/n}-1).
+[[nodiscard]] bool rm_utilization_test(const TaskSet& tasks);
+
+/// Sufficient RM test (tighter): hyperbolic bound Π(U_i + 1) ≤ 2.
+[[nodiscard]] bool rm_hyperbolic_test(const TaskSet& tasks);
+
+/// Exact RM test via response-time analysis (deadline = period assumed for
+/// tasks with zero deadline).  Returns per-task worst-case response times,
+/// or nullopt if some task is unschedulable.
+[[nodiscard]] std::optional<std::vector<Duration>> rm_response_times(const TaskSet& tasks);
+[[nodiscard]] bool rm_exact_test(const TaskSet& tasks);
+
+/// Necessary and sufficient EDF test for implicit deadlines: U ≤ 1.
+[[nodiscard]] bool edf_test(const TaskSet& tasks);
+
+// ---------------------------------------------------------------------------
+// Distance-constrained scheduling (Han & Lin's pinwheel specialisation).
+// ---------------------------------------------------------------------------
+
+/// Result of specialising a task set's periods to a harmonic base:
+/// each specialised period is base * 2^k ≤ original period, so a
+/// fixed-priority schedule of the specialised set is cyclic and each task
+/// completes at a fixed offset in every period — zero phase variance.
+struct DcsSpecialization {
+  Duration base{};                      ///< chosen base b
+  std::vector<Duration> periods;        ///< specialised period per task (same order)
+  double density = 0.0;                 ///< Σ e_i / c'_i of the specialised set
+  [[nodiscard]] bool feasible() const { return density <= 1.0 + 1e-12; }
+};
+
+/// Han & Lin S_a: specialise every period to base * 2^k ≤ period for a
+/// caller-chosen base (each period must be ≥ base).
+[[nodiscard]] DcsSpecialization dcs_specialize_with_base(const TaskSet& tasks, Duration base);
+
+/// Han & Lin S_x: S_a with base fixed to the minimum period.
+[[nodiscard]] DcsSpecialization dcs_specialize_sx(const TaskSet& tasks);
+
+/// Han & Lin S_r: search candidate bases b = c_j / 2^k in (c_min/2, c_min]
+/// and pick the one minimising the specialised density.  Dominates S_x:
+/// its density is never larger.
+[[nodiscard]] DcsSpecialization dcs_specialize(const TaskSet& tasks);
+
+/// The paper's Theorem 3 admission condition for zero phase variance under
+/// S_r: Σ e_i/p_i ≤ n(2^{1/n} - 1).
+[[nodiscard]] bool dcs_zero_variance_condition(const TaskSet& tasks);
+
+// ---------------------------------------------------------------------------
+// Phase-variance bounds.
+// ---------------------------------------------------------------------------
+
+/// Universal bound, Eq. 2.1: v_i ≤ p_i - e_i.
+[[nodiscard]] Duration phase_variance_bound_universal(const TaskSpec& t);
+
+/// Theorem 2 (EDF): v_i ≤ x·p_i - e_i, where x is the set utilisation.
+[[nodiscard]] Duration phase_variance_bound_edf(const TaskSpec& t, double utilization);
+
+/// Theorem 2 (RM): v_i ≤ x·p_i / (n(2^{1/n}-1)) - e_i.
+[[nodiscard]] Duration phase_variance_bound_rm(const TaskSpec& t, double utilization,
+                                               std::size_t n_tasks);
+
+}  // namespace rtpb::sched

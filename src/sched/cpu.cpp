@@ -1,0 +1,292 @@
+#include "sched/cpu.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace rtpb::sched {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kEdf: return "EDF";
+    case Policy::kRateMonotonic: return "RM";
+    case Policy::kDcsSr: return "DCS-Sr";
+    case Policy::kFifo: return "FIFO";
+  }
+  return "?";
+}
+
+Cpu::Cpu(sim::Simulator& sim, Policy policy, std::string name)
+    : sim_(sim), policy_(policy), name_(std::move(name)) {}
+
+Cpu::~Cpu() { stop(); }
+
+TaskId Cpu::add_task(TaskSpec spec, JobCallback on_complete) {
+  RTPB_EXPECTS(spec.valid());
+  const TaskId id = next_id_++;
+  spec.id = id;
+  Task task;
+  task.spec = spec;
+  task.on_complete = std::move(on_complete);
+  task.effective_period = spec.period;
+  auto [it, inserted] = tasks_.emplace(id, std::move(task));
+  RTPB_ASSERT(inserted);
+  if (policy_ == Policy::kDcsSr) {
+    respecialize();
+  } else {
+    it->second.tracker = std::make_unique<PhaseVarianceTracker>(it->second.effective_period);
+  }
+  if (started_) {
+    it->second.next_release = sim_.now() + it->second.spec.phase;
+    arm_release(it->second);
+  }
+  return id;
+}
+
+TaskId Cpu::submit_job(std::string name, Duration exec, JobCallback on_complete) {
+  RTPB_EXPECTS(started_);
+  RTPB_EXPECTS(exec > Duration::zero());
+  const TaskId id = next_id_++;
+  Task task;
+  task.spec.id = id;
+  task.spec.name = std::move(name);
+  // An effectively-infinite period puts the job at background priority
+  // under every fixed-priority policy and gives EDF a far-future deadline.
+  task.spec.period = seconds(1'000'000);
+  task.spec.wcet = exec;
+  task.on_complete = std::move(on_complete);
+  task.one_shot = true;
+  task.effective_period = task.spec.period;
+  task.tracker = std::make_unique<PhaseVarianceTracker>(task.spec.period);
+
+  Job job;
+  job.index = 0;
+  job.release = sim_.now();
+  job.remaining = exec;
+  task.backlog.push_back(job);
+
+  auto [it, inserted] = tasks_.emplace(id, std::move(task));
+  RTPB_ASSERT(inserted);
+  dispatch();
+  return id;
+}
+
+void Cpu::remove_task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  it->second.release_event.cancel();
+  if (running_ == id) {
+    // Abort the running job: charge busy time up to now, no callback.
+    completion_event_.cancel();
+    busy_time_ += sim_.now() - running_since_;
+    running_ = kInvalidTask;
+  }
+  tasks_.erase(it);
+  if (policy_ == Policy::kDcsSr) respecialize();
+  if (started_) dispatch();
+}
+
+void Cpu::respecialize() {
+  // Rebuild the harmonic specialisation over the current task set.  Only
+  // future releases use the new periods; trackers restart because the
+  // reference period changed.
+  TaskSet set;
+  set.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) set.push_back(task.spec);
+  const DcsSpecialization spec = dcs_specialize(set);
+  std::size_t i = 0;
+  for (auto& [id, task] : tasks_) {
+    task.effective_period = spec.periods.empty() ? task.spec.period : spec.periods[i];
+    task.tracker = std::make_unique<PhaseVarianceTracker>(task.effective_period);
+    ++i;
+  }
+}
+
+void Cpu::start(TimePoint at) {
+  RTPB_EXPECTS(!started_);
+  RTPB_EXPECTS(at >= sim_.now());
+  started_ = true;
+  started_at_ = at;
+  for (auto& [id, task] : tasks_) {
+    task.next_release = at + task.spec.phase;
+    arm_release(task);
+  }
+}
+
+void Cpu::stop() {
+  if (!started_) return;
+  for (auto& [id, task] : tasks_) task.release_event.cancel();
+  if (running_ != kInvalidTask) {
+    completion_event_.cancel();
+    busy_time_ += sim_.now() - running_since_;
+    running_ = kInvalidTask;
+  }
+  started_ = false;
+}
+
+void Cpu::arm_release(Task& task) {
+  const TaskId id = task.spec.id;
+  task.release_event = sim_.schedule_at(task.next_release, [this, id] { on_release(id); });
+}
+
+void Cpu::on_release(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+
+  Job job;
+  job.index = task.next_index++;
+  job.release = sim_.now();
+  job.remaining = task.spec.wcet;
+  task.backlog.push_back(job);
+  if (sim_.trace().enabled()) {
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kCpu, "job-release",
+                        name_ + " " + task.spec.name + " #" + std::to_string(job.index));
+  }
+
+  // Periodic re-arm.
+  task.next_release += task.effective_period;
+  arm_release(task);
+
+  dispatch();
+}
+
+void Cpu::on_completion() {
+  RTPB_ASSERT(running_ != kInvalidTask);
+  auto it = tasks_.find(running_);
+  RTPB_ASSERT(it != tasks_.end());
+  Task& task = it->second;
+  RTPB_ASSERT(!task.backlog.empty());
+
+  busy_time_ += sim_.now() - running_since_;
+  running_ = kInvalidTask;
+
+  Job job = task.backlog.front();
+  task.backlog.pop_front();
+
+  JobInfo info;
+  info.task = task.spec.id;
+  info.index = job.index;
+  info.release = job.release;
+  info.start = job.start;
+  info.finish = sim_.now();
+  info.deadline_missed = (sim_.now() - job.release) > task.spec.effective_deadline();
+  if (info.deadline_missed) ++deadline_misses_;
+  ++jobs_completed_;
+
+  task.tracker->record_finish(info.finish);
+  if (sim_.trace().enabled()) {
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kCpu, "job-finish",
+                        name_ + " " + task.spec.name + " #" + std::to_string(info.index) +
+                            (info.deadline_missed ? " MISSED" : ""));
+  }
+  const bool retire = task.one_shot && task.backlog.empty();
+  auto on_complete = task.on_complete;  // survives the erase below
+  if (retire) tasks_.erase(it);
+  if (on_complete) on_complete(info);
+
+  dispatch();
+}
+
+bool Cpu::higher_priority(const Task& a, const Task& b) const {
+  switch (policy_) {
+    case Policy::kEdf: {
+      const TimePoint da = a.backlog.front().release + a.spec.effective_deadline();
+      const TimePoint db = b.backlog.front().release + b.spec.effective_deadline();
+      if (da != db) return da < db;
+      break;
+    }
+    case Policy::kRateMonotonic:
+      if (a.spec.period != b.spec.period) return a.spec.period < b.spec.period;
+      break;
+    case Policy::kDcsSr:
+      if (a.effective_period != b.effective_period) return a.effective_period < b.effective_period;
+      break;
+    case Policy::kFifo: {
+      const TimePoint ra = a.backlog.front().release;
+      const TimePoint rb = b.backlog.front().release;
+      if (ra != rb) return ra < rb;
+      break;
+    }
+  }
+  return a.spec.id < b.spec.id;
+}
+
+Cpu::Task* Cpu::pick_ready() {
+  Task* best = nullptr;
+  for (auto& [id, task] : tasks_) {
+    if (task.backlog.empty()) continue;
+    if (best == nullptr || higher_priority(task, *best)) best = &task;
+  }
+  return best;
+}
+
+void Cpu::dispatch() {
+  if (!started_) return;
+
+  // Charge the running job for the time it has had the CPU.
+  if (running_ != kInvalidTask) {
+    auto it = tasks_.find(running_);
+    RTPB_ASSERT(it != tasks_.end());
+    Job& job = it->second.backlog.front();
+    const Duration used = sim_.now() - running_since_;
+    job.remaining -= used;
+    RTPB_ASSERT(job.remaining >= Duration::zero());
+    busy_time_ += used;
+    completion_event_.cancel();
+    running_ = kInvalidTask;
+  }
+
+  Task* next = pick_ready();
+  if (next == nullptr) return;
+
+  Job& job = next->backlog.front();
+  if (!job.started) {
+    job.started = true;
+    job.start = sim_.now();
+    if (sim_.trace().enabled()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kCpu, "job-start",
+                          name_ + " " + next->spec.name + " #" + std::to_string(job.index));
+    }
+  }
+  running_ = next->spec.id;
+  running_since_ = sim_.now();
+  completion_event_ = sim_.schedule_after(job.remaining, [this] { on_completion(); });
+}
+
+Duration Cpu::effective_period(TaskId id) const {
+  auto it = tasks_.find(id);
+  RTPB_EXPECTS(it != tasks_.end());
+  return it->second.effective_period;
+}
+
+const PhaseVarianceTracker& Cpu::tracker(TaskId id) const {
+  auto it = tasks_.find(id);
+  RTPB_EXPECTS(it != tasks_.end());
+  return *it->second.tracker;
+}
+
+const TaskSpec& Cpu::spec(TaskId id) const {
+  auto it = tasks_.find(id);
+  RTPB_EXPECTS(it != tasks_.end());
+  return it->second.spec;
+}
+
+double Cpu::offered_utilization() const {
+  double u = 0.0;
+  for (const auto& [id, task] : tasks_) {
+    u += task.spec.wcet.ratio(task.effective_period);
+  }
+  return u;
+}
+
+double Cpu::busy_fraction() const {
+  if (!started_) return 0.0;
+  const Duration elapsed = sim_.now() - started_at_;
+  if (elapsed <= Duration::zero()) return 0.0;
+  Duration busy = busy_time_;
+  if (running_ != kInvalidTask) busy += sim_.now() - running_since_;
+  return busy.ratio(elapsed);
+}
+
+}  // namespace rtpb::sched

@@ -1,0 +1,137 @@
+// Preemptive single-CPU scheduling simulation.
+//
+// Each host in the RTPB system (primary, backup) owns a Cpu.  Periodic
+// tasks release jobs; the active policy (EDF, Rate-Monotonic, DCS S_r, or
+// FIFO) picks which ready job runs; jobs are preempted mid-execution when
+// a higher-priority job arrives.  Job completion times — the I_k of the
+// paper's phase-variance definition — are reported to per-task trackers
+// and to the registered completion callbacks, which is how client updates
+// and backup transmissions actually take effect in the protocol layer.
+//
+// Under DCS S_r the task set's periods are specialised to a harmonic base
+// (Han & Lin); with synchronous release and fixed priorities the schedule
+// is cyclic, so each task finishes at a fixed offset in every period and
+// its phase variance is exactly zero (paper Theorem 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sched/analysis.hpp"
+#include "sched/phase_variance.hpp"
+#include "sched/task.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtpb::sched {
+
+enum class Policy { kEdf, kRateMonotonic, kDcsSr, kFifo };
+
+[[nodiscard]] const char* policy_name(Policy p);
+
+using JobCallback = std::function<void(const JobInfo&)>;
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator& sim, Policy policy, std::string name = "cpu");
+  ~Cpu();
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Register a periodic task.  `on_complete` fires at each job's finish
+  /// time (may be null for pure load tasks).  If the CPU is already
+  /// started, releases begin at now + spec.phase.
+  TaskId add_task(TaskSpec spec, JobCallback on_complete);
+
+  /// Unregister a task: pending jobs are discarded; a running job is
+  /// aborted without a completion callback.
+  void remove_task(TaskId id);
+
+  /// Submit a one-shot aperiodic job, released now and served at
+  /// background priority (it never delays a periodic task under RM/DCS;
+  /// under EDF it carries an effectively infinite deadline).  The pseudo
+  /// task disappears after the job completes.  Requires a started CPU.
+  TaskId submit_job(std::string name, Duration exec, JobCallback on_complete);
+
+  /// Begin releasing jobs.  Task phases are relative to `at`.
+  void start(TimePoint at);
+  void start() { start(sim_.now()); }
+  void stop();
+  [[nodiscard]] bool started() const { return started_; }
+
+  [[nodiscard]] Policy policy() const { return policy_; }
+  /// The task whose job currently holds the CPU (kInvalidTask when idle).
+  [[nodiscard]] TaskId running() const { return running_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] bool has_task(TaskId id) const { return tasks_.contains(id); }
+
+  /// The period at which jobs are actually released: equals the spec
+  /// period except under DCS S_r, where it is the specialised (harmonic)
+  /// period ≤ the spec period.
+  [[nodiscard]] Duration effective_period(TaskId id) const;
+
+  [[nodiscard]] const PhaseVarianceTracker& tracker(TaskId id) const;
+  [[nodiscard]] const TaskSpec& spec(TaskId id) const;
+
+  [[nodiscard]] std::uint64_t deadline_misses() const { return deadline_misses_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] std::uint64_t jobs_dropped() const { return jobs_dropped_; }
+  [[nodiscard]] double offered_utilization() const;
+  /// Fraction of time the CPU was busy since start().
+  [[nodiscard]] double busy_fraction() const;
+
+ private:
+  struct Job {
+    std::uint64_t index = 0;
+    TimePoint release{};
+    TimePoint start{};
+    Duration remaining{};
+    bool started = false;
+  };
+
+  struct Task {
+    TaskSpec spec;
+    JobCallback on_complete;
+    bool one_shot = false;
+    Duration effective_period{};
+    std::unique_ptr<PhaseVarianceTracker> tracker;
+    std::deque<Job> backlog;  ///< released, unfinished jobs (head may be running)
+    std::uint64_t next_index = 0;
+    TimePoint next_release{};
+    sim::EventHandle release_event;
+  };
+
+  void arm_release(Task& task);
+  void on_release(TaskId id);
+  void on_completion();
+  /// Charge the running job for CPU time since it was last resumed, then
+  /// re-pick the highest-priority ready job and (re)schedule completion.
+  void dispatch();
+  [[nodiscard]] Task* pick_ready();
+  /// Strictly-less comparison: does job of `a` beat job of `b`?
+  [[nodiscard]] bool higher_priority(const Task& a, const Task& b) const;
+  void respecialize();
+
+  sim::Simulator& sim_;
+  Policy policy_;
+  std::string name_;
+  std::map<TaskId, Task> tasks_;  // ordered: deterministic iteration
+  TaskId next_id_ = 1;
+  bool started_ = false;
+  TimePoint started_at_{};
+
+  TaskId running_ = kInvalidTask;
+  TimePoint running_since_{};
+  sim::EventHandle completion_event_;
+
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_dropped_ = 0;
+  Duration busy_time_{};
+};
+
+}  // namespace rtpb::sched

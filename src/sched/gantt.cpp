@@ -1,0 +1,92 @@
+#include "sched/gantt.hpp"
+
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace rtpb::sched {
+
+std::string render_gantt(const TaskSet& tasks, Policy policy, const GanttOptions& options) {
+  RTPB_EXPECTS(!tasks.empty());
+  RTPB_EXPECTS(options.resolution > Duration::zero());
+  RTPB_EXPECTS(options.horizon >= options.resolution);
+
+  sim::Simulator sim;
+  Cpu cpu(sim, policy);
+  std::map<TaskId, std::size_t> row_of;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::size_t>> releases(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskSpec spec = tasks[i];
+    spec.id = kInvalidTask;  // Cpu assigns its own ids
+    const TaskId id = cpu.add_task(spec, nullptr);
+    row_of[id] = i;
+    names.push_back(spec.name.empty() ? "task" + std::to_string(i + 1) : spec.name);
+  }
+  cpu.start(TimePoint::zero());
+
+  const auto columns =
+      static_cast<std::size_t>(options.horizon.nanos() / options.resolution.nanos());
+  std::vector<std::string> rows(tasks.size(), std::string(columns, '.'));
+  std::string idle(columns, ' ');
+
+  // Track releases via each task's effective period (synchronous start).
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskId id = [&] {
+      for (const auto& [tid, row] : row_of) {
+        if (row == i) return tid;
+      }
+      return kInvalidTask;
+    }();
+    const Duration period = cpu.effective_period(id);
+    for (Duration t = Duration::zero(); t < options.horizon; t += period) {
+      releases[i].push_back(static_cast<std::size_t>(t.nanos() / options.resolution.nanos()));
+    }
+  }
+
+  // Sample the running task one column at a time (sampling at the middle
+  // of each column avoids boundary ambiguity).
+  for (std::size_t col = 0; col < columns; ++col) {
+    const TimePoint sample =
+        TimePoint::zero() + options.resolution * static_cast<std::int64_t>(col) +
+        options.resolution / 2;
+    sim.run_until(sample);
+    const TaskId running = cpu.running();
+    if (running == kInvalidTask) {
+      idle[col] = '_';
+    } else {
+      auto it = row_of.find(running);
+      if (it != row_of.end()) rows[it->second][col] = '#';
+    }
+  }
+
+  // Compose: header ruler, one line per task, idle line.
+  std::string out = "policy: " + std::string(policy_name(policy)) + ", one column = " +
+                    options.resolution.to_string() + "\n";
+  std::size_t name_width = 4;
+  for (const auto& n : names) name_width = std::max(name_width, n.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::string line = names[i];
+    line.resize(name_width, ' ');
+    line += " |";
+    line += rows[i];
+    line += "|\n";
+    if (options.show_releases) {
+      std::string marks(columns, ' ');
+      for (std::size_t col : releases[i]) {
+        if (col < columns) marks[col] = '^';
+      }
+      line += std::string(name_width, ' ') + " |" + marks + "|\n";
+    }
+    out += line;
+  }
+  std::string idle_line(name_width, ' ');
+  out += "idle";
+  out += std::string(name_width > 4 ? name_width - 4 : 0, ' ');
+  out += " |" + idle + "|\n";
+  return out;
+}
+
+}  // namespace rtpb::sched

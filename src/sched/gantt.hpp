@@ -1,0 +1,26 @@
+// ASCII Gantt chart of a task set's schedule under a chosen policy —
+// the classic way to *see* phase variance: each task's row shows when its
+// jobs hold the CPU, so drifting completion offsets (EDF/RM) versus the
+// locked cyclic pattern of DCS S_r are visible at a glance.
+#pragma once
+
+#include <string>
+
+#include "sched/cpu.hpp"
+#include "sched/task.hpp"
+
+namespace rtpb::sched {
+
+struct GanttOptions {
+  Duration horizon = millis(100);     ///< how much of the schedule to draw
+  Duration resolution = millis(1);    ///< one output column per this much time
+  bool show_releases = true;          ///< mark job releases with '^'
+};
+
+/// Simulate `tasks` under `policy` from a synchronous start and render one
+/// row per task ('#' = task holds the CPU, '.' = not running, '^' under a
+/// column = job released there) plus an idle row.
+[[nodiscard]] std::string render_gantt(const TaskSet& tasks, Policy policy,
+                                       const GanttOptions& options = {});
+
+}  // namespace rtpb::sched

@@ -1,0 +1,32 @@
+// Random task-set generation for property tests and validation benches.
+//
+// UUniFast (Bini & Buttazzo) samples n per-task utilisations summing to a
+// target without the bias of naive splitting; periods are drawn
+// log-uniformly so short and long periods are equally represented — the
+// standard methodology for schedulability experiments.
+#pragma once
+
+#include "sched/task.hpp"
+#include "util/rng.hpp"
+
+namespace rtpb::sched {
+
+struct GeneratorParams {
+  std::size_t tasks = 5;
+  double total_utilization = 0.5;
+  Duration min_period = millis(5);
+  Duration max_period = millis(500);
+  /// Lower bound on a task's execution time regardless of its sampled
+  /// utilisation (keeps WCETs physically plausible).
+  Duration min_wcet = micros(50);
+};
+
+/// Sample per-task utilisations with UUniFast: u_i sum to
+/// `total_utilization`, uniformly over the simplex.
+[[nodiscard]] std::vector<double> uunifast(Rng& rng, std::size_t n, double total_utilization);
+
+/// Generate a full task set: UUniFast utilisations × log-uniform periods.
+/// Tasks are named t1..tn with ids assigned in order.
+[[nodiscard]] TaskSet generate_task_set(Rng& rng, const GeneratorParams& params);
+
+}  // namespace rtpb::sched

@@ -1,0 +1,60 @@
+// Phase variance (paper Definitions 1 and 2).
+//
+// The k-th phase variance of a task is | (I_k - I_{k-1}) - p | where I_k
+// is the finish time of the k-th invocation; the phase variance v is the
+// maximum over k.  The temporal-consistency theorems (1, 4, 6) are all
+// stated in terms of v, so measuring it accurately on the simulated CPU is
+// what lets the benches check the theory empirically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::sched {
+
+class PhaseVarianceTracker {
+ public:
+  explicit PhaseVarianceTracker(Duration period) : period_(period) {}
+
+  /// Record the finish time of the next invocation (must be monotone).
+  void record_finish(TimePoint finish) {
+    if (last_finish_) {
+      const Duration gap = finish - *last_finish_;
+      const Duration vk = (gap - period_).abs();
+      samples_.add(vk.millis());
+      if (vk > max_) max_ = vk;
+      max_gap_ = std::max(max_gap_, gap);
+    }
+    last_finish_ = finish;
+  }
+
+  /// v_i = max_k v_i^k over everything recorded so far.
+  [[nodiscard]] Duration phase_variance() const { return max_; }
+  /// Largest finish-to-finish gap observed (useful for Theorem 1 checks:
+  /// consistency holds iff every gap ≤ δ).
+  [[nodiscard]] Duration max_gap() const { return max_gap_; }
+  [[nodiscard]] Duration period() const { return period_; }
+  [[nodiscard]] std::size_t invocations() const { return samples_.count() + (last_finish_ ? 1 : 0); }
+  [[nodiscard]] const SampleSet& samples() const { return samples_; }
+
+  /// Drop history accumulated before steady state (e.g. the first
+  /// hyperperiod of a DCS schedule) but keep the last finish time so the
+  /// next sample is still a valid gap.
+  void reset_statistics() {
+    samples_.clear();
+    max_ = Duration::zero();
+    max_gap_ = Duration::zero();
+  }
+
+ private:
+  Duration period_;
+  std::optional<TimePoint> last_finish_;
+  Duration max_{};
+  Duration max_gap_{};
+  SampleSet samples_;
+};
+
+}  // namespace rtpb::sched

@@ -1,0 +1,53 @@
+// Periodic task model (Liu & Layland) used by the schedulability analysis
+// and the preemptive CPU simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::sched {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = 0xFFFFFFFF;
+
+/// Static parameters of a periodic task.
+struct TaskSpec {
+  TaskId id = kInvalidTask;
+  std::string name;
+  Duration period{};     ///< p_i: inter-release time
+  Duration wcet{};       ///< e_i: worst-case execution time
+  Duration deadline{};   ///< relative deadline; zero means "= period"
+  Duration phase{};      ///< release offset of the first job relative to CPU start
+
+  [[nodiscard]] Duration effective_deadline() const {
+    return deadline > Duration::zero() ? deadline : period;
+  }
+  [[nodiscard]] double utilization() const {
+    RTPB_EXPECTS(period > Duration::zero());
+    return wcet.ratio(period);
+  }
+  [[nodiscard]] bool valid() const {
+    return period > Duration::zero() && wcet > Duration::zero() && wcet <= period;
+  }
+};
+
+/// One completed (or in-flight) job of a task, as reported by the CPU.
+struct JobInfo {
+  TaskId task = kInvalidTask;
+  std::uint64_t index = 0;   ///< k-th invocation, 0-based
+  TimePoint release{};
+  TimePoint start{};         ///< first time the job got the CPU
+  TimePoint finish{};
+  bool deadline_missed = false;
+};
+
+using TaskSet = std::vector<TaskSpec>;
+
+/// Total utilisation Σ e_i / p_i of a task set.
+[[nodiscard]] double total_utilization(const TaskSet& tasks);
+
+}  // namespace rtpb::sched

@@ -1,0 +1,92 @@
+// The paper's temporal-consistency conditions (Lemmas 1–3, Theorems 1–6)
+// as named, unit-tested predicates.  Admission control (core/admission)
+// and the validation benches evaluate exactly these functions, so the
+// implementation and the theory cannot drift apart silently.
+//
+// Notation (paper §2–§3):
+//   p_i  period of the client task updating object i at the primary
+//   e_i  execution time of that task
+//   r_i  period of the primary→backup update-transmission task
+//   e'_i execution time of that task
+//   v_i, v'_i  phase variances of the two tasks
+//   ℓ    upper bound on primary→backup communication delay
+//   δ_iP / δ_iB  external temporal constraint at primary / backup
+//   δ_ij inter-object temporal constraint between objects i and j
+#pragma once
+
+#include "util/time.hpp"
+
+namespace rtpb::sched::theory {
+
+/// Lemma 1 (sufficient): external consistency at the primary holds if
+/// p_i ≤ (δ_iP + e_i) / 2.
+[[nodiscard]] constexpr bool lemma1_primary(Duration p, Duration e, Duration delta_p) {
+  return p * 2 <= delta_p + e;
+}
+
+/// Theorem 1 (necessary and sufficient): p_i ≤ δ_iP − v_i.
+[[nodiscard]] constexpr bool theorem1_primary(Duration p, Duration v, Duration delta_p) {
+  return p <= delta_p - v;
+}
+
+/// The largest primary update period Theorem 1 admits: p_i = δ_iP − v_i.
+[[nodiscard]] constexpr Duration theorem1_max_period(Duration delta_p, Duration v) {
+  return delta_p - v;
+}
+
+/// Lemma 2 (sufficient): consistency at the backup holds if
+/// r_i ≤ (δ_iB + e_i + e'_i − ℓ)/2 − p_i.
+[[nodiscard]] constexpr bool lemma2_backup(Duration r, Duration p, Duration e, Duration e_prime,
+                                           Duration ell, Duration delta_b) {
+  return r * 2 <= delta_b + e + e_prime - ell - p * 2;
+}
+
+/// Theorem 4 (necessary and sufficient): r_i ≤ δ_iB − v'_i − p_i − v_i − ℓ.
+[[nodiscard]] constexpr bool theorem4_backup(Duration r, Duration p, Duration v,
+                                             Duration v_prime, Duration ell, Duration delta_b) {
+  return r <= delta_b - v_prime - p - v - ell;
+}
+
+[[nodiscard]] constexpr Duration theorem4_max_period(Duration p, Duration v, Duration v_prime,
+                                                     Duration ell, Duration delta_b) {
+  return delta_b - v_prime - p - v - ell;
+}
+
+/// Theorem 5 (v'_i = 0, p_i maximal): r_i ≤ (δ_iB − δ_iP) − ℓ.
+[[nodiscard]] constexpr bool theorem5_backup(Duration r, Duration delta_p, Duration delta_b,
+                                             Duration ell) {
+  return r <= (delta_b - delta_p) - ell;
+}
+
+/// The window of inconsistency between primary and backup: δ_i = δ_iB − δ_iP.
+[[nodiscard]] constexpr Duration consistency_window(Duration delta_p, Duration delta_b) {
+  return delta_b - delta_p;
+}
+
+/// The paper's §4.3 update-transmission period: the primary must send at
+/// least every δ_i − ℓ; the implementation halves it (slack_factor = 2) to
+/// ride out a lost message.
+[[nodiscard]] constexpr Duration update_period(Duration window, Duration ell,
+                                               std::int64_t slack_factor = 2) {
+  return (window - ell) / slack_factor;
+}
+
+/// Lemma 3 (sufficient, inter-object, per task): p ≤ (δ_ij + e)/2.
+[[nodiscard]] constexpr bool lemma3_task(Duration p, Duration e, Duration delta_ij) {
+  return p * 2 <= delta_ij + e;
+}
+
+/// Theorem 6 (necessary and sufficient, inter-object, per task): p ≤ δ_ij − v.
+/// Applies to both primary-update and backup-transmission tasks with the
+/// respective phase variances.
+[[nodiscard]] constexpr bool theorem6_task(Duration p, Duration v, Duration delta_ij) {
+  return p <= delta_ij - v;
+}
+
+/// Theorem 6 for an object pair at one site.
+[[nodiscard]] constexpr bool theorem6_pair(Duration p_i, Duration v_i, Duration p_j,
+                                           Duration v_j, Duration delta_ij) {
+  return theorem6_task(p_i, v_i, delta_ij) && theorem6_task(p_j, v_j, delta_ij);
+}
+
+}  // namespace rtpb::sched::theory

@@ -1,0 +1,103 @@
+#include "sim/simulator.hpp"
+
+#include "util/log.hpp"
+
+namespace rtpb::sim {
+
+bool EventHandle::cancel() {
+  if (!state_ || state_->cancelled || state_->fired) return false;
+  state_->cancelled = true;
+  state_->fn = nullptr;  // release captured resources eagerly
+  return true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  Logger::instance().set_clock([this] { return now_; });
+}
+
+Simulator::~Simulator() { Logger::instance().clear_clock(); }
+
+EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  RTPB_EXPECTS(at >= now_);
+  RTPB_EXPECTS(fn != nullptr);
+  auto state = std::make_shared<EventHandle::State>();
+  state->fn = std::move(fn);
+  queue_.push(QueueEntry{at, next_seq_++, state});
+  ++live_events_;
+  return EventHandle{std::move(state)};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  RTPB_EXPECTS(delay >= Duration::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    --live_events_;
+    if (entry.state->cancelled) continue;
+    RTPB_ASSERT(entry.at >= now_);
+    now_ = entry.at;
+    entry.state->fired = true;
+    ++fired_events_;
+    auto fn = std::move(entry.state->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Drop cancelled entries without advancing the clock.
+    if (queue_.top().state->cancelled) {
+      queue_.pop();
+      --live_events_;
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  RTPB_EXPECTS(period_ > Duration::zero());
+  RTPB_EXPECTS(fn_ != nullptr);
+}
+
+void PeriodicTimer::start_at(TimePoint first) {
+  stop();
+  running_ = true;
+  arm(first);
+}
+
+void PeriodicTimer::stop() {
+  pending_.cancel();
+  running_ = false;
+}
+
+void PeriodicTimer::arm(TimePoint at) {
+  pending_ = sim_.schedule_at(at, [this, at] {
+    if (!running_) return;
+    // Re-arm first so fn_ may call stop()/set_period() and win.
+    arm(at + period_);
+    fn_();
+  });
+}
+
+}  // namespace rtpb::sim

@@ -1,0 +1,130 @@
+// Discrete-event simulation kernel.
+//
+// The simulator owns the virtual clock and an event queue ordered by
+// (time, sequence number): ties in time fire in scheduling order, which
+// makes runs fully deterministic.  Every higher layer — the CPU scheduler,
+// the network links, the RTPB protocol — advances exclusively by
+// scheduling events here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::sim {
+
+class Simulator;
+
+/// Cancellation handle for a scheduled event.  Default-constructed handles
+/// are inert.  Cancelling an already-fired or already-cancelled event is a
+/// harmless no-op — callers routinely cancel defensively during teardown.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from firing.  Returns true if it was still pending.
+  bool cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule fn at absolute virtual time `at` (must not be in the past).
+  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  /// Schedule fn after `delay` (must be non-negative).
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Run until the queue drains or the clock passes `deadline`.
+  /// Events exactly at `deadline` do fire.
+  void run_until(TimePoint deadline);
+  /// Run until the queue drains (or stop() is called).
+  void run();
+  /// Fire the single next event; returns false if the queue is empty.
+  bool step();
+  /// Make run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t fired_events() const { return fired_events_; }
+
+  /// Root RNG for the run; components should fork() their own streams.
+  Rng& rng() { return rng_; }
+
+  /// Execution tracing; off by default.  Components record via
+  /// `if (sim.trace().enabled()) sim.trace().record(sim.now(), ...)`.
+  TraceRecorder& trace() { return trace_; }
+
+ private:
+  struct QueueEntry {
+    TimePoint at;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+    bool operator>(const QueueEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_events_ = 0;
+  std::size_t live_events_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  Rng rng_;
+  TraceRecorder trace_;
+};
+
+/// Self-rescheduling periodic timer.  The callback runs once per period
+/// starting at `first`; stop() halts it.  Used for heartbeats and for
+/// jobs whose dispatch is *not* mediated by the CPU scheduler.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn);
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start_at(TimePoint first);
+  void start() { start_at(sim_.now() + period_); }
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  void set_period(Duration p) { RTPB_EXPECTS(p > Duration::zero()); period_ = p; }
+  [[nodiscard]] Duration period() const { return period_; }
+
+ private:
+  void arm(TimePoint at);
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace rtpb::sim

@@ -1,0 +1,60 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace rtpb::sim {
+
+const char* trace_category_name(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kCpu: return "cpu";
+    case TraceCategory::kNet: return "net";
+    case TraceCategory::kProtocol: return "proto";
+    case TraceCategory::kService: return "service";
+    case TraceCategory::kUser: return "user";
+  }
+  return "?";
+}
+
+void TraceRecorder::enable(std::size_t capacity) {
+  RTPB_EXPECTS(capacity > 0);
+  enabled_ = true;
+  capacity_ = capacity;
+}
+
+void TraceRecorder::record(TimePoint at, TraceCategory category, std::string label,
+                           std::string detail) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{at, category, std::move(label), std::move(detail)});
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::with_label(const std::string& label) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.label == label) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::render() const {
+  std::string out;
+  char line[256];
+  for (const auto& e : events_) {
+    std::snprintf(line, sizeof line, "%12.3fms  %-8s %-20s %s\n", e.at.millis(),
+                  trace_category_name(e.category), e.label.c_str(), e.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rtpb::sim

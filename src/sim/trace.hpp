@@ -1,0 +1,60 @@
+// Execution tracing: a bounded in-memory timeline of typed events that
+// components append to when tracing is enabled.  Used to debug experiment
+// runs (why did this update arrive late?) and by tests that assert on
+// event ordering across subsystems.  Disabled tracing costs one branch
+// per call site.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rtpb::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kCpu,       ///< job release / start / preempt / finish
+  kNet,       ///< frame send / drop / deliver
+  kProtocol,  ///< x-kernel layer events
+  kService,   ///< RTPB-level: updates, failover, admission
+  kUser,      ///< experiment-injected markers
+};
+
+[[nodiscard]] const char* trace_category_name(TraceCategory c);
+
+struct TraceEvent {
+  TimePoint at;
+  TraceCategory category{};
+  std::string label;   ///< short event name, e.g. "job-finish"
+  std::string detail;  ///< free-form context, e.g. "task 3 idx 17"
+};
+
+class TraceRecorder {
+ public:
+  /// Start recording, keeping at most `capacity` most-recent events.
+  void enable(std::size_t capacity = 65536);
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(TimePoint at, TraceCategory category, std::string label,
+              std::string detail = {});
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Events whose label matches exactly (convenience for assertions).
+  [[nodiscard]] std::vector<TraceEvent> with_label(const std::string& label) const;
+  /// Multi-line human-readable dump (optionally one category only).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::size_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace rtpb::sim

@@ -1,0 +1,30 @@
+// Contract-check macros in the spirit of the Core Guidelines' Expects/Ensures.
+// Violations are programming errors, so they abort with a location message
+// rather than throwing (nothing above the call site can meaningfully recover).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtpb::detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "rtpb: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+}  // namespace rtpb::detail
+
+#define RTPB_EXPECTS(cond)                                                       \
+  do {                                                                           \
+    if (!(cond)) ::rtpb::detail::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define RTPB_ENSURES(cond)                                                       \
+  do {                                                                           \
+    if (!(cond)) ::rtpb::detail::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define RTPB_ASSERT(cond)                                                        \
+  do {                                                                           \
+    if (!(cond)) ::rtpb::detail::contract_failure("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,125 @@
+// Endian-safe wire serialisation.  All multi-byte integers are encoded
+// big-endian ("network order") regardless of host, so encoded frames are
+// portable and byte-for-byte reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace rtpb {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends values to a growing byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_be(v); }
+  void u32(std::uint32_t v) { append_be(v); }
+  void u64(std::uint64_t v) { append_be(v); }
+  void i64(std::int64_t v) { append_be(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_be(bits);
+  }
+  void duration(Duration d) { i64(d.nanos()); }
+  void timepoint(TimePoint t) { i64(t.nanos()); }
+
+  /// Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+  }
+  void string(std::string_view s) {
+    bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+  /// Raw append without a length prefix.
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_be(T v) {
+    for (int shift = static_cast<int>(sizeof(T)) * 8 - 8; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+    }
+  }
+  Bytes buf_;
+};
+
+/// Consumes values from a byte span.  Over-reads are flagged via ok();
+/// reads past the end return zero values so callers can check once at the
+/// end of a decode instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return read_be<std::uint8_t>(); }
+  std::uint16_t u16() { return read_be<std::uint16_t>(); }
+  std::uint32_t u32() { return read_be<std::uint32_t>(); }
+  std::uint64_t u64() { return read_be<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_be<std::uint64_t>()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  Duration duration() { return Duration{i64()}; }
+  TimePoint timepoint() { return TimePoint{i64()}; }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    if (remaining() < n) { failed_ = true; pos_ = data_.size(); return {}; }
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string string() {
+    const Bytes b = bytes();
+    return {b.begin(), b.end()};
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T read_be() {
+    if (remaining() < sizeof(T)) {
+      failed_ = true;
+      pos_ = data_.size();
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(static_cast<T>(v << 8) | data_[pos_ + i]);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace rtpb

@@ -1,0 +1,127 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rtpb {
+
+namespace {
+std::string trim(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return std::string{s.substr(b, e - b + 1)};
+}
+}  // namespace
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      config.errors_.push_back("line " + std::to_string(line_no) + ": missing '='");
+      continue;
+    }
+    const std::string key = trim(std::string_view{trimmed}.substr(0, eq));
+    const std::string value = trim(std::string_view{trimmed}.substr(eq + 1));
+    if (key.empty()) {
+      config.errors_.push_back("line " + std::to_string(line_no) + ": empty key");
+      continue;
+    }
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+std::optional<Config> Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string Config::get_string(const std::string& key, std::string fallback) const {
+  touched_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  touched_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str()) ? v : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  touched_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0' && end != it->second.c_str()) ? v : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  touched_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::optional<Duration> Config::parse_duration(std::string_view text) {
+  const std::string s = trim(text);
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double magnitude = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nullopt;
+  const std::string suffix = trim(std::string_view{s}.substr(static_cast<std::size_t>(end - s.c_str())));
+  double scale = 1e6;  // bare number = milliseconds
+  if (suffix == "ns") scale = 1.0;
+  else if (suffix == "us") scale = 1e3;
+  else if (suffix == "ms" || suffix.empty()) scale = 1e6;
+  else if (suffix == "s") scale = 1e9;
+  else return std::nullopt;
+  return Duration{static_cast<std::int64_t>(magnitude * scale + (magnitude >= 0 ? 0.5 : -0.5))};
+}
+
+Duration Config::get_duration(const std::string& key, Duration fallback) const {
+  touched_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const auto parsed = parse_duration(it->second);
+  return parsed.value_or(fallback);
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (!touched_.contains(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace rtpb

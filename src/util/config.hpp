@@ -1,0 +1,53 @@
+// Minimal key = value configuration parser for experiment definitions.
+//
+// Grammar: one `key = value` pair per line; `#` starts a comment; blank
+// lines ignored.  Durations accept ns/us/ms/s suffixes ("10ms", "2s").
+// Unknown keys are tracked so drivers can flag typos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rtpb {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from text.  Malformed lines are recorded in errors().
+  static Config parse(std::string_view text);
+  /// Parse from a file; nullopt if the file cannot be read.
+  static std::optional<Config> load(const std::string& path);
+
+  [[nodiscard]] bool has(const std::string& key) const { return values_.contains(key); }
+
+  [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  /// Durations: "250ns", "10us", "5ms", "2s", or bare numbers = ms.
+  [[nodiscard]] Duration get_duration(const std::string& key, Duration fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& values() const { return values_; }
+  [[nodiscard]] const std::vector<std::string>& errors() const { return errors_; }
+
+  /// Keys present in the config that were never read through a getter —
+  /// almost always a typo in an experiment file.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  /// Parse a duration literal ("5ms"); nullopt on failure.
+  [[nodiscard]] static std::optional<Duration> parse_duration(std::string_view text);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> errors_;
+  mutable std::set<std::string> touched_;
+};
+
+}  // namespace rtpb

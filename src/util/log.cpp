@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+namespace rtpb {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const char* component, const std::string& msg) {
+  if (clock_) {
+    std::fprintf(stderr, "[%12.3fms] %s %-10s %s\n", clock_().millis(), level_name(level),
+                 component, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[        ----] %s %-10s %s\n", level_name(level), component, msg.c_str());
+  }
+}
+
+}  // namespace rtpb

@@ -1,0 +1,64 @@
+// Tiny leveled logger.  Components tag their lines; the global threshold
+// makes disabled levels nearly free (an atomic load and a branch).  The
+// simulator injects the virtual clock so log lines carry simulated time.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "util/time.hpp"
+
+namespace rtpb {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Install a virtual-clock source so log lines carry simulated time.
+  void set_clock(std::function<TimePoint()> clock) { clock_ = std::move(clock); }
+  void clear_clock() { clock_ = nullptr; }
+
+  void write(LogLevel level, const char* component, const std::string& msg);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::function<TimePoint()> clock_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string log_format(const char* fmt, Args&&... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
+  return buf;
+}
+inline std::string log_format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+#define RTPB_LOG(level, component, ...)                                             \
+  do {                                                                              \
+    if (::rtpb::Logger::instance().enabled(level)) {                                \
+      ::rtpb::Logger::instance().write(level, component,                            \
+                                       ::rtpb::detail::log_format(__VA_ARGS__));    \
+    }                                                                               \
+  } while (false)
+
+#define RTPB_TRACE(component, ...) RTPB_LOG(::rtpb::LogLevel::kTrace, component, __VA_ARGS__)
+#define RTPB_DEBUG(component, ...) RTPB_LOG(::rtpb::LogLevel::kDebug, component, __VA_ARGS__)
+#define RTPB_INFO(component, ...) RTPB_LOG(::rtpb::LogLevel::kInfo, component, __VA_ARGS__)
+#define RTPB_WARN(component, ...) RTPB_LOG(::rtpb::LogLevel::kWarn, component, __VA_ARGS__)
+#define RTPB_ERROR(component, ...) RTPB_LOG(::rtpb::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace rtpb

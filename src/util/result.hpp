@@ -1,0 +1,64 @@
+// Minimal Expected-style result type (std::expected is C++23; we target
+// C++20).  Used for fallible operations whose failure is an expected
+// outcome — e.g. admission control rejecting an object — where exceptions
+// would conflate "rejected" with "broken".
+//
+// The error type E is arbitrary; the only convention is that E exposes a
+// `code` member so call sites can switch on the machine-readable reason
+// (Result::code() forwards to it).  Error<Code> is the common minimal E.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace rtpb {
+
+/// Minimal error payload: a machine-readable code plus a human-readable
+/// reason.
+template <typename Code>
+struct Error {
+  Code code{};
+  std::string reason;
+};
+
+template <typename T, typename E>
+class Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(E err) : data_(std::in_place_index<1>, std::move(err)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& { RTPB_EXPECTS(ok()); return std::get<0>(data_); }
+  [[nodiscard]] T& value() & { RTPB_EXPECTS(ok()); return std::get<0>(data_); }
+  [[nodiscard]] T&& value() && { RTPB_EXPECTS(ok()); return std::get<0>(std::move(data_)); }
+
+  [[nodiscard]] const E& error() const { RTPB_EXPECTS(!ok()); return std::get<1>(data_); }
+  [[nodiscard]] auto code() const { return error().code; }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Result with no success payload.
+template <typename E>
+class Status {
+ public:
+  Status() = default;  // success
+  Status(E err) : err_(std::move(err)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const E& error() const { RTPB_EXPECTS(failed_); return err_; }
+  [[nodiscard]] auto code() const { return error().code; }
+
+ private:
+  E err_{};
+  bool failed_ = false;
+};
+
+}  // namespace rtpb

@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rtpb {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) { *this = other; return; }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::quantile(double q) const {
+  RTPB_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= samples_.size()) return samples_.back();
+  return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  RTPB_EXPECTS(hi > lo);
+  RTPB_EXPECTS(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(counts_[i] * width / peak);
+    std::snprintf(line, sizeof line, "%10.3f | %-*s %llu\n", bucket_lo(i),
+                  static_cast<int>(width), std::string(bar, '#').c_str(),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+void IntervalRecorder::open(TimePoint t) {
+  if (open_) return;
+  open_ = true;
+  open_at_ = t;
+}
+
+void IntervalRecorder::close(TimePoint t) {
+  if (!open_) return;
+  RTPB_EXPECTS(t >= open_at_);
+  open_ = false;
+  const Duration d = t - open_at_;
+  total_ += d;
+  durations_.add(d);
+}
+
+void IntervalRecorder::finish(TimePoint t) { close(t); }
+
+}  // namespace rtpb

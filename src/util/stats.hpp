@@ -1,0 +1,109 @@
+// Statistics collectors used by the metrics layer and the benchmark
+// harness: running moments, exact percentiles over retained samples,
+// fixed-width histograms, and an interval recorder for "how long was the
+// system in state X" measurements (duration of backup inconsistency).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace rtpb {
+
+/// Welford running mean/variance plus min/max.  O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains every sample; exact quantiles by sorting on demand.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(Duration d) { add(d.millis()); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Quantile q in [0,1] via linear interpolation; q=0.5 is the median.
+  [[nodiscard]] double quantile(double q) const;
+
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Records half-open time intervals [begin, end) during which a monitored
+/// predicate held (e.g. "backup out of window"), and summarises their
+/// durations.  Tolerates a still-open interval at the end of a run.
+class IntervalRecorder {
+ public:
+  /// Mark the predicate becoming true at t.  No-op if already open.
+  void open(TimePoint t);
+  /// Mark the predicate becoming false at t.  No-op if not open.
+  void close(TimePoint t);
+  /// Close any open interval at end-of-run time t.
+  void finish(TimePoint t);
+
+  [[nodiscard]] bool is_open() const { return open_; }
+  [[nodiscard]] std::size_t interval_count() const { return durations_.count(); }
+  [[nodiscard]] Duration total() const { return total_; }
+  [[nodiscard]] double mean_millis() const { return durations_.mean(); }
+  [[nodiscard]] double max_millis() const { return durations_.max(); }
+  [[nodiscard]] const SampleSet& durations() const { return durations_; }
+
+ private:
+  bool open_ = false;
+  TimePoint open_at_{};
+  Duration total_{};
+  SampleSet durations_;
+};
+
+}  // namespace rtpb

@@ -1,0 +1,23 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rtpb {
+
+namespace {
+std::string format_nanos(std::int64_t n) {
+  char buf[64];
+  const double ms = static_cast<double>(n) / 1e6;
+  std::snprintf(buf, sizeof buf, "%.3fms", ms);
+  return buf;
+}
+}  // namespace
+
+std::string Duration::to_string() const { return format_nanos(nanos_); }
+std::string TimePoint::to_string() const { return format_nanos(nanos_); }
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.to_string(); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << t.to_string(); }
+
+}  // namespace rtpb

@@ -1,0 +1,95 @@
+// Strong virtual-time types used throughout the simulator and the RTPB
+// protocol stack.  All simulated time is an integral count of nanoseconds;
+// wrapping it in distinct Duration / TimePoint types keeps "a point on the
+// timeline" and "a span of time" from being mixed up at compile time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace rtpb {
+
+/// A span of virtual time (signed; may be negative in intermediate math).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{nanos_ + o.nanos_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{nanos_ - o.nanos_}; }
+  constexpr Duration operator-() const { return Duration{-nanos_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{nanos_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{nanos_ / k}; }
+  constexpr Duration& operator+=(Duration o) { nanos_ += o.nanos_; return *this; }
+  constexpr Duration& operator-=(Duration o) { nanos_ -= o.nanos_; return *this; }
+
+  /// Scale by a real factor, rounding to the nearest nanosecond.
+  [[nodiscard]] constexpr Duration scaled(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(nanos_) * f + (nanos_ >= 0 ? 0.5 : -0.5))};
+  }
+
+  /// Ratio of two durations as a real number (denominator must be nonzero).
+  [[nodiscard]] constexpr double ratio(Duration denom) const {
+    return static_cast<double>(nanos_) / static_cast<double>(denom.nanos_);
+  }
+
+  [[nodiscard]] constexpr Duration abs() const { return nanos_ < 0 ? Duration{-nanos_} : *this; }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+constexpr Duration micros(std::int64_t u) { return Duration{u * 1'000}; }
+constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+/// Fractional milliseconds, rounded to the nearest nanosecond.
+constexpr Duration millis_f(double m) {
+  return Duration{static_cast<std::int64_t>(m * 1e6 + (m >= 0 ? 0.5 : -0.5))};
+}
+
+/// An instant on the virtual timeline (nanoseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t nanos) : nanos_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{nanos_ + d.nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{nanos_ - d.nanos()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{nanos_ - o.nanos_}; }
+  constexpr TimePoint& operator+=(Duration d) { nanos_ += d.nanos(); return *this; }
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() { return TimePoint{std::numeric_limits<std::int64_t>::max()}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace rtpb

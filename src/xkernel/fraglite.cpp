@@ -1,0 +1,116 @@
+#include "xkernel/fraglite.hpp"
+
+#include <algorithm>
+
+#include "util/bytebuffer.hpp"
+#include "util/log.hpp"
+
+namespace rtpb::xkernel {
+
+FragLite::FragLite(sim::Simulator& sim, std::size_t max_fragment_payload,
+                   Duration reassembly_timeout)
+    : Protocol("fraglite"),
+      sim_(sim),
+      max_payload_(max_fragment_payload),
+      timeout_(reassembly_timeout) {
+  RTPB_EXPECTS(max_payload_ > 0);
+  RTPB_EXPECTS(timeout_ > Duration::zero());
+}
+
+void FragLite::push(Message& msg, const MsgAttrs& attrs) {
+  RTPB_EXPECTS(down() != nullptr);
+  const Bytes whole = msg.to_bytes();
+  const std::uint32_t msg_id = next_msg_id_++;
+  const auto total = static_cast<std::uint32_t>(whole.size());
+  const std::size_t count = std::max<std::size_t>(1, (whole.size() + max_payload_ - 1) / max_payload_);
+  RTPB_EXPECTS(count <= 0xFFFF);
+
+  ++messages_sent_;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t begin = i * max_payload_;
+    const std::size_t end = std::min(whole.size(), begin + max_payload_);
+    Message fragment{Bytes(whole.begin() + static_cast<std::ptrdiff_t>(begin),
+                           whole.begin() + static_cast<std::ptrdiff_t>(end))};
+    ByteWriter header(kHeaderSize);
+    header.u32(msg_id);
+    header.u16(static_cast<std::uint16_t>(i));
+    header.u16(static_cast<std::uint16_t>(count));
+    header.u32(total);
+    fragment.push(header.data());
+    ++fragments_sent_;
+    down()->push(fragment, attrs);
+  }
+}
+
+void FragLite::demux(Message& msg, MsgAttrs& attrs) {
+  if (msg.size() < kHeaderSize) {
+    ++bad_fragments_;
+    return;
+  }
+  ByteReader r(msg.pop(kHeaderSize));
+  const std::uint32_t msg_id = r.u32();
+  const std::uint16_t index = r.u16();
+  const std::uint16_t count = r.u16();
+  const std::uint32_t total = r.u32();
+  if (!r.ok() || count == 0 || index >= count) {
+    ++bad_fragments_;
+    return;
+  }
+
+  // Fast path: unfragmented message.
+  if (count == 1) {
+    if (msg.size() != total) {
+      ++bad_fragments_;
+      return;
+    }
+    ++messages_reassembled_;
+    if (handler_) handler_(msg, attrs);
+    return;
+  }
+
+  const Key key{attrs.src.node, attrs.src.port, msg_id};
+  Reassembly& re = reassembly_[key];
+  if (re.fragments.empty()) {
+    re.fragments.resize(count);
+    re.present.assign(count, false);
+    re.total_length = total;
+    re.gc = sim_.schedule_after(timeout_, [this, key] { expire(key); });
+  }
+  if (re.fragments.size() != count || re.total_length != total) {
+    // Conflicting fragment metadata for the same id: drop everything.
+    ++bad_fragments_;
+    re.gc.cancel();
+    reassembly_.erase(key);
+    return;
+  }
+  if (re.present[index]) return;  // duplicate
+  re.fragments[index] = msg.to_bytes();
+  re.present[index] = true;
+  ++re.received;
+  if (re.received < count) return;
+
+  // Complete: stitch and deliver.
+  Bytes whole;
+  whole.reserve(total);
+  for (auto& frag : re.fragments) whole.insert(whole.end(), frag.begin(), frag.end());
+  re.gc.cancel();
+  reassembly_.erase(key);
+  if (whole.size() != total) {
+    ++bad_fragments_;
+    return;
+  }
+  ++messages_reassembled_;
+  Message complete{std::move(whole)};
+  if (handler_) handler_(complete, attrs);
+}
+
+void FragLite::expire(const Key& key) {
+  auto it = reassembly_.find(key);
+  if (it == reassembly_.end()) return;
+  ++reassembly_timeouts_;
+  RTPB_DEBUG("fraglite", "reassembly timed out (%zu/%zu fragments)", it->second.received,
+             it->second.fragments.size());
+  reassembly_.erase(it);
+}
+
+}  // namespace rtpb::xkernel

@@ -1,0 +1,50 @@
+#include "xkernel/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rtpb::xkernel {
+
+std::vector<std::string> parse_graph_spec(const std::string& spec) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : spec + ";") {
+    if (c == ';') {
+      // trim
+      const auto b = cur.find_first_not_of(" \t");
+      const auto e = cur.find_last_not_of(" \t");
+      if (b != std::string::npos) out.push_back(cur.substr(b, e - b + 1));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  return out;
+}
+
+HostStack::HostStack(net::Network& network, const std::string& graph_spec)
+    : graph_(parse_graph_spec(graph_spec)) {
+  // The composition rules: the graph must be the supported linear stack.
+  RTPB_EXPECTS(graph_.size() == 3);
+  RTPB_EXPECTS(graph_[0] == "simeth" && graph_[1] == "iplite" && graph_[2] == "udplite");
+
+  eth_ = std::make_unique<SimEth>(network);
+  ip_ = std::make_unique<IpLite>();
+  udp_ = std::make_unique<UdpLite>();
+
+  ip_->connect_down(*eth_);
+  eth_->set_up(ip_.get());
+  udp_->connect_down(*ip_);
+  ip_->register_upper(IpLite::kProtoUdp, udp_.get());
+}
+
+void HostStack::send_datagram(net::Port local_port, net::Endpoint remote, Bytes payload) {
+  Message msg{std::move(payload)};
+  MsgAttrs attrs;
+  attrs.src = {node(), local_port};
+  attrs.dst = remote;
+  udp_->push(msg, attrs);
+}
+
+}  // namespace rtpb::xkernel

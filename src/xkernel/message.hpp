@@ -1,0 +1,83 @@
+// x-kernel style message object.
+//
+// Protocols prepend their header on the way down (push) and strip it on
+// the way up (pop).  The buffer keeps headroom in front of the payload so
+// a push is normally a copy into reserved space, not a reallocation —
+// mirroring x-kernel's optimisation for layered header addition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/assert.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace rtpb::xkernel {
+
+class Message {
+ public:
+  Message() : Message(Bytes{}) {}
+
+  /// Build a message around an application payload, reserving `headroom`
+  /// bytes in front for protocol headers.
+  explicit Message(Bytes payload, std::size_t headroom = kDefaultHeadroom)
+      : head_(headroom) {
+    buf_.resize(headroom + payload.size());
+    std::copy(payload.begin(), payload.end(), buf_.begin() + static_cast<std::ptrdiff_t>(headroom));
+  }
+
+  /// Reconstruct a message from raw wire bytes (no headroom; pops only).
+  static Message from_wire(std::span<const std::uint8_t> wire) {
+    Message m;
+    m.buf_ = Bytes(wire.begin(), wire.end());
+    m.head_ = 0;
+    return m;
+  }
+
+  /// Prepend a header.
+  void push(std::span<const std::uint8_t> header) {
+    if (header.size() > head_) {
+      grow_headroom(header.size());
+    }
+    head_ -= header.size();
+    std::copy(header.begin(), header.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+
+  /// Strip `n` bytes from the front, returning them.
+  [[nodiscard]] std::span<const std::uint8_t> pop(std::size_t n) {
+    RTPB_EXPECTS(n <= size());
+    auto out = std::span<const std::uint8_t>{buf_.data() + head_, n};
+    head_ += n;
+    return out;
+  }
+
+  /// Current contents (front header through end of payload).
+  [[nodiscard]] std::span<const std::uint8_t> contents() const {
+    return {buf_.data() + head_, buf_.size() - head_};
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Copy out the remaining bytes (typically the application payload after
+  /// all headers are stripped).
+  [[nodiscard]] Bytes to_bytes() const {
+    return Bytes(buf_.begin() + static_cast<std::ptrdiff_t>(head_), buf_.end());
+  }
+
+  static constexpr std::size_t kDefaultHeadroom = 64;
+
+ private:
+  void grow_headroom(std::size_t need) {
+    const std::size_t extra = std::max(need, kDefaultHeadroom);
+    Bytes bigger(buf_.size() + extra);
+    std::copy(buf_.begin(), buf_.end(), bigger.begin() + static_cast<std::ptrdiff_t>(extra));
+    buf_ = std::move(bigger);
+    head_ += extra;
+  }
+
+  Bytes buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace rtpb::xkernel

@@ -1,0 +1,32 @@
+#include "xkernel/simeth.hpp"
+
+#include "util/log.hpp"
+
+namespace rtpb::xkernel {
+
+SimEth::SimEth(net::Network& network) : Protocol("simeth"), network_(network) {
+  node_ = network_.add_node([this](const net::Packet& pkt) {
+    ++frames_received_;
+    Message msg = Message::from_wire(pkt.payload);
+    MsgAttrs attrs;
+    attrs.src.node = pkt.src;
+    attrs.dst.node = pkt.dst;
+    demux(msg, attrs);
+  });
+}
+
+void SimEth::push(Message& msg, const MsgAttrs& attrs) {
+  RTPB_EXPECTS(attrs.dst.node != net::kInvalidNode);
+  ++frames_sent_;
+  network_.send(node_, attrs.dst.node, msg.to_bytes());
+}
+
+void SimEth::demux(Message& msg, MsgAttrs& attrs) {
+  if (up_ == nullptr) {
+    RTPB_WARN("simeth", "frame with no upper protocol configured; dropped");
+    return;
+  }
+  up_->demux(msg, attrs);
+}
+
+}  // namespace rtpb::xkernel

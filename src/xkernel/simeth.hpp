@@ -1,0 +1,36 @@
+// SIMETH: the bottom anchor of every host's protocol graph.  It adapts the
+// uniform protocol interface to the simulated link fabric — the role the
+// real x-kernel's ethernet driver protocol played on the 10 Mb/s LAN of
+// the paper's testbed.
+#pragma once
+
+#include "net/network.hpp"
+#include "xkernel/protocol.hpp"
+
+namespace rtpb::xkernel {
+
+class SimEth final : public Protocol {
+ public:
+  /// Registers a host with the fabric; delivered frames are demuxed to the
+  /// protocol configured above via set_up().
+  explicit SimEth(net::Network& network);
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+  void set_up(Protocol* up) { up_ = up; }
+
+  void push(Message& msg, const MsgAttrs& attrs) override;
+  void demux(Message& msg, MsgAttrs& attrs) override;
+
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId node_ = net::kInvalidNode;
+  Protocol* up_ = nullptr;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace rtpb::xkernel

@@ -1,0 +1,86 @@
+#include "xkernel/udplite.hpp"
+
+#include "util/bytebuffer.hpp"
+#include "util/log.hpp"
+
+namespace rtpb::xkernel {
+
+void UdpLite::bind(net::Port port, Handler handler) {
+  RTPB_EXPECTS(handler != nullptr);
+  RTPB_EXPECTS(!bindings_.contains(port));
+  bindings_[port] = std::move(handler);
+}
+
+void UdpLite::unbind(net::Port port) { bindings_.erase(port); }
+
+std::uint16_t UdpLite::checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < data.size(); i += 2) {
+    std::uint16_t word = static_cast<std::uint16_t>(data[i] << 8);
+    if (i + 1 < data.size()) word = static_cast<std::uint16_t>(word | data[i + 1]);
+    sum += word;
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+void UdpLite::push(Message& msg, const MsgAttrs& attrs) {
+  RTPB_EXPECTS(down() != nullptr);
+  const std::uint16_t csum = checksum(msg.contents());
+  ByteWriter w(kHeaderSize);
+  w.u16(attrs.src.port);
+  w.u16(attrs.dst.port);
+  w.u16(static_cast<std::uint16_t>(msg.size()));
+  w.u16(csum);
+  msg.push(w.data());
+  down()->push(msg, attrs);
+}
+
+namespace {
+class UdpSession final : public Session {
+ public:
+  UdpSession(UdpLite& udp, net::Endpoint local, net::Endpoint remote)
+      : Session(local, remote), udp_(udp) {
+    attrs_.src = local;
+    attrs_.dst = remote;
+  }
+  void push(Message& msg) override { udp_.push(msg, attrs_); }
+
+ private:
+  UdpLite& udp_;
+  MsgAttrs attrs_;
+};
+}  // namespace
+
+std::unique_ptr<Session> UdpLite::open(net::Endpoint local, net::Endpoint remote) {
+  RTPB_EXPECTS(remote.node != net::kInvalidNode);
+  return std::make_unique<UdpSession>(*this, local, remote);
+}
+
+void UdpLite::demux(Message& msg, MsgAttrs& attrs) {
+  if (msg.size() < kHeaderSize) {
+    ++checksum_failures_;
+    return;
+  }
+  ByteReader r(msg.pop(kHeaderSize));
+  const std::uint16_t src_port = r.u16();
+  const std::uint16_t dst_port = r.u16();
+  const std::uint16_t length = r.u16();
+  const std::uint16_t csum = r.u16();
+  if (!r.ok() || length != msg.size() || checksum(msg.contents()) != csum) {
+    ++checksum_failures_;
+    RTPB_WARN("udplite", "checksum/length failure on datagram to port %u", dst_port);
+    return;
+  }
+  attrs.src.port = src_port;
+  attrs.dst.port = dst_port;
+  auto it = bindings_.find(dst_port);
+  if (it == bindings_.end()) {
+    ++no_listener_;
+    RTPB_DEBUG("udplite", "no listener on port %u; dropped", dst_port);
+    return;
+  }
+  it->second(msg, attrs);
+}
+
+}  // namespace rtpb::xkernel

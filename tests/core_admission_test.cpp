@@ -1,0 +1,202 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/theory.hpp"
+
+namespace rtpb::core {
+namespace {
+
+ObjectSpec spec(ObjectId id, Duration p = millis(10), Duration delta_p = millis(20),
+                Duration delta_b = millis(100)) {
+  ObjectSpec s;
+  s.id = id;
+  s.name = "obj" + std::to_string(id);
+  s.client_period = p;
+  s.client_exec = micros(200);
+  s.update_exec = micros(200);
+  s.delta_primary = delta_p;
+  s.delta_backup = delta_b;
+  return s;
+}
+
+ServiceConfig default_config() { return {}; }
+
+TEST(Admission, AcceptsWellFormedObject) {
+  AdmissionController ac(default_config(), millis(2));
+  const auto r = ac.admit(spec(1));
+  ASSERT_TRUE(r.ok());
+  // window = 80ms, ell = 2ms, slack 2 -> r = 39ms
+  EXPECT_EQ(r.value().update_period, millis(39));
+  EXPECT_EQ(ac.admitted_count(), 1u);
+}
+
+TEST(Admission, RejectsDuplicate) {
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  const auto r = ac.admit(spec(1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kDuplicate);
+}
+
+TEST(Admission, RejectsMalformedSpec) {
+  AdmissionController ac(default_config(), millis(2));
+  ObjectSpec bad = spec(1);
+  bad.client_period = Duration::zero();
+  const auto r = ac.admit(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kInvalidSpec);
+}
+
+TEST(Admission, RejectsClientPeriodExceedingDeltaPrimary) {
+  // Paper §4.2 check (1): p_i must be ≤ δ_iP.
+  AdmissionController ac(default_config(), millis(2));
+  const auto r = ac.admit(spec(1, /*p=*/millis(25), /*delta_p=*/millis(20)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kPeriodExceedsDelta);
+}
+
+TEST(Admission, RejectsWindowSmallerThanLinkDelay) {
+  // Paper §4.2 check (2): δ_i = δ_iB − δ_iP must exceed ℓ.
+  AdmissionController ac(default_config(), millis(50));
+  const auto r = ac.admit(spec(1, millis(10), millis(20), millis(60)));  // window 40 < ell 50
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kWindowTooSmall);
+}
+
+TEST(Admission, RejectsWhenUpdateTasksUnschedulable) {
+  // Saturate the CPU with heavy client tasks until RM analysis fails.
+  AdmissionController ac(default_config(), millis(1));
+  ObjectId id = 1;
+  bool saw_rejection = false;
+  for (; id < 200; ++id) {
+    ObjectSpec s = spec(id);
+    s.client_exec = millis(4);   // 40% utilisation each
+    s.update_exec = millis(2);
+    const auto r = ac.admit(s);
+    if (!r.ok()) {
+      EXPECT_EQ(r.code(), AdmissionError::kUnschedulable);
+      saw_rejection = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_GE(ac.admitted_count(), 1u);
+}
+
+TEST(Admission, DisabledAdmissionAcceptsEverything) {
+  ServiceConfig config;
+  config.admission_control_enabled = false;
+  AdmissionController ac(config, millis(1));
+  for (ObjectId id = 1; id <= 100; ++id) {
+    ObjectSpec s = spec(id);
+    s.client_exec = millis(4);
+    EXPECT_TRUE(ac.admit(s).ok()) << id;
+  }
+  EXPECT_EQ(ac.admitted_count(), 100u);
+}
+
+TEST(Admission, UpdatePeriodFollowsWindowFormula) {
+  // r_i = (δ_i − ℓ) / slack — §4.3 with the paper's 2x slack.
+  const Duration ell = millis(3);
+  AdmissionController ac(default_config(), ell);
+  const auto r = ac.admit(spec(1, millis(10), millis(20), millis(120)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().update_period,
+            sched::theory::update_period(millis(100), ell, 2));
+}
+
+TEST(Admission, SlackFactorOneSendsAtFullWindow) {
+  ServiceConfig config;
+  config.slack_factor = 1;
+  AdmissionController ac(config, millis(2));
+  const auto r = ac.admit(spec(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().update_period, millis(78));  // (100-20) - 2
+}
+
+TEST(Admission, RemoveFreesCapacity) {
+  AdmissionController ac(default_config(), millis(1));
+  ObjectSpec heavy = spec(1);
+  heavy.client_exec = millis(5);
+  ASSERT_TRUE(ac.admit(heavy).ok());
+  ac.remove(1);
+  EXPECT_EQ(ac.admitted_count(), 0u);
+  heavy.id = 2;
+  EXPECT_TRUE(ac.admit(heavy).ok());
+}
+
+TEST(Admission, InterObjectConstraintRequiresKnownObjects) {
+  AdmissionController ac(default_config(), millis(1));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  const auto s = ac.add_constraint({1, 99, millis(50)});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), AdmissionError::kUnknownObject);
+}
+
+TEST(Admission, InterObjectConstraintRejectsSlowClients) {
+  // §3: both client periods must be within δ_ij.
+  AdmissionController ac(default_config(), millis(1));
+  ASSERT_TRUE(ac.admit(spec(1, millis(10))).ok());
+  ASSERT_TRUE(ac.admit(spec(2, millis(18))).ok());
+  const auto s = ac.add_constraint({1, 2, millis(15)});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), AdmissionError::kInterObjectViolation);
+}
+
+TEST(Admission, InterObjectConstraintTightensUpdatePeriods) {
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  ASSERT_TRUE(ac.admit(spec(2)).ok());
+  const Duration before = ac.update_period(1);
+  ASSERT_GT(before, millis(15));
+  ASSERT_TRUE(ac.add_constraint({1, 2, millis(15)}).ok());
+  EXPECT_EQ(ac.update_period(1), millis(15));
+  EXPECT_EQ(ac.update_period(2), millis(15));
+}
+
+TEST(Admission, InterObjectConstraintLooserThanWindowChangesNothing) {
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  ASSERT_TRUE(ac.admit(spec(2)).ok());
+  const Duration before = ac.update_period(1);
+  ASSERT_TRUE(ac.add_constraint({1, 2, millis(500)}).ok());
+  EXPECT_EQ(ac.update_period(1), before);
+}
+
+TEST(Admission, CompressedSchedulingUsesSpareCapacity) {
+  ServiceConfig config;
+  config.update_scheduling = UpdateScheduling::kCompressed;
+  config.compressed_target_utilization = 0.8;
+  AdmissionController ac(config, millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  // One object, client util = 0.02: update task gets ~0.78 utilisation:
+  // r ≈ e'/0.78 ≈ 0.256ms — far more often than the window-derived 39ms.
+  EXPECT_LT(ac.update_period(1), millis(1));
+  const Duration solo = ac.update_period(1);
+  // Admitting more objects shares the spare capacity: periods grow.
+  ASSERT_TRUE(ac.admit(spec(2)).ok());
+  EXPECT_GT(ac.update_period(1), solo);
+}
+
+TEST(Admission, CompressedPeriodIndependentOfWindow) {
+  ServiceConfig config;
+  config.update_scheduling = UpdateScheduling::kCompressed;
+  AdmissionController ac1(config, millis(2));
+  AdmissionController ac2(config, millis(2));
+  ASSERT_TRUE(ac1.admit(spec(1, millis(10), millis(20), millis(60))).ok());   // window 40
+  ASSERT_TRUE(ac2.admit(spec(1, millis(10), millis(20), millis(400))).ok());  // window 380
+  EXPECT_EQ(ac1.update_period(1), ac2.update_period(1));
+}
+
+TEST(Admission, TotalUtilizationAccountsForBothTaskKinds) {
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  const ObjectSpec s = spec(1);
+  const double expected = s.client_exec.ratio(s.client_period) +
+                          s.update_exec.ratio(ac.update_period(1));
+  EXPECT_NEAR(ac.total_utilization(), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtpb::core

@@ -1,0 +1,103 @@
+#include "core/heartbeat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtpb::core {
+namespace {
+
+struct DetectorFixture {
+  sim::Simulator sim;
+  std::vector<std::uint64_t> pings;
+  bool dead = false;
+  FailureDetector::Params params{millis(100), millis(50), 3};
+  FailureDetector detector{sim, params, [this](std::uint64_t seq) { pings.push_back(seq); },
+                           [this] { dead = true; }};
+};
+
+TEST(FailureDetector, SendsPeriodicPings) {
+  DetectorFixture f;
+  f.detector.start();
+  // Answer every ping instantly so the peer stays alive.
+  f.sim.schedule_after(millis(1), [] {});
+  for (int i = 0; i < 10; ++i) {
+    f.sim.run_until(f.sim.now() + millis(100));
+    f.detector.note_traffic();
+  }
+  EXPECT_GE(f.detector.pings_sent(), 9u);
+  EXPECT_FALSE(f.dead);
+}
+
+TEST(FailureDetector, DeclaresDeadAfterMaxMisses) {
+  DetectorFixture f;
+  f.detector.start();
+  // Never answer: 3 misses at 100ms spacing -> dead by ~350ms.
+  f.sim.run_until(f.sim.now() + millis(400));
+  EXPECT_TRUE(f.dead);
+  EXPECT_TRUE(f.detector.peer_declared_dead());
+  // Pings stop after the declaration.
+  const auto pings_at_death = f.detector.pings_sent();
+  f.sim.run_until(f.sim.now() + millis(500));
+  EXPECT_EQ(f.detector.pings_sent(), pings_at_death);
+}
+
+TEST(FailureDetector, AckWithinTimeoutPreventsMiss) {
+  DetectorFixture f;
+  f.detector.start();
+  // Ack each ping 10ms after it is sent.
+  for (int i = 0; i < 20; ++i) {
+    f.sim.run_until(f.sim.now() + millis(100));  // ping fires at 100*i
+    f.detector.on_ping_ack(1);                   // ack arrives "10ms later"
+  }
+  EXPECT_FALSE(f.dead);
+  EXPECT_EQ(f.detector.consecutive_misses(), 0u);
+}
+
+TEST(FailureDetector, OtherTrafficCountsAsLiveness) {
+  DetectorFixture f;
+  f.detector.start();
+  for (int i = 0; i < 20; ++i) {
+    f.sim.run_until(f.sim.now() + millis(30));
+    f.detector.note_traffic();  // e.g. an UPDATE stream
+  }
+  EXPECT_FALSE(f.dead);
+}
+
+TEST(FailureDetector, MissesResetByLateTraffic) {
+  DetectorFixture f;
+  f.detector.start();
+  f.sim.run_until(f.sim.now() + millis(260));  // two timeouts elapsed
+  EXPECT_GE(f.detector.consecutive_misses(), 2u);
+  EXPECT_FALSE(f.dead);
+  f.detector.note_traffic();
+  EXPECT_EQ(f.detector.consecutive_misses(), 0u);
+  f.sim.run_until(f.sim.now() + millis(200));
+  EXPECT_FALSE(f.dead);
+}
+
+TEST(FailureDetector, StopPreventsDeclaration) {
+  DetectorFixture f;
+  f.detector.start();
+  f.sim.run_until(f.sim.now() + millis(120));
+  f.detector.stop();
+  f.sim.run_until(f.sim.now() + millis(1000));
+  EXPECT_FALSE(f.dead);
+}
+
+TEST(FailureDetector, DetectionLatencyIsBounded) {
+  // Detection should take roughly max_misses pings + one timeout:
+  // 3 * 100ms + 50ms, plus the first ping at 100ms.
+  DetectorFixture f;
+  f.detector.start();
+  TimePoint dead_at{};
+  while (!f.dead && f.sim.now() < TimePoint{0} + seconds(2)) {
+    f.sim.run_until(f.sim.now() + millis(10));
+    if (f.dead) dead_at = f.sim.now();
+  }
+  ASSERT_TRUE(f.dead);
+  EXPECT_LE(dead_at, TimePoint{0} + millis(400));
+}
+
+}  // namespace
+}  // namespace rtpb::core

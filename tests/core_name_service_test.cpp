@@ -1,0 +1,42 @@
+#include "core/name_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb::core {
+namespace {
+
+TEST(NameService, PublishAndLookup) {
+  NameService names;
+  EXPECT_FALSE(names.lookup("svc").has_value());
+  names.publish("svc", {7, 5000});
+  const auto found = names.lookup("svc");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->node, 7u);
+  EXPECT_EQ(found->port, 5000);
+}
+
+TEST(NameService, RepublishOverwrites) {
+  NameService names;
+  names.publish("svc", {1, 5000});
+  names.publish("svc", {2, 5000});  // failover rewrites the name file
+  EXPECT_EQ(names.lookup("svc")->node, 2u);
+}
+
+TEST(NameService, MultipleServicesIndependent) {
+  NameService names;
+  names.publish("a", {1, 10});
+  names.publish("b", {2, 20});
+  EXPECT_EQ(names.lookup("a")->node, 1u);
+  EXPECT_EQ(names.lookup("b")->node, 2u);
+}
+
+TEST(NameService, WithdrawRemoves) {
+  NameService names;
+  names.publish("svc", {1, 10});
+  names.withdraw("svc");
+  EXPECT_FALSE(names.lookup("svc").has_value());
+  names.withdraw("svc");  // idempotent
+}
+
+}  // namespace
+}  // namespace rtpb::core

@@ -1,0 +1,127 @@
+// QoS negotiation (paper §4.2): a rejected registration carries a concrete
+// feasible alternative, and re-submitting that alternative succeeds.
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+
+namespace rtpb::core {
+namespace {
+
+ObjectSpec spec(ObjectId id, Duration p = millis(10), Duration delta_p = millis(20),
+                Duration delta_b = millis(100)) {
+  ObjectSpec s;
+  s.id = id;
+  s.name = "obj" + std::to_string(id);
+  s.client_period = p;
+  s.client_exec = micros(200);
+  s.update_exec = micros(200);
+  s.delta_primary = delta_p;
+  s.delta_backup = delta_b;
+  return s;
+}
+
+TEST(Negotiation, PeriodExceedsDeltaSuggestsWiderConstraint) {
+  AdmissionController ac(ServiceConfig{}, millis(2));
+  const auto r = ac.admit(spec(1, /*p=*/millis(50), /*delta_p=*/millis(20)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kPeriodExceedsDelta);
+  ASSERT_TRUE(r.error().suggestion.has_value());
+  const ObjectSpec& alt = *r.error().suggestion;
+  EXPECT_GE(alt.delta_primary, alt.client_period);
+  // The suggestion is admissible as promised.
+  EXPECT_TRUE(ac.admit(alt).ok());
+}
+
+TEST(Negotiation, WindowTooSmallSuggestsWiderWindow) {
+  AdmissionController ac(ServiceConfig{}, millis(10));
+  const auto r = ac.admit(spec(1, millis(10), millis(20), millis(25)));  // window 5 < ell 10
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kWindowTooSmall);
+  ASSERT_TRUE(r.error().suggestion.has_value());
+  EXPECT_GT(r.error().suggestion->window(), millis(10));
+  EXPECT_TRUE(ac.admit(*r.error().suggestion).ok());
+}
+
+TEST(Negotiation, UnschedulableSuggestsSlowerRate) {
+  AdmissionController ac(ServiceConfig{}, millis(2));
+  // Fill most of the CPU.
+  for (ObjectId id = 1; id <= 6; ++id) {
+    ObjectSpec heavy = spec(id);
+    heavy.client_exec = millis(1);
+    ASSERT_TRUE(ac.admit(heavy).ok()) << id;
+  }
+  // This one does not fit at its requested rate...
+  ObjectSpec demanding = spec(100);
+  demanding.client_exec = millis(4);
+  const auto r = ac.admit(demanding);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), AdmissionError::kUnschedulable);
+  // ...but a slower variant exists and is admissible.
+  ASSERT_TRUE(r.error().suggestion.has_value());
+  const ObjectSpec& alt = *r.error().suggestion;
+  EXPECT_GT(alt.client_period, demanding.client_period);
+  EXPECT_TRUE(ac.admit(alt).ok());
+}
+
+TEST(Negotiation, HopelessDemandGetsNoSuggestion) {
+  AdmissionController ac(ServiceConfig{}, millis(2));
+  // An object whose execution time exceeds any sane scaled period.
+  ObjectSpec impossible = spec(1);
+  impossible.client_period = micros(500);
+  impossible.client_exec = micros(499);  // ~100% utilisation by itself
+  impossible.delta_primary = micros(500);
+  const auto r = ac.admit(impossible);
+  ASSERT_FALSE(r.ok());
+  // Doubling the period never reduces utilisation below 1 because exec is
+  // fixed... (it does halve utilisation: 499us/1ms = 0.5, admissible).
+  // So instead saturate the CPU first, then even 64x relaxation fails.
+  AdmissionController full(ServiceConfig{}, millis(2));
+  for (ObjectId id = 1; id <= 3; ++id) {
+    ObjectSpec heavy = spec(id);
+    heavy.client_exec = millis(2);  // 3 * 20% + update tasks
+    ASSERT_TRUE(full.admit(heavy).ok());
+  }
+  ObjectSpec monster = spec(50);
+  monster.client_period = millis(1);
+  monster.client_exec = millis(1);  // 100% utilisation alone at any scale
+  const auto r2 = full.admit(monster);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_FALSE(r2.error().suggestion.has_value());
+}
+
+TEST(Negotiation, DuplicateAndInvalidCarryNoSuggestion) {
+  AdmissionController ac(ServiceConfig{}, millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  const auto dup = ac.admit(spec(1));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_FALSE(dup.error().suggestion.has_value());
+
+  ObjectSpec bad = spec(2);
+  bad.client_period = Duration::zero();
+  const auto invalid = ac.admit(bad);
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_FALSE(invalid.error().suggestion.has_value());
+}
+
+TEST(Negotiation, SuggestAlternativeUsableProactively) {
+  AdmissionController ac(ServiceConfig{}, millis(2));
+  ObjectSpec demanding = spec(1, millis(50), millis(20));  // p > delta_P
+  const auto alt = ac.suggest_alternative(demanding);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_TRUE(ac.admit(*alt).ok());
+}
+
+TEST(Negotiation, SuggestionPreservesIdentityAndCosts) {
+  AdmissionController ac(ServiceConfig{}, millis(2));
+  ObjectSpec demanding = spec(7, millis(50), millis(20));
+  demanding.size_bytes = 1234;
+  const auto alt = ac.suggest_alternative(demanding);
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(alt->id, 7u);
+  EXPECT_EQ(alt->size_bytes, 1234u);
+  EXPECT_EQ(alt->client_exec, demanding.client_exec);
+  EXPECT_EQ(alt->update_exec, demanding.update_exec);
+}
+
+}  // namespace
+}  // namespace rtpb::core

@@ -1,0 +1,92 @@
+#include "core/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb::core {
+namespace {
+
+ObjectSpec spec(ObjectId id) {
+  ObjectSpec s;
+  s.id = id;
+  s.name = "obj" + std::to_string(id);
+  s.client_period = millis(10);
+  s.client_exec = millis(1);
+  s.update_exec = millis(1);
+  s.delta_primary = millis(20);
+  s.delta_backup = millis(60);
+  return s;
+}
+
+TEST(ObjectStore, InsertAndLookup) {
+  ObjectStore store;
+  EXPECT_TRUE(store.insert(spec(1)));
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.get(1).version, 0u);
+}
+
+TEST(ObjectStore, DuplicateInsertRejected) {
+  ObjectStore store;
+  EXPECT_TRUE(store.insert(spec(1)));
+  EXPECT_FALSE(store.insert(spec(1)));
+}
+
+TEST(ObjectStore, WriteBumpsVersionAndTimestamps) {
+  ObjectStore store;
+  store.insert(spec(1));
+  EXPECT_EQ(store.write(1, Bytes{1}, TimePoint{100}), 1u);
+  EXPECT_EQ(store.write(1, Bytes{2}, TimePoint{200}), 2u);
+  const ObjectState& s = store.get(1);
+  EXPECT_EQ(s.version, 2u);
+  EXPECT_EQ(s.timestamp, TimePoint{200});
+  EXPECT_EQ(s.origin_timestamp, TimePoint{200});
+  EXPECT_EQ(s.value, Bytes{2});
+}
+
+TEST(ObjectStore, ApplyAcceptsOnlyNewerVersions) {
+  ObjectStore store;
+  store.insert(spec(1));
+  EXPECT_TRUE(store.apply(1, 3, TimePoint{30}, Bytes{3}, TimePoint{35}));
+  EXPECT_FALSE(store.apply(1, 3, TimePoint{30}, Bytes{3}, TimePoint{40}));  // duplicate
+  EXPECT_FALSE(store.apply(1, 2, TimePoint{20}, Bytes{2}, TimePoint{45}));  // stale
+  EXPECT_TRUE(store.apply(1, 5, TimePoint{50}, Bytes{5}, TimePoint{55}));   // gap is fine
+  const ObjectState& s = store.get(1);
+  EXPECT_EQ(s.version, 5u);
+  EXPECT_EQ(s.origin_timestamp, TimePoint{50});
+  EXPECT_EQ(s.timestamp, TimePoint{55});  // local apply time
+}
+
+TEST(ObjectStore, EraseRemoves) {
+  ObjectStore store;
+  store.insert(spec(1));
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_FALSE(store.contains(1));
+}
+
+TEST(ObjectStore, FindReturnsNulloptForMissing) {
+  ObjectStore store;
+  EXPECT_FALSE(store.find(9).has_value());
+  store.insert(spec(9));
+  EXPECT_TRUE(store.find(9).has_value());
+}
+
+TEST(ObjectStore, ForEachIteratesInIdOrder) {
+  ObjectStore store;
+  store.insert(spec(3));
+  store.insert(spec(1));
+  store.insert(spec(2));
+  std::vector<ObjectId> seen;
+  store.for_each([&](const ObjectState& s) { seen.push_back(s.spec.id); });
+  EXPECT_EQ(seen, (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(store.ids(), seen);
+}
+
+TEST(ObjectSpec, WindowIsDeltaDifference) {
+  const ObjectSpec s = spec(1);
+  EXPECT_EQ(s.window(), millis(40));
+}
+
+}  // namespace
+}  // namespace rtpb::core

@@ -1,0 +1,127 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb::core::wire {
+namespace {
+
+TEST(Wire, UpdateRoundTrip) {
+  Update u;
+  u.object = 17;
+  u.version = 123456789;
+  u.timestamp = TimePoint{987654321};
+  u.retransmission = true;
+  u.value = Bytes{9, 8, 7, 6};
+
+  const auto decoded = decode(encode(u));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->type, MsgType::kUpdate);
+  ASSERT_TRUE(decoded->update.has_value());
+  EXPECT_EQ(decoded->update->object, u.object);
+  EXPECT_EQ(decoded->update->version, u.version);
+  EXPECT_EQ(decoded->update->timestamp, u.timestamp);
+  EXPECT_TRUE(decoded->update->retransmission);
+  EXPECT_EQ(decoded->update->value, u.value);
+}
+
+TEST(Wire, UpdateAckRoundTrip) {
+  const auto decoded = decode(encode(UpdateAck{5, 99}));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->update_ack.has_value());
+  EXPECT_EQ(decoded->update_ack->object, 5u);
+  EXPECT_EQ(decoded->update_ack->version, 99u);
+}
+
+TEST(Wire, RetransmitRequestRoundTrip) {
+  const auto decoded = decode(encode(RetransmitRequest{3, 42}));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->retransmit.has_value());
+  EXPECT_EQ(decoded->retransmit->object, 3u);
+  EXPECT_EQ(decoded->retransmit->have_version, 42u);
+}
+
+TEST(Wire, PingAndAckRoundTrip) {
+  auto p = decode(encode(Ping{77}));
+  ASSERT_TRUE(p && p->ping);
+  EXPECT_EQ(p->ping->seq, 77u);
+  auto a = decode(encode(PingAck{77}));
+  ASSERT_TRUE(a && a->ping_ack);
+  EXPECT_EQ(a->ping_ack->seq, 77u);
+}
+
+TEST(Wire, StateTransferRoundTrip) {
+  StateTransfer st;
+  st.transfer_id = 1001;
+  StateEntry e;
+  e.spec.id = 4;
+  e.spec.name = "altitude";
+  e.spec.size_bytes = 16;
+  e.spec.client_period = millis(10);
+  e.spec.client_exec = millis(1);
+  e.spec.update_exec = micros(500);
+  e.spec.delta_primary = millis(20);
+  e.spec.delta_backup = millis(80);
+  e.update_period = millis(25);
+  e.version = 9;
+  e.timestamp = TimePoint{555};
+  e.value = Bytes{1, 2, 3};
+  st.entries.push_back(e);
+  st.constraints.push_back(InterObjectConstraint{4, 5, millis(30)});
+
+  const auto decoded = decode(encode(st));
+  ASSERT_TRUE(decoded && decoded->state_transfer);
+  const StateTransfer& d = *decoded->state_transfer;
+  EXPECT_EQ(d.transfer_id, 1001u);
+  ASSERT_EQ(d.entries.size(), 1u);
+  EXPECT_EQ(d.entries[0].spec.name, "altitude");
+  EXPECT_EQ(d.entries[0].spec.delta_backup, millis(80));
+  EXPECT_EQ(d.entries[0].update_period, millis(25));
+  EXPECT_EQ(d.entries[0].version, 9u);
+  EXPECT_EQ(d.entries[0].value, (Bytes{1, 2, 3}));
+  ASSERT_EQ(d.constraints.size(), 1u);
+  EXPECT_EQ(d.constraints[0].delta, millis(30));
+}
+
+TEST(Wire, EmptyStateTransferRoundTrip) {
+  StateTransfer st;
+  st.transfer_id = 7;
+  const auto decoded = decode(encode(st));
+  ASSERT_TRUE(decoded && decoded->state_transfer);
+  EXPECT_TRUE(decoded->state_transfer->entries.empty());
+  EXPECT_TRUE(decoded->state_transfer->constraints.empty());
+}
+
+TEST(Wire, StateTransferAckRoundTrip) {
+  const auto decoded = decode(encode(StateTransferAck{88}));
+  ASSERT_TRUE(decoded && decoded->state_transfer_ack);
+  EXPECT_EQ(decoded->state_transfer_ack->transfer_id, 88u);
+}
+
+TEST(Wire, EmptyBufferRejected) { EXPECT_FALSE(decode({}).has_value()); }
+
+TEST(Wire, UnknownTypeRejected) {
+  Bytes junk{0xEE, 1, 2, 3};
+  EXPECT_FALSE(decode(junk).has_value());
+}
+
+TEST(Wire, TruncatedUpdateRejected) {
+  Bytes full = encode(Update{1, 2, TimePoint{3}, false, Bytes{4, 5}});
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  Bytes msg = encode(Ping{1});
+  msg.push_back(0x00);
+  EXPECT_FALSE(decode(msg).has_value());
+}
+
+TEST(Wire, MsgTypeNames) {
+  EXPECT_STREQ(msg_type_name(MsgType::kUpdate), "UPDATE");
+  EXPECT_STREQ(msg_type_name(MsgType::kStateTransfer), "STATE_TRANSFER");
+}
+
+}  // namespace
+}  // namespace rtpb::core::wire

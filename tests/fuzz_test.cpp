@@ -1,0 +1,195 @@
+// Randomised robustness tests: the wire decoder, the x-kernel message
+// buffer and the event queue are exercised with adversarial inputs and
+// checked against reference models.  These are the surfaces that consume
+// untrusted bytes (anything off the network) or carry the whole
+// simulation's correctness.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "core/object_store.hpp"
+#include "core/wire.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "xkernel/message.hpp"
+#include "xkernel/udplite.hpp"
+
+namespace rtpb {
+namespace {
+
+TEST(WireFuzz, RandomBytesNeverCrashDecoder) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes junk(static_cast<std::size_t>(rng.uniform(0, 200)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    const auto decoded = core::wire::decode(junk);
+    if (decoded) {
+      // If it decoded, the tag must be a known one.
+      const auto t = static_cast<std::uint8_t>(decoded->type);
+      EXPECT_GE(t, 1);
+      EXPECT_LE(t, 7);
+    }
+  }
+}
+
+TEST(WireFuzz, TruncationsOfValidMessagesNeverDecodeToWrongType) {
+  core::wire::StateTransfer st;
+  st.transfer_id = 42;
+  core::wire::StateEntry e;
+  e.spec.id = 1;
+  e.spec.name = "fuzzed-object";
+  e.spec.client_period = millis(10);
+  e.value = Bytes(100, 0xAA);
+  st.entries.push_back(e);
+  const Bytes full = core::wire::encode(st);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(core::wire::decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(WireFuzz, SingleByteMutationsEitherFailOrKeepType) {
+  const Bytes original = core::wire::encode(core::wire::Update{
+      3, 77, TimePoint{123456}, false, Bytes{1, 2, 3, 4, 5, 6, 7, 8}});
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutated = original;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    const auto decoded = core::wire::decode(mutated);
+    // Mutating the tag byte may produce a different (or no) message; any
+    // other single-byte flip must still decode as an Update or fail —
+    // never crash or misattribute the payload length.
+    if (decoded && pos != 0) {
+      EXPECT_EQ(decoded->type, core::wire::MsgType::kUpdate);
+    }
+  }
+}
+
+TEST(MessageFuzz, RandomPushPopMatchesReferenceModel) {
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes payload(static_cast<std::size_t>(rng.uniform(0, 64)), 0x11);
+    xkernel::Message msg(payload, static_cast<std::size_t>(rng.uniform(0, 16)));
+    std::deque<std::uint8_t> model(payload.begin(), payload.end());
+
+    for (int op = 0; op < 50; ++op) {
+      if (rng.bernoulli(0.5)) {
+        Bytes hdr(static_cast<std::size_t>(rng.uniform(1, 40)));
+        for (auto& b : hdr) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+        msg.push(hdr);
+        model.insert(model.begin(), hdr.begin(), hdr.end());
+      } else if (!model.empty()) {
+        const auto n = static_cast<std::size_t>(
+            rng.uniform(1, static_cast<std::int64_t>(model.size())));
+        const auto popped = msg.pop(n);
+        ASSERT_EQ(popped.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(popped[i], model.front());
+          model.pop_front();
+        }
+      }
+      ASSERT_EQ(msg.size(), model.size());
+    }
+    const Bytes rest = msg.to_bytes();
+    ASSERT_EQ(rest, Bytes(model.begin(), model.end()));
+  }
+}
+
+TEST(EventQueueFuzz, RandomScheduleCancelRespectsOrderAndCancellation) {
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim::Simulator sim;
+    struct Planned {
+      TimePoint at;
+      bool cancelled;
+    };
+    std::vector<Planned> plan;
+    std::vector<sim::EventHandle> handles;
+    std::vector<std::size_t> fired;
+
+    for (std::size_t i = 0; i < 300; ++i) {
+      const TimePoint at{rng.uniform(0, 10'000)};
+      plan.push_back({at, false});
+      handles.push_back(sim.schedule_at(at, [&fired, i] { fired.push_back(i); }));
+    }
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (rng.bernoulli(0.3)) {
+        plan[i].cancelled = true;
+        EXPECT_TRUE(handles[i].cancel());
+      }
+    }
+    sim.run();
+
+    // Every non-cancelled event fired exactly once, in nondecreasing time,
+    // with scheduling order breaking ties.
+    std::size_t expected = 0;
+    for (const auto& p : plan) {
+      if (!p.cancelled) ++expected;
+    }
+    ASSERT_EQ(fired.size(), expected);
+    for (std::size_t k = 1; k < fired.size(); ++k) {
+      const auto a = fired[k - 1];
+      const auto b = fired[k];
+      ASSERT_TRUE(plan[a].at < plan[b].at || (plan[a].at == plan[b].at && a < b));
+    }
+    for (auto idx : fired) ASSERT_FALSE(plan[idx].cancelled);
+  }
+}
+
+TEST(ChecksumFuzz, EverySingleBitFlipDetected) {
+  Bytes data(64, 0);
+  Rng rng(0x5151);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  const auto good = xkernel::UdpLite::checksum(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes corrupted = data;
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(xkernel::UdpLite::checksum(corrupted), good)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(StoreFuzz, RandomOpsMatchModel) {
+  Rng rng(0x9999);
+  core::ObjectStore store;
+  std::map<core::ObjectId, std::pair<std::uint64_t, Bytes>> model;  // id -> (version, value)
+  for (int op = 0; op < 2000; ++op) {
+    const auto id = static_cast<core::ObjectId>(rng.uniform(1, 20));
+    const int what = static_cast<int>(rng.uniform(0, 3));
+    if (what == 0) {
+      core::ObjectSpec spec;
+      spec.id = id;
+      spec.client_period = millis(10);
+      const bool inserted = store.insert(spec);
+      EXPECT_EQ(inserted, !model.contains(id));
+      if (inserted) model[id] = {0, {}};
+    } else if (what == 1 && model.contains(id)) {
+      Bytes v{static_cast<std::uint8_t>(rng.uniform(0, 255))};
+      const auto ver = store.write(id, v, TimePoint{op});
+      auto& entry = model[id];
+      ++entry.first;
+      entry.second = v;
+      EXPECT_EQ(ver, entry.first);
+    } else if (what == 2 && model.contains(id)) {
+      const auto version = static_cast<std::uint64_t>(rng.uniform(0, 8));
+      Bytes v{static_cast<std::uint8_t>(rng.uniform(0, 255))};
+      const bool applied = store.apply(id, version, TimePoint{op}, v, TimePoint{op});
+      auto& entry = model[id];
+      EXPECT_EQ(applied, version > entry.first);
+      if (applied) entry = {version, v};
+    }
+    if (model.contains(id)) {
+      const auto& s = store.get(id);
+      EXPECT_EQ(s.version, model[id].first);
+      EXPECT_EQ(s.value, model[id].second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtpb

@@ -1,0 +1,133 @@
+#include "sched/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtpb::sched {
+namespace {
+
+TaskSpec task(TaskId id, Duration period, Duration wcet) {
+  TaskSpec t;
+  t.id = id;
+  t.period = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TEST(Analysis, LiuLaylandBound) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(liu_layland_bound(3), 0.7798, 1e-3);
+  // Approaches ln 2 from above.
+  EXPECT_GT(liu_layland_bound(100), std::log(2.0));
+  EXPECT_NEAR(liu_layland_bound(1000), std::log(2.0), 1e-3);
+}
+
+TEST(Analysis, TotalUtilization) {
+  TaskSet set{task(1, millis(10), millis(2)), task(2, millis(20), millis(5))};
+  EXPECT_NEAR(total_utilization(set), 0.45, 1e-12);
+}
+
+TEST(Analysis, RmUtilizationTestAcceptsLowUtilization) {
+  TaskSet set{task(1, millis(10), millis(2)), task(2, millis(20), millis(4))};  // U = 0.4
+  EXPECT_TRUE(rm_utilization_test(set));
+}
+
+TEST(Analysis, RmUtilizationTestRejectsOverloadedSet) {
+  TaskSet set{task(1, millis(10), millis(6)), task(2, millis(20), millis(8))};  // U = 1.0
+  EXPECT_FALSE(rm_utilization_test(set));
+}
+
+TEST(Analysis, HyperbolicBoundDominatesUtilizationBound) {
+  // U = 0.5 + 0.33 = 0.83 exceeds the 2-task Liu-Layland bound (0.8284),
+  // but the hyperbolic product 1.5 * 1.33 = 1.995 ≤ 2 still accepts.
+  TaskSet set{task(1, millis(10), millis(5)), task(2, millis(100), millis(33))};
+  EXPECT_FALSE(rm_utilization_test(set));
+  EXPECT_TRUE(rm_hyperbolic_test(set));
+  // Any set the utilization bound accepts, hyperbolic accepts too.
+  TaskSet easy{task(1, millis(10), millis(2)), task(2, millis(20), millis(4))};
+  EXPECT_TRUE(rm_utilization_test(easy));
+  EXPECT_TRUE(rm_hyperbolic_test(easy));
+}
+
+TEST(Analysis, ResponseTimeAnalysisExactCase) {
+  // Lehoczky's classic example: T1=(100,40), T2=(150,40), T3=(350,100).
+  TaskSet set{task(1, millis(100), millis(40)), task(2, millis(150), millis(40)),
+              task(3, millis(350), millis(100))};
+  auto rt = rm_response_times(set);
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ((*rt)[0], millis(40));
+  EXPECT_EQ((*rt)[1], millis(80));
+  // T3: R = 100 + ceil(R/100)*40 + ceil(R/150)*40 -> converges at 300.
+  EXPECT_EQ((*rt)[2], millis(300));
+}
+
+TEST(Analysis, ResponseTimeAnalysisDetectsUnschedulable) {
+  TaskSet set{task(1, millis(10), millis(6)), task(2, millis(14), millis(7))};
+  EXPECT_FALSE(rm_exact_test(set));
+}
+
+TEST(Analysis, ResponseTimeAnalysisAcceptsHarmonicFullUtilization) {
+  // Harmonic periods: RM schedules up to U = 1.
+  TaskSet set{task(1, millis(10), millis(5)), task(2, millis(20), millis(10))};
+  EXPECT_TRUE(rm_exact_test(set));
+  EXPECT_FALSE(rm_utilization_test(set));  // utilization bound is pessimistic here
+}
+
+TEST(Analysis, EdfTest) {
+  TaskSet ok{task(1, millis(10), millis(5)), task(2, millis(20), millis(10))};  // U = 1
+  TaskSet bad{task(1, millis(10), millis(6)), task(2, millis(20), millis(10))};
+  EXPECT_TRUE(edf_test(ok));
+  EXPECT_FALSE(edf_test(bad));
+}
+
+TEST(Analysis, DcsSpecializationProducesHarmonicPeriods) {
+  TaskSet set{task(1, millis(10), millis(1)), task(2, millis(25), millis(2)),
+              task(3, millis(70), millis(5))};
+  const DcsSpecialization s = dcs_specialize(set);
+  ASSERT_EQ(s.periods.size(), 3u);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_LE(s.periods[i], set[i].period) << i;
+    // Every specialised period is base * 2^k.
+    std::int64_t ratio = s.periods[i].nanos() / s.base.nanos();
+    EXPECT_EQ(s.periods[i].nanos() % s.base.nanos(), 0) << i;
+    EXPECT_EQ(ratio & (ratio - 1), 0) << "ratio must be a power of two";
+  }
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(Analysis, DcsSpecializationDensityNeverBelowOriginal) {
+  TaskSet set{task(1, millis(12), millis(1)), task(2, millis(17), millis(1))};
+  const DcsSpecialization s = dcs_specialize(set);
+  EXPECT_GE(s.density, total_utilization(set) - 1e-12);
+}
+
+TEST(Analysis, DcsZeroVarianceConditionMatchesPaperFormula) {
+  TaskSet set{task(1, millis(10), millis(2)), task(2, millis(20), millis(4))};  // U=0.4
+  EXPECT_TRUE(dcs_zero_variance_condition(set));
+  TaskSet heavy{task(1, millis(10), millis(5)), task(2, millis(20), millis(8))};  // U=0.9
+  EXPECT_FALSE(dcs_zero_variance_condition(heavy));
+}
+
+TEST(Analysis, PhaseVarianceBounds) {
+  const TaskSpec t = task(1, millis(10), millis(2));
+  EXPECT_EQ(phase_variance_bound_universal(t), millis(8));
+  // EDF at 50% utilisation: 0.5*10 - 2 = 3ms.
+  EXPECT_EQ(phase_variance_bound_edf(t, 0.5), millis(3));
+  // RM bound is looser (divides by n(2^{1/n}-1) < 1).
+  EXPECT_GT(phase_variance_bound_rm(t, 0.5, 3), phase_variance_bound_edf(t, 0.5));
+  // Bounds clamp at zero.
+  EXPECT_EQ(phase_variance_bound_edf(t, 0.1), Duration::zero());
+}
+
+TEST(Analysis, EmptyTaskSet) {
+  TaskSet empty;
+  EXPECT_TRUE(rm_utilization_test(empty));
+  EXPECT_TRUE(rm_exact_test(empty));
+  EXPECT_TRUE(edf_test(empty));
+  EXPECT_DOUBLE_EQ(total_utilization(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace rtpb::sched

@@ -1,0 +1,116 @@
+// One-shot aperiodic jobs on the simulated CPU: background priority,
+// retirement after completion, interaction with periodic load.
+#include <gtest/gtest.h>
+
+#include "sched/cpu.hpp"
+
+namespace rtpb::sched {
+namespace {
+
+TaskSpec make_task(Duration period, Duration wcet) {
+  TaskSpec t;
+  t.period = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TEST(AperiodicJob, RunsToCompletionOnIdleCpu) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  cpu.start(TimePoint::zero());
+  bool done = false;
+  TimePoint finish{};
+  cpu.submit_job("once", millis(3), [&](const JobInfo& j) {
+    done = true;
+    finish = j.finish;
+  });
+  sim.run_until(TimePoint::zero() + millis(10));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(finish, TimePoint::zero() + millis(3));
+}
+
+TEST(AperiodicJob, RetiresAfterCompletion) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  cpu.start(TimePoint::zero());
+  const TaskId id = cpu.submit_job("once", millis(1), nullptr);
+  EXPECT_TRUE(cpu.has_task(id));
+  sim.run_until(TimePoint::zero() + millis(5));
+  EXPECT_FALSE(cpu.has_task(id));
+  EXPECT_EQ(cpu.jobs_completed(), 1u);
+}
+
+TEST(AperiodicJob, DoesNotDelayPeriodicTasks) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  std::vector<TimePoint> finishes;
+  cpu.add_task(make_task(millis(10), millis(2)),
+               [&](const JobInfo& j) { finishes.push_back(j.finish); });
+  cpu.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + millis(5));
+  // A long background job lands mid-hyperperiod...
+  cpu.submit_job("bg", millis(30), nullptr);
+  sim.run_until(TimePoint::zero() + millis(100));
+  // ...and every periodic job still finishes exactly 2ms after release.
+  ASSERT_GE(finishes.size(), 9u);
+  for (std::size_t i = 0; i < finishes.size(); ++i) {
+    EXPECT_EQ(finishes[i],
+              TimePoint::zero() + millis(10) * static_cast<std::int64_t>(i) + millis(2));
+  }
+}
+
+TEST(AperiodicJob, PreemptedByPeriodicArrivals) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  cpu.start(TimePoint::zero());
+  TimePoint bg_finish{};
+  cpu.submit_job("bg", millis(6), [&](const JobInfo& j) { bg_finish = j.finish; });
+  sim.run_until(TimePoint::zero() + millis(2));
+  // Periodic task arrives at t=2 and takes 3ms of CPU per 10ms period.
+  cpu.add_task(make_task(millis(10), millis(3)), nullptr);
+  sim.run_until(TimePoint::zero() + millis(30));
+  // bg: ran 0-2 (2ms), preempted 2-5, ran 5-9 (4ms) -> finish at 9ms.
+  EXPECT_EQ(bg_finish, TimePoint::zero() + millis(9));
+}
+
+TEST(AperiodicJob, MultipleJobsServeInIdOrder) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  cpu.start(TimePoint::zero());
+  std::vector<int> order;
+  cpu.submit_job("a", millis(1), [&](const JobInfo&) { order.push_back(1); });
+  cpu.submit_job("b", millis(1), [&](const JobInfo&) { order.push_back(2); });
+  cpu.submit_job("c", millis(1), [&](const JobInfo&) { order.push_back(3); });
+  sim.run_until(TimePoint::zero() + millis(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AperiodicJob, CallbackMaySubmitAnotherJob) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  cpu.start(TimePoint::zero());
+  int chain = 0;
+  std::function<void(const JobInfo&)> again = [&](const JobInfo&) {
+    if (++chain < 3) cpu.submit_job("chain", millis(1), again);
+  };
+  cpu.submit_job("chain", millis(1), again);
+  sim.run_until(TimePoint::zero() + millis(20));
+  EXPECT_EQ(chain, 3);
+}
+
+TEST(AperiodicJob, RemovableBeforeRunning) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kRateMonotonic);
+  // Keep the CPU busy so the background job cannot start immediately.
+  cpu.add_task(make_task(millis(10), millis(9)), nullptr);
+  cpu.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + millis(1));
+  bool ran = false;
+  const TaskId id = cpu.submit_job("bg", millis(1), [&](const JobInfo&) { ran = true; });
+  cpu.remove_task(id);
+  sim.run_until(TimePoint::zero() + millis(50));
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace rtpb::sched

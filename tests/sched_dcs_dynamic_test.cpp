@@ -1,0 +1,69 @@
+// Dynamic task arrival/departure under the DCS S_r policy: the harmonic
+// specialisation is rebuilt and future releases follow the new periods.
+#include <gtest/gtest.h>
+
+#include "sched/cpu.hpp"
+
+namespace rtpb::sched {
+namespace {
+
+TaskSpec make_task(Duration period, Duration wcet) {
+  TaskSpec t;
+  t.period = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TEST(DcsDynamic, AddingTaskRespecializes) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kDcsSr);
+  const TaskId a = cpu.add_task(make_task(millis(10), millis(1)), nullptr);
+  EXPECT_EQ(cpu.effective_period(a), millis(10));
+  // A 25ms task specialises to 20ms with base 10.
+  const TaskId b = cpu.add_task(make_task(millis(25), millis(2)), nullptr);
+  EXPECT_EQ(cpu.effective_period(b), millis(20));
+  EXPECT_EQ(cpu.effective_period(a), millis(10));
+}
+
+TEST(DcsDynamic, AddingShorterTaskMayChangeBase) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kDcsSr);
+  const TaskId a = cpu.add_task(make_task(millis(40), millis(2)), nullptr);
+  EXPECT_EQ(cpu.effective_period(a), millis(40));
+  // A 15ms task forces a base <= 15: 40 specialises down (e.g. 30 with
+  // base 15, or another harmonic value <= 40).
+  const TaskId b = cpu.add_task(make_task(millis(15), millis(1)), nullptr);
+  EXPECT_LE(cpu.effective_period(b), millis(15));
+  EXPECT_LE(cpu.effective_period(a), millis(40));
+  const auto base = cpu.effective_period(b);
+  EXPECT_EQ(cpu.effective_period(a).nanos() % base.nanos(), 0);
+}
+
+TEST(DcsDynamic, RuntimeAdditionKeepsZeroVarianceAfterResettle) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kDcsSr);
+  const TaskId a = cpu.add_task(make_task(millis(10), millis(1)), nullptr);
+  cpu.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + seconds(1));
+  const TaskId b = cpu.add_task(make_task(millis(20), millis(2)), nullptr);
+  // Let the new schedule settle one hyperperiod, then measure cleanly.
+  sim.run_until(sim.now() + millis(100));
+  // Trackers were rebuilt at respecialisation; just run and verify.
+  sim.run_until(sim.now() + seconds(5));
+  EXPECT_EQ(cpu.tracker(a).phase_variance(), Duration::zero());
+  EXPECT_EQ(cpu.tracker(b).phase_variance(), Duration::zero());
+}
+
+TEST(DcsDynamic, RemovalRespecializesRemaining) {
+  sim::Simulator sim;
+  Cpu cpu(sim, Policy::kDcsSr);
+  const TaskId small = cpu.add_task(make_task(millis(15), millis(1)), nullptr);
+  const TaskId big = cpu.add_task(make_task(millis(40), millis(2)), nullptr);
+  ASSERT_LT(cpu.effective_period(big), millis(40));  // specialised down
+  cpu.remove_task(small);
+  // Alone again, the 40ms task runs at its own period.
+  EXPECT_EQ(cpu.effective_period(big), millis(40));
+}
+
+}  // namespace
+}  // namespace rtpb::sched

@@ -1,0 +1,129 @@
+// The DCS scheduler family: S_a (parametric base), S_x (minimum-period
+// base) and S_r (searched base), plus their algebraic relationships.
+#include <gtest/gtest.h>
+
+#include "sched/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace rtpb::sched {
+namespace {
+
+TaskSpec task(Duration period, Duration wcet) {
+  TaskSpec t;
+  t.period = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TaskSet random_set(Rng& rng, std::size_t n, double util) {
+  TaskSet set;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec t;
+    t.period = millis(rng.uniform(10, 250));
+    t.wcet = std::max(micros(100), t.period.scaled(util / static_cast<double>(n)));
+    set.push_back(t);
+  }
+  return set;
+}
+
+TEST(DcsSa, SpecializesToBaseTimesPowerOfTwo) {
+  TaskSet set{task(millis(10), millis(1)), task(millis(37), millis(2)),
+              task(millis(95), millis(4))};
+  const auto s = dcs_specialize_with_base(set, millis(10));
+  ASSERT_EQ(s.periods.size(), 3u);
+  EXPECT_EQ(s.periods[0], millis(10));
+  EXPECT_EQ(s.periods[1], millis(20));
+  EXPECT_EQ(s.periods[2], millis(80));
+}
+
+TEST(DcsSa, BaseEqualToAllPeriodsIsIdentity) {
+  TaskSet set{task(millis(10), millis(1)), task(millis(20), millis(1)),
+              task(millis(40), millis(1))};
+  const auto s = dcs_specialize_with_base(set, millis(10));
+  EXPECT_EQ(s.periods[0], millis(10));
+  EXPECT_EQ(s.periods[1], millis(20));
+  EXPECT_EQ(s.periods[2], millis(40));
+  EXPECT_NEAR(s.density, total_utilization(set), 1e-12);
+}
+
+TEST(DcsSx, UsesMinimumPeriodAsBase) {
+  TaskSet set{task(millis(25), millis(1)), task(millis(12), millis(1)),
+              task(millis(70), millis(1))};
+  const auto s = dcs_specialize_sx(set);
+  EXPECT_EQ(s.base, millis(12));
+  EXPECT_EQ(s.periods[0], millis(24));
+  EXPECT_EQ(s.periods[1], millis(12));
+  EXPECT_EQ(s.periods[2], millis(48));
+}
+
+TEST(DcsSx, EmptySetIsTrivial) {
+  const auto s = dcs_specialize_sx({});
+  EXPECT_TRUE(s.periods.empty());
+  EXPECT_DOUBLE_EQ(s.density, 0.0);
+}
+
+TEST(DcsFamily, SrNeverWorseThanSx) {
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    TaskSet set = random_set(rng, 2 + static_cast<std::size_t>(rng.uniform(0, 5)), 0.5);
+    const auto sx = dcs_specialize_sx(set);
+    const auto sr = dcs_specialize(set);
+    EXPECT_LE(sr.density, sx.density + 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(DcsFamily, DensityInflationBoundedByTwo) {
+  // Power-of-two specialisation at worst halves a period, so density at
+  // most doubles relative to the raw utilisation.
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    TaskSet set = random_set(rng, 4, 0.4);
+    const double u = total_utilization(set);
+    EXPECT_LE(dcs_specialize_sx(set).density, 2.0 * u + 1e-9);
+    EXPECT_LE(dcs_specialize(set).density, 2.0 * u + 1e-9);
+  }
+}
+
+TEST(DcsFamily, SpecializedPeriodsNeverExceedOriginals) {
+  Rng rng(999);
+  for (int trial = 0; trial < 100; ++trial) {
+    TaskSet set = random_set(rng, 5, 0.5);
+    for (const DcsSpecialization& spec : {dcs_specialize_sx(set), dcs_specialize(set)}) {
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_LE(spec.periods[i], set[i].period);
+        EXPECT_GT(spec.periods[i], Duration::zero());
+      }
+    }
+  }
+}
+
+TEST(DcsFamily, SrBaseLiesInHalfOpenIntervalAboveHalfMin) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    TaskSet set = random_set(rng, 4, 0.5);
+    Duration cmin = Duration::max();
+    for (const auto& t : set) cmin = std::min(cmin, t.period);
+    const auto sr = dcs_specialize(set);
+    EXPECT_GT(sr.base * 2, cmin);
+    EXPECT_LE(sr.base, cmin);
+  }
+}
+
+TEST(DcsFamily, HarmonicChainProperty) {
+  // All specialised periods divide one another pairwise (after sorting) —
+  // the property that makes the fixed-priority schedule cyclic.
+  Rng rng(4321);
+  for (int trial = 0; trial < 100; ++trial) {
+    TaskSet set = random_set(rng, 5, 0.4);
+    const auto sr = dcs_specialize(set);
+    std::vector<Duration> ps = sr.periods;
+    std::sort(ps.begin(), ps.end());
+    for (std::size_t i = 1; i < ps.size(); ++i) {
+      EXPECT_EQ(ps[i].nanos() % ps[i - 1].nanos(), 0)
+          << ps[i - 1].to_string() << " !| " << ps[i].to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtpb::sched

@@ -1,0 +1,67 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb::sched {
+namespace {
+
+TaskSpec task(const char* name, Duration period, Duration wcet) {
+  TaskSpec t;
+  t.name = name;
+  t.period = period;
+  t.wcet = wcet;
+  return t;
+}
+
+TEST(Gantt, SingleTaskPattern) {
+  TaskSet set{task("tick", millis(10), millis(3))};
+  GanttOptions options;
+  options.horizon = millis(20);
+  options.show_releases = false;
+  const std::string chart = render_gantt(set, Policy::kRateMonotonic, options);
+  // Executes in the first 3 columns of each 10-column period.
+  EXPECT_NE(chart.find("tick |###.......###.......|"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("idle |   _______   _______|"), std::string::npos) << chart;
+}
+
+TEST(Gantt, PreemptionVisible) {
+  TaskSet set{task("hi", millis(10), millis(2)), task("lo", millis(20), millis(10))};
+  GanttOptions options;
+  options.horizon = millis(20);
+  options.show_releases = false;
+  const std::string chart = render_gantt(set, Policy::kRateMonotonic, options);
+  // hi runs 0-2 and 10-12; lo runs 2-10, is preempted at 10, resumes 12-14.
+  EXPECT_NE(chart.find("hi   |##........##........|"), std::string::npos) << chart;
+  EXPECT_NE(chart.find("lo   |..########..##......|"), std::string::npos) << chart;
+}
+
+TEST(Gantt, ReleaseMarkersAtPeriodBoundaries) {
+  TaskSet set{task("t", millis(10), millis(1))};
+  GanttOptions options;
+  options.horizon = millis(30);
+  options.show_releases = true;
+  const std::string chart = render_gantt(set, Policy::kRateMonotonic, options);
+  EXPECT_NE(chart.find("|^         ^         ^         |"), std::string::npos) << chart;
+}
+
+TEST(Gantt, DcsShowsHarmonicCyclicPattern) {
+  TaskSet set{task("a", millis(10), millis(2)), task("b", millis(25), millis(3))};
+  GanttOptions options;
+  options.horizon = millis(40);
+  options.show_releases = false;
+  const std::string chart = render_gantt(set, Policy::kDcsSr, options);
+  // b's period specialises 25 -> 20; the pattern repeats every 20 columns,
+  // with b completing at a fixed offset in every one of its periods.
+  EXPECT_NE(chart.find("a    |##........##........##........##........|"), std::string::npos)
+      << chart;
+  EXPECT_NE(chart.find("b    |..###.................###...............|"), std::string::npos)
+      << chart;
+}
+
+TEST(Gantt, HeaderNamesPolicy) {
+  TaskSet set{task("x", millis(10), millis(1))};
+  EXPECT_NE(render_gantt(set, Policy::kEdf).find("policy: EDF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtpb::sched

@@ -1,0 +1,93 @@
+#include "sched/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/analysis.hpp"
+
+namespace rtpb::sched {
+namespace {
+
+TEST(UUniFast, SumsToTarget) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto utils = uunifast(rng, 6, 0.7);
+    const double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+    EXPECT_NEAR(sum, 0.7, 1e-12);
+    for (double u : utils) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 0.7 + 1e-12);
+    }
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Rng rng(2);
+  const auto utils = uunifast(rng, 1, 0.42);
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_DOUBLE_EQ(utils[0], 0.42);
+}
+
+TEST(UUniFast, MeanPerTaskUtilizationIsUniform) {
+  // Each slot's expected share is total/n.
+  Rng rng(3);
+  const std::size_t n = 4;
+  std::vector<double> sums(n, 0.0);
+  const int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto utils = uunifast(rng, n, 0.8);
+    for (std::size_t i = 0; i < n; ++i) sums[i] += utils[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sums[i] / trials, 0.8 / static_cast<double>(n), 0.01) << i;
+  }
+}
+
+TEST(Generator, ProducesValidTaskSets) {
+  Rng rng(4);
+  GeneratorParams params;
+  params.tasks = 8;
+  params.total_utilization = 0.6;
+  for (int trial = 0; trial < 100; ++trial) {
+    const TaskSet set = generate_task_set(rng, params);
+    ASSERT_EQ(set.size(), 8u);
+    for (const auto& t : set) {
+      EXPECT_TRUE(t.valid()) << t.name;
+      EXPECT_GE(t.period, params.min_period);
+      EXPECT_LE(t.period, params.max_period);
+      EXPECT_GE(t.wcet, params.min_wcet);
+    }
+    // min_wcet clamping can only push utilisation up, never down much.
+    EXPECT_GE(total_utilization(set), 0.4);
+  }
+}
+
+TEST(Generator, UtilizationCloseToTargetWhenWcetsUnclamped) {
+  Rng rng(5);
+  GeneratorParams params;
+  params.tasks = 5;
+  params.total_utilization = 0.5;
+  params.min_period = millis(50);  // long periods: min_wcet never binds
+  params.max_period = millis(500);
+  params.min_wcet = micros(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TaskSet set = generate_task_set(rng, params);
+    EXPECT_NEAR(total_utilization(set), 0.5, 0.02);
+  }
+}
+
+TEST(Generator, DeterministicForSameRngState) {
+  Rng a(6), b(6);
+  GeneratorParams params;
+  const TaskSet s1 = generate_task_set(a, params);
+  const TaskSet s2 = generate_task_set(b, params);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].period, s2[i].period);
+    EXPECT_EQ(s1[i].wcet, s2[i].wcet);
+  }
+}
+
+}  // namespace
+}  // namespace rtpb::sched

@@ -1,0 +1,154 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtpb::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{30}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{10}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{20}, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint{30});
+}
+
+TEST(Simulator, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimePoint fired{};
+  sim.schedule_after(millis(5), [&] {
+    sim.schedule_after(millis(3), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::zero() + millis(8));
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(TimePoint{10}, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFiringIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(TimePoint{10}, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(TimePoint{10}, [&] { ++count; });
+  sim.schedule_at(TimePoint{20}, [&] { ++count; });
+  sim.schedule_at(TimePoint{30}, [&] { ++count; });
+  sim.run_until(TimePoint{20});
+  EXPECT_EQ(count, 2);  // events at the deadline fire
+  EXPECT_EQ(sim.now(), TimePoint{20});
+  sim.run_until(TimePoint{100});
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), TimePoint{100});  // clock reaches deadline even when idle
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(TimePoint{1}, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(TimePoint{2}, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(TimePoint{1}, [&] { ++count; });
+  sim.schedule_at(TimePoint{2}, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventCounters) {
+  Simulator sim;
+  auto h = sim.schedule_at(TimePoint{5}, [] {});
+  sim.schedule_at(TimePoint{6}, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.fired_events(), 1u);
+}
+
+TEST(PeriodicTimer, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(sim, millis(10), [&] { fires.push_back(sim.now()); });
+  timer.start_at(TimePoint::zero() + millis(10));
+  sim.run_until(TimePoint::zero() + millis(45));
+  ASSERT_EQ(fires.size(), 4u);
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i], TimePoint::zero() + millis(10) * static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST(PeriodicTimer, StopFromCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, millis(1), [&] {
+    if (++count == 3) timer.stop();
+  });
+  timer.start();
+  sim.run_until(TimePoint::zero() + millis(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, RestartRearms) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, millis(10), [&] { ++count; });
+  timer.start_at(TimePoint::zero() + millis(10));
+  sim.run_until(TimePoint::zero() + millis(25));
+  EXPECT_EQ(count, 2);
+  timer.stop();
+  sim.run_until(TimePoint::zero() + millis(50));
+  EXPECT_EQ(count, 2);
+  timer.start();  // re-arm at now + period
+  sim.run_until(TimePoint::zero() + millis(70));
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, DeterministicRngStream) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace rtpb::sim

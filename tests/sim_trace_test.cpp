@@ -1,0 +1,103 @@
+// Execution tracing: recorder semantics plus cross-subsystem event
+// ordering assertions on a live service.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rtpb.hpp"
+#include "sched/cpu.hpp"
+
+namespace rtpb {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultAndFree) {
+  sim::TraceRecorder trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.record(TimePoint{1}, sim::TraceCategory::kUser, "ignored");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceRecorder, RecordsInOrder) {
+  sim::TraceRecorder trace;
+  trace.enable();
+  trace.record(TimePoint{1}, sim::TraceCategory::kUser, "a");
+  trace.record(TimePoint{2}, sim::TraceCategory::kNet, "b", "context");
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].label, "a");
+  EXPECT_EQ(trace.events()[1].detail, "context");
+}
+
+TEST(TraceRecorder, RingBufferKeepsMostRecent) {
+  sim::TraceRecorder trace;
+  trace.enable(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(TimePoint{i}, sim::TraceCategory::kUser, std::to_string(i));
+  }
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].label, "7");
+  EXPECT_EQ(trace.events()[2].label, "9");
+  EXPECT_EQ(trace.dropped(), 7u);
+}
+
+TEST(TraceRecorder, FilterByLabelAndRender) {
+  sim::TraceRecorder trace;
+  trace.enable();
+  trace.record(TimePoint{1}, sim::TraceCategory::kCpu, "x");
+  trace.record(TimePoint{2}, sim::TraceCategory::kCpu, "y");
+  trace.record(TimePoint{3}, sim::TraceCategory::kCpu, "x");
+  EXPECT_EQ(trace.with_label("x").size(), 2u);
+  EXPECT_NE(trace.render().find("cpu"), std::string::npos);
+}
+
+TEST(TraceIntegration, CpuEmitsReleaseStartFinishTriples) {
+  sim::Simulator sim;
+  sim.trace().enable();
+  sched::Cpu cpu(sim, sched::Policy::kRateMonotonic);
+  sched::TaskSpec t;
+  t.name = "tick";
+  t.period = millis(10);
+  t.wcet = millis(2);
+  cpu.add_task(t, nullptr);
+  cpu.start(TimePoint::zero());
+  sim.run_until(TimePoint::zero() + millis(35));
+
+  const auto releases = sim.trace().with_label("job-release");
+  const auto starts = sim.trace().with_label("job-start");
+  const auto finishes = sim.trace().with_label("job-finish");
+  EXPECT_EQ(releases.size(), 4u);
+  EXPECT_EQ(starts.size(), 4u);
+  EXPECT_EQ(finishes.size(), 4u);
+  // Per job: release <= start < finish.
+  for (std::size_t i = 0; i < finishes.size(); ++i) {
+    EXPECT_LE(releases[i].at, starts[i].at);
+    EXPECT_LT(starts[i].at, finishes[i].at);
+  }
+}
+
+TEST(TraceIntegration, FailoverLeavesPromoteMarker) {
+  core::ServiceParams params;
+  params.link.propagation = millis(1);
+  core::RtpbService service(params);
+  service.simulator().trace().enable();
+  service.start();
+  core::ObjectSpec spec;
+  spec.id = 1;
+  spec.client_period = millis(10);
+  spec.client_exec = micros(200);
+  spec.update_exec = micros(200);
+  spec.delta_primary = millis(20);
+  spec.delta_backup = millis(100);
+  ASSERT_TRUE(service.register_object(spec).ok());
+  service.run_for(seconds(1));
+  service.crash_primary();
+  service.run_for(seconds(1));
+
+  const auto promotes = service.simulator().trace().with_label("promote");
+  ASSERT_EQ(promotes.size(), 1u);
+  EXPECT_EQ(promotes[0].detail, "node" + std::to_string(service.backup().node()));
+  // Network activity was traced too.
+  EXPECT_FALSE(service.simulator().trace().with_label("frame-send").empty());
+}
+
+}  // namespace
+}  // namespace rtpb

@@ -1,0 +1,92 @@
+#include "util/bytebuffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb {
+namespace {
+
+TEST(ByteBuffer, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[3], 0x04);
+}
+
+TEST(ByteBuffer, RoundTripTimeTypes) {
+  ByteWriter w;
+  w.duration(millis(17));
+  w.timepoint(TimePoint{123456789});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.duration(), millis(17));
+  EXPECT_EQ(r.timepoint(), TimePoint{123456789});
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteBuffer, RoundTripStringsAndBytes) {
+  ByteWriter w;
+  w.string("hello");
+  w.string("");
+  Bytes blob{1, 2, 3, 255};
+  w.bytes(blob);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.string(), "hello");
+  EXPECT_EQ(r.string(), "");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBuffer, OverReadSetsFailed) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_EQ(r.u32(), 0u);  // past end: zero value
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteBuffer, TruncatedLengthPrefixFails) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow but none do
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteBuffer, NegativeDurationSurvives) {
+  ByteWriter w;
+  w.duration(millis(-5));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.duration(), millis(-5));
+}
+
+TEST(ByteBuffer, RawAppendHasNoPrefix) {
+  ByteWriter w;
+  Bytes raw{9, 8, 7};
+  w.raw(raw);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.data(), raw);
+}
+
+}  // namespace
+}  // namespace rtpb

@@ -1,0 +1,82 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb {
+namespace {
+
+TEST(Config, ParsesKeyValuePairs) {
+  const Config c = Config::parse("a = 1\nb=hello\n  c  =  2.5  \n");
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(c.get_double("c", 0.0), 2.5);
+  EXPECT_TRUE(c.errors().empty());
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  const Config c = Config::parse("# header\n\nkey = value # trailing comment\n\n");
+  EXPECT_EQ(c.get_string("key", ""), "value");
+  EXPECT_EQ(c.values().size(), 1u);
+}
+
+TEST(Config, MalformedLinesReported) {
+  const Config c = Config::parse("good = 1\nno equals sign\n= empty key\n");
+  EXPECT_EQ(c.errors().size(), 2u);
+  EXPECT_EQ(c.get_int("good", 0), 1);
+}
+
+TEST(Config, FallbacksWhenMissingOrUnparsable) {
+  const Config c = Config::parse("n = notanumber\n");
+  EXPECT_EQ(c.get_int("missing", 42), 42);
+  EXPECT_EQ(c.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("n", 1.5), 1.5);
+}
+
+TEST(Config, Booleans) {
+  const Config c = Config::parse("t1=true\nt2=YES\nt3=1\nf1=off\nf2=0\nx=maybe\n");
+  EXPECT_TRUE(c.get_bool("t1", false));
+  EXPECT_TRUE(c.get_bool("t2", false));
+  EXPECT_TRUE(c.get_bool("t3", false));
+  EXPECT_FALSE(c.get_bool("f1", true));
+  EXPECT_FALSE(c.get_bool("f2", true));
+  EXPECT_TRUE(c.get_bool("x", true));  // unparsable: fallback
+}
+
+TEST(Config, DurationLiterals) {
+  EXPECT_EQ(Config::parse_duration("250ns"), nanos(250));
+  EXPECT_EQ(Config::parse_duration("10us"), micros(10));
+  EXPECT_EQ(Config::parse_duration("5ms"), millis(5));
+  EXPECT_EQ(Config::parse_duration("2s"), seconds(2));
+  EXPECT_EQ(Config::parse_duration("1.5ms"), millis_f(1.5));
+  EXPECT_EQ(Config::parse_duration("7"), millis(7));  // bare = ms
+  EXPECT_FALSE(Config::parse_duration("fast").has_value());
+  EXPECT_FALSE(Config::parse_duration("10 lightyears").has_value());
+  EXPECT_FALSE(Config::parse_duration("").has_value());
+}
+
+TEST(Config, GetDuration) {
+  const Config c = Config::parse("period = 10ms\nbad = soon\n");
+  EXPECT_EQ(c.get_duration("period", Duration::zero()), millis(10));
+  EXPECT_EQ(c.get_duration("bad", millis(3)), millis(3));
+  EXPECT_EQ(c.get_duration("missing", millis(9)), millis(9));
+}
+
+TEST(Config, UnusedKeyDetection) {
+  const Config c = Config::parse("used = 1\ntypo_key = 2\n");
+  (void)c.get_int("used", 0);
+  const auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo_key");
+}
+
+TEST(Config, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(Config::load("/nonexistent/path/to/config").has_value());
+}
+
+TEST(Config, LastDuplicateWins) {
+  const Config c = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace rtpb

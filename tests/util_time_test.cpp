@@ -1,0 +1,69 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtpb {
+namespace {
+
+TEST(Duration, ConstructionAndAccessors) {
+  EXPECT_EQ(millis(5).nanos(), 5'000'000);
+  EXPECT_EQ(micros(7).nanos(), 7'000);
+  EXPECT_EQ(seconds(2).nanos(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(millis(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(millis_f(2.5).millis(), 2.5);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(millis(3) + millis(4), millis(7));
+  EXPECT_EQ(millis(10) - millis(4), millis(6));
+  EXPECT_EQ(millis(3) * 4, millis(12));
+  EXPECT_EQ(millis(12) / 4, millis(3));
+  EXPECT_EQ(-millis(5), millis(-5));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = millis(1);
+  d += millis(2);
+  EXPECT_EQ(d, millis(3));
+  d -= millis(1);
+  EXPECT_EQ(d, millis(2));
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(millis(1), millis(2));
+  EXPECT_GT(millis(3), micros(2999));
+  EXPECT_LE(millis(1), millis(1));
+}
+
+TEST(Duration, ScaledRoundsToNearest) {
+  EXPECT_EQ(millis(10).scaled(0.5), millis(5));
+  EXPECT_EQ(nanos(3).scaled(0.5), nanos(2));   // 1.5 rounds up
+  EXPECT_EQ(nanos(-3).scaled(0.5), nanos(-2)); // symmetric
+}
+
+TEST(Duration, RatioAndAbs) {
+  EXPECT_DOUBLE_EQ(millis(5).ratio(millis(10)), 0.5);
+  EXPECT_EQ(millis(-7).abs(), millis(7));
+  EXPECT_EQ(millis(7).abs(), millis(7));
+}
+
+TEST(TimePoint, ArithmeticWithDuration) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + millis(10);
+  EXPECT_EQ(t1.nanos(), 10'000'000);
+  EXPECT_EQ(t1 - t0, millis(10));
+  EXPECT_EQ(t1 - millis(4), t0 + millis(6));
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::zero(), TimePoint{1});
+  EXPECT_EQ(TimePoint{5}, TimePoint{5});
+}
+
+TEST(TimeFormatting, ToString) {
+  EXPECT_EQ(millis(2).to_string(), "2.000ms");
+  EXPECT_EQ((TimePoint::zero() + millis_f(1.5)).to_string(), "1.500ms");
+}
+
+}  // namespace
+}  // namespace rtpb

@@ -1,0 +1,76 @@
+// x-kernel sessions: open once, push repeatedly with cached addressing.
+#include <gtest/gtest.h>
+
+#include "xkernel/graph.hpp"
+
+namespace rtpb::xkernel {
+namespace {
+
+struct SessionEnv {
+  sim::Simulator sim{5};
+  net::Network network{sim};
+  HostStack a{network};
+  HostStack b{network};
+  std::vector<Bytes> received;
+  std::vector<net::Endpoint> sources;
+
+  SessionEnv() {
+    network.connect(a.node(), b.node(), net::LinkParams{});
+    b.udp().bind(300, [this](Message& m, const MsgAttrs& attrs) {
+      received.push_back(m.to_bytes());
+      sources.push_back(attrs.src);
+    });
+  }
+};
+
+TEST(Session, OpenAndPushDelivers) {
+  SessionEnv env;
+  auto session = env.a.udp().open({env.a.node(), 200}, {env.b.node(), 300});
+  Message msg{Bytes{1, 2, 3}};
+  session->push(msg);
+  env.sim.run();
+  ASSERT_EQ(env.received.size(), 1u);
+  EXPECT_EQ(env.received[0], (Bytes{1, 2, 3}));
+  EXPECT_EQ(env.sources[0], (net::Endpoint{env.a.node(), 200}));
+}
+
+TEST(Session, RepeatedPushesShareTheChannel) {
+  SessionEnv env;
+  auto session = env.a.udp().open({env.a.node(), 200}, {env.b.node(), 300});
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    Message msg{Bytes{i}};
+    session->push(msg);
+  }
+  env.sim.run();
+  ASSERT_EQ(env.received.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) EXPECT_EQ(env.received[i][0], i);
+}
+
+TEST(Session, ExposesParticipants) {
+  SessionEnv env;
+  auto session = env.a.udp().open({env.a.node(), 200}, {env.b.node(), 300});
+  EXPECT_EQ(session->local().port, 200);
+  EXPECT_EQ(session->remote().node, env.b.node());
+  EXPECT_EQ(session->remote().port, 300);
+}
+
+TEST(Session, TwoSessionsToDistinctPeers) {
+  SessionEnv env;
+  HostStack c{env.network};
+  env.network.connect(env.a.node(), c.node(), net::LinkParams{});
+  int c_got = 0;
+  c.udp().bind(300, [&](Message&, const MsgAttrs&) { ++c_got; });
+
+  auto to_b = env.a.udp().open({env.a.node(), 200}, {env.b.node(), 300});
+  auto to_c = env.a.udp().open({env.a.node(), 200}, {c.node(), 300});
+  Message m1{Bytes{1}};
+  Message m2{Bytes{2}};
+  to_b->push(m1);
+  to_c->push(m2);
+  env.sim.run();
+  EXPECT_EQ(env.received.size(), 1u);
+  EXPECT_EQ(c_got, 1);
+}
+
+}  // namespace
+}  // namespace rtpb::xkernel

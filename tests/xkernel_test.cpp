@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "xkernel/graph.hpp"
+#include "xkernel/message.hpp"
+#include "xkernel/udplite.hpp"
+
+namespace rtpb::xkernel {
+namespace {
+
+TEST(Message, PushPopRoundTrip) {
+  Bytes payload{10, 20, 30};
+  Message m(payload);
+  Bytes hdr{1, 2};
+  m.push(hdr);
+  EXPECT_EQ(m.size(), 5u);
+  auto popped = m.pop(2);
+  EXPECT_EQ(Bytes(popped.begin(), popped.end()), hdr);
+  EXPECT_EQ(m.to_bytes(), payload);
+}
+
+TEST(Message, NestedHeadersStripInReverseOrder) {
+  Message m(Bytes{99});
+  m.push(Bytes{3});      // inner
+  m.push(Bytes{2});      // middle
+  m.push(Bytes{1});      // outer
+  EXPECT_EQ(m.pop(1)[0], 1);
+  EXPECT_EQ(m.pop(1)[0], 2);
+  EXPECT_EQ(m.pop(1)[0], 3);
+  EXPECT_EQ(m.to_bytes(), Bytes{99});
+}
+
+TEST(Message, HeadroomGrowsWhenExceeded) {
+  Message m(Bytes{7}, 2);  // tiny headroom
+  Bytes big(100, 0xEE);
+  m.push(big);             // forces reallocation
+  EXPECT_EQ(m.size(), 101u);
+  auto hdr = m.pop(100);
+  EXPECT_EQ(Bytes(hdr.begin(), hdr.end()), big);
+  EXPECT_EQ(m.to_bytes(), Bytes{7});
+}
+
+TEST(Message, FromWireHasNoHeadroomButPops) {
+  Bytes wire{1, 2, 3, 4};
+  Message m = Message::from_wire(wire);
+  EXPECT_EQ(m.size(), 4u);
+  (void)m.pop(2);
+  EXPECT_EQ(m.to_bytes(), (Bytes{3, 4}));
+}
+
+TEST(UdpChecksum, DetectsCorruption) {
+  Bytes data{1, 2, 3, 4, 5};
+  const auto good = UdpLite::checksum(data);
+  data[2] ^= 0xFF;
+  EXPECT_NE(UdpLite::checksum(data), good);
+}
+
+TEST(UdpChecksum, OddLengthHandled) {
+  Bytes data{1, 2, 3};
+  EXPECT_EQ(UdpLite::checksum(data), UdpLite::checksum(data));
+}
+
+TEST(GraphSpec, Parsing) {
+  const auto g = parse_graph_spec(" simeth ; iplite;udplite ");
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], "simeth");
+  EXPECT_EQ(g[1], "iplite");
+  EXPECT_EQ(g[2], "udplite");
+}
+
+struct StackPair {
+  sim::Simulator sim{7};
+  net::Network network{sim};
+  HostStack host_a{network};
+  HostStack host_b{network};
+
+  StackPair() { network.connect(host_a.node(), host_b.node(), net::LinkParams{}); }
+};
+
+TEST(HostStack, DatagramEndToEnd) {
+  StackPair env;
+  Bytes received;
+  net::Endpoint from;
+  env.host_b.udp().bind(1000, [&](Message& msg, const MsgAttrs& attrs) {
+    received = msg.to_bytes();
+    from = attrs.src;
+  });
+  Bytes payload{0xDE, 0xAD, 0xBE, 0xEF};
+  env.host_a.send_datagram(2000, {env.host_b.node(), 1000}, payload);
+  env.sim.run();
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(from.node, env.host_a.node());
+  EXPECT_EQ(from.port, 2000);
+}
+
+TEST(HostStack, UnboundPortCountsNoListener) {
+  StackPair env;
+  env.host_a.send_datagram(2000, {env.host_b.node(), 4242}, Bytes{1});
+  env.sim.run();
+  EXPECT_EQ(env.host_b.udp().no_listener(), 1u);
+}
+
+TEST(HostStack, ReplyPath) {
+  StackPair env;
+  int b_got = 0, a_got = 0;
+  env.host_b.udp().bind(10, [&](Message&, const MsgAttrs& attrs) {
+    ++b_got;
+    env.host_b.send_datagram(10, attrs.src, Bytes{2});
+  });
+  env.host_a.udp().bind(20, [&](Message&, const MsgAttrs&) { ++a_got; });
+  env.host_a.send_datagram(20, {env.host_b.node(), 10}, Bytes{1});
+  env.sim.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(a_got, 1);
+}
+
+TEST(HostStack, EmptyPayloadSurvivesStack) {
+  StackPair env;
+  bool got = false;
+  std::size_t got_size = 99;
+  env.host_b.udp().bind(5, [&](Message& m, const MsgAttrs&) {
+    got = true;
+    got_size = m.size();
+  });
+  env.host_a.send_datagram(5, {env.host_b.node(), 5}, Bytes{});
+  env.sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(got_size, 0u);
+}
+
+TEST(HostStack, BindRejectsDuplicatePort) {
+  StackPair env;
+  env.host_a.udp().bind(9, [](Message&, const MsgAttrs&) {});
+  EXPECT_DEATH(env.host_a.udp().bind(9, [](Message&, const MsgAttrs&) {}), "precondition");
+}
+
+TEST(HostStack, UnbindStopsDelivery) {
+  StackPair env;
+  int got = 0;
+  env.host_b.udp().bind(7, [&](Message&, const MsgAttrs&) { ++got; });
+  env.host_a.send_datagram(7, {env.host_b.node(), 7}, Bytes{1});
+  env.sim.run();
+  EXPECT_EQ(got, 1);
+  env.host_b.udp().unbind(7);
+  env.host_a.send_datagram(7, {env.host_b.node(), 7}, Bytes{1});
+  env.sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(env.host_b.udp().no_listener(), 1u);
+}
+
+}  // namespace
+}  // namespace rtpb::xkernel
