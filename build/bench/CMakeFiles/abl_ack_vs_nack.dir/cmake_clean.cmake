@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ack_vs_nack.dir/abl_ack_vs_nack_main.cpp.o"
+  "CMakeFiles/abl_ack_vs_nack.dir/abl_ack_vs_nack_main.cpp.o.d"
+  "CMakeFiles/abl_ack_vs_nack.dir/common/harness.cpp.o"
+  "CMakeFiles/abl_ack_vs_nack.dir/common/harness.cpp.o.d"
+  "abl_ack_vs_nack"
+  "abl_ack_vs_nack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ack_vs_nack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_ack_vs_nack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_active_vs_passive.dir/abl_active_vs_passive_main.cpp.o"
+  "CMakeFiles/abl_active_vs_passive.dir/abl_active_vs_passive_main.cpp.o.d"
+  "CMakeFiles/abl_active_vs_passive.dir/common/harness.cpp.o"
+  "CMakeFiles/abl_active_vs_passive.dir/common/harness.cpp.o.d"
+  "abl_active_vs_passive"
+  "abl_active_vs_passive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_active_vs_passive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_active_vs_passive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coupled_baseline.dir/abl_coupled_baseline_main.cpp.o"
+  "CMakeFiles/abl_coupled_baseline.dir/abl_coupled_baseline_main.cpp.o.d"
+  "CMakeFiles/abl_coupled_baseline.dir/common/harness.cpp.o"
+  "CMakeFiles/abl_coupled_baseline.dir/common/harness.cpp.o.d"
+  "abl_coupled_baseline"
+  "abl_coupled_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coupled_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

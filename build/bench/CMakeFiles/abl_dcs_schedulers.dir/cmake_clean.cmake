@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dcs_schedulers.dir/abl_dcs_schedulers_main.cpp.o"
+  "CMakeFiles/abl_dcs_schedulers.dir/abl_dcs_schedulers_main.cpp.o.d"
+  "CMakeFiles/abl_dcs_schedulers.dir/common/harness.cpp.o"
+  "CMakeFiles/abl_dcs_schedulers.dir/common/harness.cpp.o.d"
+  "abl_dcs_schedulers"
+  "abl_dcs_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dcs_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

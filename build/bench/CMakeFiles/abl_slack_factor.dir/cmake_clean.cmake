@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_slack_factor.dir/abl_slack_factor_main.cpp.o"
+  "CMakeFiles/abl_slack_factor.dir/abl_slack_factor_main.cpp.o.d"
+  "CMakeFiles/abl_slack_factor.dir/common/harness.cpp.o"
+  "CMakeFiles/abl_slack_factor.dir/common/harness.cpp.o.d"
+  "abl_slack_factor"
+  "abl_slack_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_slack_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_variance_admission.dir/abl_variance_admission_main.cpp.o"
+  "CMakeFiles/abl_variance_admission.dir/abl_variance_admission_main.cpp.o.d"
+  "CMakeFiles/abl_variance_admission.dir/common/harness.cpp.o"
+  "CMakeFiles/abl_variance_admission.dir/common/harness.cpp.o.d"
+  "abl_variance_admission"
+  "abl_variance_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variance_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

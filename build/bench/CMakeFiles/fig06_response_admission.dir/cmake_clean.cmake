@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_response_admission.dir/common/harness.cpp.o"
+  "CMakeFiles/fig06_response_admission.dir/common/harness.cpp.o.d"
+  "CMakeFiles/fig06_response_admission.dir/fig06_response_admission_main.cpp.o"
+  "CMakeFiles/fig06_response_admission.dir/fig06_response_admission_main.cpp.o.d"
+  "fig06_response_admission"
+  "fig06_response_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_response_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

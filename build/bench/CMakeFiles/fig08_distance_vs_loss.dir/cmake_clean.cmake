@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_distance_vs_loss.dir/common/harness.cpp.o"
+  "CMakeFiles/fig08_distance_vs_loss.dir/common/harness.cpp.o.d"
+  "CMakeFiles/fig08_distance_vs_loss.dir/fig08_distance_vs_loss_main.cpp.o"
+  "CMakeFiles/fig08_distance_vs_loss.dir/fig08_distance_vs_loss_main.cpp.o.d"
+  "fig08_distance_vs_loss"
+  "fig08_distance_vs_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_distance_vs_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

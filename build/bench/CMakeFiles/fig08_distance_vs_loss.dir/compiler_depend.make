@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_distance_vs_loss.
+# This may be replaced when dependencies are built.

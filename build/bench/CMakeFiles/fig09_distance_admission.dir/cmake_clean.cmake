@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_distance_admission.dir/common/harness.cpp.o"
+  "CMakeFiles/fig09_distance_admission.dir/common/harness.cpp.o.d"
+  "CMakeFiles/fig09_distance_admission.dir/fig09_distance_admission_main.cpp.o"
+  "CMakeFiles/fig09_distance_admission.dir/fig09_distance_admission_main.cpp.o.d"
+  "fig09_distance_admission"
+  "fig09_distance_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_distance_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_distance_no_admission.dir/common/harness.cpp.o"
+  "CMakeFiles/fig10_distance_no_admission.dir/common/harness.cpp.o.d"
+  "CMakeFiles/fig10_distance_no_admission.dir/fig10_distance_no_admission_main.cpp.o"
+  "CMakeFiles/fig10_distance_no_admission.dir/fig10_distance_no_admission_main.cpp.o.d"
+  "fig10_distance_no_admission"
+  "fig10_distance_no_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distance_no_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

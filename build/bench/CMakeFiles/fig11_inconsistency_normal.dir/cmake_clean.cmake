@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_inconsistency_normal.dir/common/harness.cpp.o"
+  "CMakeFiles/fig11_inconsistency_normal.dir/common/harness.cpp.o.d"
+  "CMakeFiles/fig11_inconsistency_normal.dir/fig11_inconsistency_normal_main.cpp.o"
+  "CMakeFiles/fig11_inconsistency_normal.dir/fig11_inconsistency_normal_main.cpp.o.d"
+  "fig11_inconsistency_normal"
+  "fig11_inconsistency_normal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_inconsistency_normal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

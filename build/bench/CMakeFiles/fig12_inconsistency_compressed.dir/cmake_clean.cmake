@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inconsistency_compressed.dir/common/harness.cpp.o"
+  "CMakeFiles/fig12_inconsistency_compressed.dir/common/harness.cpp.o.d"
+  "CMakeFiles/fig12_inconsistency_compressed.dir/fig12_inconsistency_compressed_main.cpp.o"
+  "CMakeFiles/fig12_inconsistency_compressed.dir/fig12_inconsistency_compressed_main.cpp.o.d"
+  "fig12_inconsistency_compressed"
+  "fig12_inconsistency_compressed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inconsistency_compressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supp_object_size.dir/common/harness.cpp.o"
+  "CMakeFiles/supp_object_size.dir/common/harness.cpp.o.d"
+  "CMakeFiles/supp_object_size.dir/supp_object_size_main.cpp.o"
+  "CMakeFiles/supp_object_size.dir/supp_object_size_main.cpp.o.d"
+  "supp_object_size"
+  "supp_object_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supp_object_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

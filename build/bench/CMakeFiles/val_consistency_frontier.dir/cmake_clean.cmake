@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/val_consistency_frontier.dir/common/harness.cpp.o"
+  "CMakeFiles/val_consistency_frontier.dir/common/harness.cpp.o.d"
+  "CMakeFiles/val_consistency_frontier.dir/val_consistency_frontier_main.cpp.o"
+  "CMakeFiles/val_consistency_frontier.dir/val_consistency_frontier_main.cpp.o.d"
+  "val_consistency_frontier"
+  "val_consistency_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_consistency_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

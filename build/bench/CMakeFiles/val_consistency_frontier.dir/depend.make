@@ -1,0 +1,2 @@
+# Empty dependencies file for val_consistency_frontier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/val_dcs_zero_variance.dir/common/harness.cpp.o"
+  "CMakeFiles/val_dcs_zero_variance.dir/common/harness.cpp.o.d"
+  "CMakeFiles/val_dcs_zero_variance.dir/val_dcs_zero_variance_main.cpp.o"
+  "CMakeFiles/val_dcs_zero_variance.dir/val_dcs_zero_variance_main.cpp.o.d"
+  "val_dcs_zero_variance"
+  "val_dcs_zero_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_dcs_zero_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for val_dcs_zero_variance.
+# This may be replaced when dependencies are built.

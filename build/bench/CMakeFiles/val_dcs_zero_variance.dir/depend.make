@@ -1,0 +1,2 @@
+# Empty dependencies file for val_dcs_zero_variance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/val_phase_variance_bounds.dir/common/harness.cpp.o"
+  "CMakeFiles/val_phase_variance_bounds.dir/common/harness.cpp.o.d"
+  "CMakeFiles/val_phase_variance_bounds.dir/val_phase_variance_bounds_main.cpp.o"
+  "CMakeFiles/val_phase_variance_bounds.dir/val_phase_variance_bounds_main.cpp.o.d"
+  "val_phase_variance_bounds"
+  "val_phase_variance_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/val_phase_variance_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for val_phase_variance_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_avionics.dir/avionics.cpp.o"
+  "CMakeFiles/example_avionics.dir/avionics.cpp.o.d"
+  "example_avionics"
+  "example_avionics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_avionics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

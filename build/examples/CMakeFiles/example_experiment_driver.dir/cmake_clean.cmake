@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_experiment_driver.dir/experiment_driver.cpp.o"
+  "CMakeFiles/example_experiment_driver.dir/experiment_driver.cpp.o.d"
+  "example_experiment_driver"
+  "example_experiment_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_experiment_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/process_control.cpp" "examples/CMakeFiles/example_process_control.dir/process_control.cpp.o" "gcc" "examples/CMakeFiles/example_process_control.dir/process_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_xkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_process_control.dir/process_control.cpp.o"
+  "CMakeFiles/example_process_control.dir/process_control.cpp.o.d"
+  "example_process_control"
+  "example_process_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_process_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sched_analysis.dir/sched_analysis.cpp.o"
+  "CMakeFiles/example_sched_analysis.dir/sched_analysis.cpp.o.d"
+  "example_sched_analysis"
+  "example_sched_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sched_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

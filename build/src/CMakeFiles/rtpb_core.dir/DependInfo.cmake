@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active.cpp" "src/CMakeFiles/rtpb_core.dir/core/active.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/active.cpp.o.d"
+  "/root/repo/src/core/admission.cpp" "src/CMakeFiles/rtpb_core.dir/core/admission.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/admission.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/CMakeFiles/rtpb_core.dir/core/client.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/client.cpp.o.d"
+  "/root/repo/src/core/faults.cpp" "src/CMakeFiles/rtpb_core.dir/core/faults.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/faults.cpp.o.d"
+  "/root/repo/src/core/heartbeat.cpp" "src/CMakeFiles/rtpb_core.dir/core/heartbeat.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/heartbeat.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/rtpb_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/object_store.cpp" "src/CMakeFiles/rtpb_core.dir/core/object_store.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/object_store.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/CMakeFiles/rtpb_core.dir/core/server.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/server.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/CMakeFiles/rtpb_core.dir/core/service.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/service.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/CMakeFiles/rtpb_core.dir/core/types.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/types.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/CMakeFiles/rtpb_core.dir/core/wire.cpp.o" "gcc" "src/CMakeFiles/rtpb_core.dir/core/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtpb_xkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpb_core.dir/core/active.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/active.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/admission.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/admission.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/client.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/client.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/faults.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/faults.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/heartbeat.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/heartbeat.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/object_store.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/object_store.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/server.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/server.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/service.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/service.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/types.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/types.cpp.o.d"
+  "CMakeFiles/rtpb_core.dir/core/wire.cpp.o"
+  "CMakeFiles/rtpb_core.dir/core/wire.cpp.o.d"
+  "librtpb_core.a"
+  "librtpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

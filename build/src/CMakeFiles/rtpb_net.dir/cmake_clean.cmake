@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpb_net.dir/net/network.cpp.o"
+  "CMakeFiles/rtpb_net.dir/net/network.cpp.o.d"
+  "librtpb_net.a"
+  "librtpb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtpb_net.a"
+)

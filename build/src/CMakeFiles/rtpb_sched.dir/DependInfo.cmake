@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analysis.cpp" "src/CMakeFiles/rtpb_sched.dir/sched/analysis.cpp.o" "gcc" "src/CMakeFiles/rtpb_sched.dir/sched/analysis.cpp.o.d"
+  "/root/repo/src/sched/cpu.cpp" "src/CMakeFiles/rtpb_sched.dir/sched/cpu.cpp.o" "gcc" "src/CMakeFiles/rtpb_sched.dir/sched/cpu.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/CMakeFiles/rtpb_sched.dir/sched/gantt.cpp.o" "gcc" "src/CMakeFiles/rtpb_sched.dir/sched/gantt.cpp.o.d"
+  "/root/repo/src/sched/generator.cpp" "src/CMakeFiles/rtpb_sched.dir/sched/generator.cpp.o" "gcc" "src/CMakeFiles/rtpb_sched.dir/sched/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpb_sched.dir/sched/analysis.cpp.o"
+  "CMakeFiles/rtpb_sched.dir/sched/analysis.cpp.o.d"
+  "CMakeFiles/rtpb_sched.dir/sched/cpu.cpp.o"
+  "CMakeFiles/rtpb_sched.dir/sched/cpu.cpp.o.d"
+  "CMakeFiles/rtpb_sched.dir/sched/gantt.cpp.o"
+  "CMakeFiles/rtpb_sched.dir/sched/gantt.cpp.o.d"
+  "CMakeFiles/rtpb_sched.dir/sched/generator.cpp.o"
+  "CMakeFiles/rtpb_sched.dir/sched/generator.cpp.o.d"
+  "librtpb_sched.a"
+  "librtpb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpb_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/rtpb_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/rtpb_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/rtpb_sim.dir/sim/trace.cpp.o.d"
+  "librtpb_sim.a"
+  "librtpb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

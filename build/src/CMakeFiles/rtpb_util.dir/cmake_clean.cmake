@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpb_util.dir/util/config.cpp.o"
+  "CMakeFiles/rtpb_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/rtpb_util.dir/util/log.cpp.o"
+  "CMakeFiles/rtpb_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/rtpb_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rtpb_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rtpb_util.dir/util/time.cpp.o"
+  "CMakeFiles/rtpb_util.dir/util/time.cpp.o.d"
+  "librtpb_util.a"
+  "librtpb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xkernel/fraglite.cpp" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/fraglite.cpp.o" "gcc" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/fraglite.cpp.o.d"
+  "/root/repo/src/xkernel/graph.cpp" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/graph.cpp.o" "gcc" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/graph.cpp.o.d"
+  "/root/repo/src/xkernel/iplite.cpp" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/iplite.cpp.o" "gcc" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/iplite.cpp.o.d"
+  "/root/repo/src/xkernel/simeth.cpp" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/simeth.cpp.o" "gcc" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/simeth.cpp.o.d"
+  "/root/repo/src/xkernel/udplite.cpp" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/udplite.cpp.o" "gcc" "src/CMakeFiles/rtpb_xkernel.dir/xkernel/udplite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtpb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/fraglite.cpp.o"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/fraglite.cpp.o.d"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/graph.cpp.o"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/graph.cpp.o.d"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/iplite.cpp.o"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/iplite.cpp.o.d"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/simeth.cpp.o"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/simeth.cpp.o.d"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/udplite.cpp.o"
+  "CMakeFiles/rtpb_xkernel.dir/xkernel/udplite.cpp.o.d"
+  "librtpb_xkernel.a"
+  "librtpb_xkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpb_xkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

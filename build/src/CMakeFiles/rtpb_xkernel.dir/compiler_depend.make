@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtpb_xkernel.
+# This may be replaced when dependencies are built.

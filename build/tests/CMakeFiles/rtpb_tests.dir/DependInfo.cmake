@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_active_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_active_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_active_test.cpp.o.d"
+  "/root/repo/tests/core_admission_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_admission_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_admission_test.cpp.o.d"
+  "/root/repo/tests/core_consistency_guarantee_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_consistency_guarantee_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_consistency_guarantee_test.cpp.o.d"
+  "/root/repo/tests/core_faults_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_faults_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_faults_test.cpp.o.d"
+  "/root/repo/tests/core_heartbeat_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_heartbeat_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_heartbeat_test.cpp.o.d"
+  "/root/repo/tests/core_metrics_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_metrics_test.cpp.o.d"
+  "/root/repo/tests/core_multibackup_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_multibackup_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_multibackup_test.cpp.o.d"
+  "/root/repo/tests/core_name_service_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_name_service_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_name_service_test.cpp.o.d"
+  "/root/repo/tests/core_negotiation_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_negotiation_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_negotiation_test.cpp.o.d"
+  "/root/repo/tests/core_object_store_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_object_store_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_object_store_test.cpp.o.d"
+  "/root/repo/tests/core_server_edge_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_server_edge_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_server_edge_test.cpp.o.d"
+  "/root/repo/tests/core_service_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_service_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_service_test.cpp.o.d"
+  "/root/repo/tests/core_wire_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/core_wire_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/core_wire_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/net_network_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/net_network_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/net_network_test.cpp.o.d"
+  "/root/repo/tests/sched_analysis_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_analysis_test.cpp.o.d"
+  "/root/repo/tests/sched_aperiodic_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_aperiodic_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_aperiodic_test.cpp.o.d"
+  "/root/repo/tests/sched_cpu_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_cpu_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_cpu_test.cpp.o.d"
+  "/root/repo/tests/sched_dcs_dynamic_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_dcs_dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_dcs_dynamic_test.cpp.o.d"
+  "/root/repo/tests/sched_dcs_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_dcs_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_dcs_test.cpp.o.d"
+  "/root/repo/tests/sched_gantt_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_gantt_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_gantt_test.cpp.o.d"
+  "/root/repo/tests/sched_generator_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_generator_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_generator_test.cpp.o.d"
+  "/root/repo/tests/sched_theory_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sched_theory_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sched_theory_test.cpp.o.d"
+  "/root/repo/tests/sim_simulator_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sim_simulator_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sim_simulator_test.cpp.o.d"
+  "/root/repo/tests/sim_trace_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/sim_trace_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/sim_trace_test.cpp.o.d"
+  "/root/repo/tests/util_bytebuffer_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/util_bytebuffer_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/util_bytebuffer_test.cpp.o.d"
+  "/root/repo/tests/util_config_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/util_config_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/util_config_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_time_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/util_time_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/util_time_test.cpp.o.d"
+  "/root/repo/tests/xkernel_fraglite_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/xkernel_fraglite_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/xkernel_fraglite_test.cpp.o.d"
+  "/root/repo/tests/xkernel_session_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/xkernel_session_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/xkernel_session_test.cpp.o.d"
+  "/root/repo/tests/xkernel_test.cpp" "tests/CMakeFiles/rtpb_tests.dir/xkernel_test.cpp.o" "gcc" "tests/CMakeFiles/rtpb_tests.dir/xkernel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_xkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
