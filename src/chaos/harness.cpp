@@ -1,0 +1,99 @@
+#include "chaos/harness.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "core/faults.hpp"
+
+namespace rtpb::chaos {
+
+std::string SeedReport::summary() const {
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "seed %6llu  %s  digest %016llx  admitted %zu/%zu  writes %llu  "
+                "applied %llu  faults %zu  violations %llu",
+                static_cast<unsigned long long>(seed), ok() ? "ok  " : "FAIL",
+                static_cast<unsigned long long>(trace_digest), objects_admitted,
+                objects_offered, static_cast<unsigned long long>(client_writes),
+                static_cast<unsigned long long>(updates_applied), fired.size(),
+                static_cast<unsigned long long>(violation_count));
+  return line;
+}
+
+SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
+  const ChaosSchedule schedule = generate_schedule(seed, opts);
+
+  core::ServiceParams params;
+  params.seed = schedule.service_seed;
+  params.link = opts.link;
+  params.config = opts.config;
+
+  core::RtpbService service(params);
+  service.simulator().trace().enable();
+  service.start();
+
+  const Workload workload = generate_workload(seed, opts);
+  std::vector<core::ObjectId> admitted;
+  for (const core::ObjectSpec& spec : workload.objects) {
+    if (service.register_object(spec).ok()) admitted.push_back(spec.id);
+  }
+  for (const core::InterObjectConstraint& c : workload.constraints) {
+    service.add_constraint(c);  // rejection is a legal outcome
+  }
+
+  core::FaultPlan plan(service);
+  apply(schedule, plan);
+  plan.arm();
+
+  OracleMonitor monitor(service, admitted, declared_epochs(schedule, opts));
+  monitor.start();
+
+  service.run_for(opts.duration);
+  service.finish();
+
+  SeedReport report;
+  report.seed = seed;
+  report.trace_digest = service.simulator().trace().digest();
+  report.trace_events = service.simulator().trace().recorded();
+  report.sim_events = service.simulator().fired_events();
+  report.violations = monitor.violations();
+  report.violation_count = monitor.violation_count();
+  report.oracle_checks = monitor.checks();
+  report.fired = plan.fired();
+  report.objects_offered = workload.objects.size();
+  report.objects_admitted = admitted.size();
+  report.client_writes =
+      service.client().writes_issued() + service.backup_client().writes_issued();
+  service.for_each_replica([&report](const core::ReplicaServer& r) {
+    report.updates_applied += r.updates_applied();
+  });
+  report.avg_max_distance_ms = service.metrics().average_max_distance_ms();
+  report.total_inconsistency_ms = service.metrics().total_inconsistency().millis();
+  report.inconsistency_intervals = service.metrics().inconsistency_intervals();
+  if (!report.ok()) report.reproducer = render_reproducer(schedule, opts);
+  return report;
+}
+
+SweepResult run_sweep(std::uint64_t first_seed, std::size_t count, const ChaosOptions& opts,
+                      std::ostream* progress) {
+  SweepResult result;
+  for (std::size_t i = 0; i < count; ++i) {
+    SeedReport report = run_seed(first_seed + i, opts);
+    ++result.seeds_run;
+    result.total_checks += report.oracle_checks;
+    if (progress != nullptr) *progress << report.summary() << "\n";
+    if (!report.ok()) {
+      if (progress != nullptr) {
+        for (const OracleViolation& v : report.violations) {
+          *progress << "  [" << v.at.to_string() << "] " << v.oracle << ": " << v.detail
+                    << "\n";
+        }
+        *progress << report.reproducer;
+      }
+      result.failures.push_back(std::move(report));
+    }
+  }
+  return result;
+}
+
+}  // namespace rtpb::chaos

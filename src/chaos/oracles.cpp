@@ -1,0 +1,109 @@
+#include "chaos/oracles.hpp"
+
+#include <utility>
+
+namespace rtpb::chaos {
+
+OracleMonitor::OracleMonitor(core::RtpbService& service,
+                             std::vector<core::ObjectId> admitted,
+                             std::vector<FaultEpoch> epochs)
+    : service_(service), admitted_(std::move(admitted)), epochs_(std::move(epochs)) {}
+
+void OracleMonitor::start(Duration check_period) {
+  RTPB_EXPECTS(timer_ == nullptr);
+  timer_ = std::make_unique<sim::PeriodicTimer>(service_.simulator(), check_period,
+                                                [this] { check(); });
+  timer_->start();
+}
+
+bool OracleMonitor::in_fault_epoch(TimePoint t) const {
+  for (const FaultEpoch& e : epochs_) {
+    if (t >= e.from && t <= e.until) return true;
+  }
+  return false;
+}
+
+void OracleMonitor::report(TimePoint now, const char* oracle, std::string detail) {
+  ++violation_count_;
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back({now, oracle, detail});
+  }
+  auto& sim = service_.simulator();
+  if (sim.trace().enabled()) {
+    sim.trace().record(now, sim::TraceCategory::kUser,
+                       std::string("oracle-violation:") + oracle, std::move(detail));
+  }
+}
+
+void OracleMonitor::check() {
+  ++checks_;
+  const TimePoint now = service_.simulator().now();
+  const bool in_epoch = in_fault_epoch(now);
+
+  // Re-evaluate window violations at the sampling instant, not just at the
+  // last write/apply.
+  service_.metrics().poll(now);
+
+  // exactly-one-primary: outside epochs the cluster must have settled on a
+  // single live primary.  Reported once per excursion.
+  const std::size_t primaries = service_.primaries_alive();
+  if (!in_epoch && primaries != 1) {
+    if (!primary_count_reported_) {
+      primary_count_reported_ = true;
+      report(now, "exactly-one-primary",
+             std::to_string(primaries) + " live primaries (want exactly 1)");
+    }
+  } else if (primaries == 1) {
+    primary_count_reported_ = false;
+  }
+
+  const bool primary_up = primaries >= 1;
+
+  for (const core::ObjectId id : admitted_) {
+    const bool violating = service_.metrics().in_violation(id);
+    const bool was = was_violating_[id];
+    was_violating_[id] = violating;
+
+    // inconsistency-epoch: an interval may only OPEN inside an epoch.
+    if (violating && !was && !in_epoch) {
+      report(now, "inconsistency-epoch",
+             "object " + std::to_string(id) +
+                 " opened a violation interval outside any declared fault epoch");
+    }
+
+    // staleness-window: with a primary up and no epoch open, the object
+    // must be inside its window.  One report per excursion.
+    if (violating && primary_up && !in_epoch) {
+      if (!stale_reported_[id]) {
+        stale_reported_[id] = true;
+        report(now, "staleness-window",
+               "object " + std::to_string(id) + " out of window (max distance " +
+                   std::to_string(service_.metrics().max_distance(id).millis()) + " ms)");
+      }
+    } else if (!violating) {
+      stale_reported_[id] = false;
+    }
+  }
+
+  // monotone-versions: no replica may ever move an object backwards.
+  std::size_t replica_idx = 0;
+  service_.for_each_replica([&](const core::ReplicaServer& replica) {
+    const std::size_t idx = replica_idx++;
+    for (const core::ObjectId id : admitted_) {
+      const auto state = replica.read(id);
+      if (!state) continue;
+      auto [it, inserted] = last_version_.try_emplace({idx, id}, state->version);
+      if (!inserted) {
+        if (state->version < it->second) {
+          report(now, "monotone-versions",
+                 "replica " + std::to_string(idx) + " object " + std::to_string(id) +
+                     " went from version " + std::to_string(it->second) + " to " +
+                     std::to_string(state->version));
+        }
+        it->second = state->version;
+      }
+    }
+  });
+}
+
+}  // namespace rtpb::chaos

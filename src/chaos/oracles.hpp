@@ -1,0 +1,87 @@
+// Invariant oracles evaluated continuously while a chaos scenario runs.
+//
+// The monitor samples the service on a periodic simulator event and checks
+// the temporal-consistency guarantees the paper proves, gated by the
+// schedule's declared fault epochs (dense-time model checking in spirit:
+// every explored trajectory is judged, not just the end state):
+//
+//   staleness-window     while a primary is up and no fault epoch is open,
+//                        no admitted object's primary–backup distance may
+//                        exceed its negotiated window δ_i
+//   inconsistency-epoch  a window-violation interval may only *open*
+//                        inside a declared fault epoch
+//   exactly-one-primary  outside fault epochs (i.e. once failover has
+//                        settled), exactly one live replica claims the
+//                        primary role — zero means failover never
+//                        happened, two means split brain
+//   monotone-versions    object versions at every replica never decrease
+//
+// The monitor is passive: it draws no randomness and only reads state, so
+// attaching it cannot change what the simulation does (trace records it
+// emits on violation are themselves deterministic).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "core/service.hpp"
+
+namespace rtpb::chaos {
+
+struct OracleViolation {
+  TimePoint at{};
+  std::string oracle;  ///< which invariant broke, e.g. "staleness-window"
+  std::string detail;
+};
+
+class OracleMonitor {
+ public:
+  /// `admitted` are the object ids that passed admission control — only
+  /// those carry guarantees.  `epochs` come from declared_epochs().
+  OracleMonitor(core::RtpbService& service, std::vector<core::ObjectId> admitted,
+                std::vector<FaultEpoch> epochs);
+
+  OracleMonitor(const OracleMonitor&) = delete;
+  OracleMonitor& operator=(const OracleMonitor&) = delete;
+
+  /// Begin sampling every `check_period` of virtual time.
+  void start(Duration check_period = millis(10));
+
+  [[nodiscard]] const std::vector<OracleViolation>& violations() const {
+    return violations_;
+  }
+  /// Total violations observed (violations() is capped; this is not).
+  [[nodiscard]] std::uint64_t violation_count() const { return violation_count_; }
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+  [[nodiscard]] bool ok() const { return violation_count_ == 0; }
+
+  [[nodiscard]] bool in_fault_epoch(TimePoint t) const;
+
+ private:
+  static constexpr std::size_t kMaxStored = 64;
+
+  void check();
+  void report(TimePoint now, const char* oracle, std::string detail);
+
+  core::RtpbService& service_;
+  std::vector<core::ObjectId> admitted_;
+  std::vector<FaultEpoch> epochs_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+
+  std::vector<OracleViolation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t checks_ = 0;
+
+  /// (replica index, object) → last seen version, for monotonicity.
+  std::map<std::pair<std::size_t, core::ObjectId>, std::uint64_t> last_version_;
+  /// Objects already reported stale (one report per excursion, not per sample).
+  std::map<core::ObjectId, bool> stale_reported_;
+  /// Last sampled violation state per object (edge detection).
+  std::map<core::ObjectId, bool> was_violating_;
+  bool primary_count_reported_ = false;
+};
+
+}  // namespace rtpb::chaos

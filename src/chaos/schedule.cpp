@@ -1,0 +1,328 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rtpb::chaos {
+
+namespace {
+
+TimePoint at_ms(std::int64_t ms) { return TimePoint::zero() + millis(ms); }
+
+/// Scale an event count by intensity, keeping at least one when the base
+/// count was positive (an "enabled" family should do *something*).
+std::int64_t scale_count(std::int64_t base, double intensity) {
+  if (base <= 0 || intensity <= 0.0) return 0;
+  const auto scaled =
+      static_cast<std::int64_t>(static_cast<double>(base) * intensity + 0.5);
+  return std::max<std::int64_t>(1, scaled);
+}
+
+/// Probability quantised to 0.01 so the rendered reproducer is exact.
+double percent(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  return static_cast<double>(rng.uniform(lo, hi)) / 100.0;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLossStorm: return "loss-storm";
+    case FaultKind::kLinkDegradation: return "link-degradation";
+    case FaultKind::kDuplicationBurst: return "duplication-burst";
+    case FaultKind::kReorderBurst: return "reorder-burst";
+    case FaultKind::kBurstLoss: return "burst-loss";
+    case FaultKind::kCorruptionBurst: return "corruption-burst";
+    case FaultKind::kCrashPrimary: return "crash-primary";
+    case FaultKind::kCrashBackup: return "crash-backup";
+    case FaultKind::kAddStandby: return "add-standby";
+  }
+  return "?";
+}
+
+core::ServiceConfig ChaosOptions::hardened_config() {
+  core::ServiceConfig c;
+  // Lemma 2 admission: phase variance of client/update tasks is absorbed
+  // up front, so a CPU running near its admission bound cannot cause the
+  // brief out-of-window excursions the §4.2 test tolerates.
+  c.variance_aware_admission = true;
+  // Patient failure detection: ~600 ms to declare a peer dead.  With the
+  // generator's link-fault probabilities capped at 0.35, the chance that
+  // every heartbeat and every update in a 600 ms span is lost — the only
+  // path to a false failover, i.e. split brain — is below 1e-9 per storm.
+  c.ping_period = millis(50);
+  c.ping_ack_timeout = millis(25);
+  c.ping_max_misses = 12;
+  return c;
+}
+
+net::LinkParams ChaosOptions::default_link() {
+  net::LinkParams l;
+  l.propagation = millis(1);
+  l.jitter = micros(200);
+  return l;
+}
+
+ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosOptions& opts) {
+  ChaosSchedule s;
+  s.seed = seed;
+  s.service_seed = derive_stream_seed(seed, kStreamService);
+  const std::int64_t dur_ms = opts.duration.nanos() / 1'000'000;
+  // Leave the first second for registration/state transfer and the last
+  // quarter for recovery proof; too-short runs get no faults at all.
+  const std::int64_t fault_floor = 1000;
+  const std::int64_t fault_ceil = dur_ms * 3 / 4;
+
+  if (opts.enable_loss_storms && fault_ceil > fault_floor + 500) {
+    Rng rng{derive_stream_seed(seed, kStreamLoss)};
+    const std::int64_t n = scale_count(rng.uniform(1, 3), opts.intensity);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t from = rng.uniform(fault_floor, fault_ceil);
+      const std::int64_t len = rng.uniform(500, 2500);
+      // Update-stream loss only: heartbeats still flow, so any probability
+      // is failure-detector-safe (the paper's §5 methodology).
+      s.events.push_back({FaultKind::kLossStorm, at_ms(from),
+                          at_ms(std::min(from + len, dur_ms)), percent(rng, 15, 70)});
+    }
+  }
+
+  if (opts.enable_link_faults && fault_ceil > fault_floor + 500) {
+    Rng rng{derive_stream_seed(seed, kStreamLink)};
+    const std::int64_t n = scale_count(rng.uniform(2, 4), opts.intensity);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t from = rng.uniform(fault_floor, fault_ceil);
+      const std::int64_t len = rng.uniform(500, 2000);
+      const TimePoint a = at_ms(from);
+      const TimePoint b = at_ms(std::min(from + len, dur_ms));
+      ChaosEvent e;
+      e.at = a;
+      e.until = b;
+      // Loss-like probabilities stay ≤ 0.35: see hardened_config().
+      switch (rng.uniform(0, 4)) {
+        case 0:
+          e.kind = FaultKind::kLinkDegradation;
+          e.probability = percent(rng, 5, 35);
+          break;
+        case 1:
+          e.kind = FaultKind::kDuplicationBurst;
+          e.probability = percent(rng, 10, 50);
+          break;
+        case 2:
+          e.kind = FaultKind::kReorderBurst;
+          e.probability = percent(rng, 20, 60);
+          e.extra = millis(rng.uniform(1, 5));
+          break;
+        case 3:
+          e.kind = FaultKind::kBurstLoss;
+          e.probability = percent(rng, 1, 4);
+          e.burst_length = static_cast<std::uint32_t>(rng.uniform(3, 6));
+          break;
+        default:
+          e.kind = FaultKind::kCorruptionBurst;
+          e.probability = percent(rng, 5, 30);
+          break;
+      }
+      s.events.push_back(e);
+    }
+  }
+
+  // One crash scenario per run at most: the service supports a single
+  // recruited standby, so a second crash would leave nothing to fail to.
+  if (opts.enable_crashes && dur_ms >= 12000) {
+    Rng rng{derive_stream_seed(seed, kStreamCrash)};
+    if (rng.bernoulli(opts.crash_probability)) {
+      const bool hit_backup = rng.bernoulli(opts.crash_backup_bias);
+      const std::int64_t crash = rng.uniform(dur_ms * 3 / 10, dur_ms * 55 / 100);
+      const std::int64_t standby = crash + rng.uniform(1500, 3000);
+      s.events.push_back({hit_backup ? FaultKind::kCrashBackup : FaultKind::kCrashPrimary,
+                          at_ms(crash), at_ms(crash)});
+      s.events.push_back({FaultKind::kAddStandby, at_ms(standby), at_ms(standby)});
+    }
+  }
+
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) { return a.at < b.at; });
+  return s;
+}
+
+void apply(const ChaosSchedule& schedule, core::FaultPlan& plan) {
+  for (const ChaosEvent& e : schedule.events) {
+    switch (e.kind) {
+      case FaultKind::kLossStorm:
+        plan.loss_storm(e.at, e.until, e.probability);
+        break;
+      case FaultKind::kLinkDegradation:
+        plan.link_degradation(e.at, e.until, e.probability);
+        break;
+      case FaultKind::kDuplicationBurst:
+        plan.duplication_burst(e.at, e.until, e.probability);
+        break;
+      case FaultKind::kReorderBurst:
+        plan.reorder_burst(e.at, e.until, e.probability, e.extra);
+        break;
+      case FaultKind::kBurstLoss:
+        plan.burst_loss(e.at, e.until, e.probability, e.burst_length);
+        break;
+      case FaultKind::kCorruptionBurst:
+        plan.corruption_burst(e.at, e.until, e.probability);
+        break;
+      case FaultKind::kCrashPrimary:
+        plan.crash_primary(e.at);
+        break;
+      case FaultKind::kCrashBackup:
+        plan.crash_backup(e.at);
+        break;
+      case FaultKind::kAddStandby:
+        plan.add_standby(e.at);
+        break;
+    }
+  }
+}
+
+std::vector<FaultEpoch> declared_epochs(const ChaosSchedule& schedule,
+                                        const ChaosOptions& opts) {
+  std::vector<FaultEpoch> epochs;
+  // A crash epoch stays open until recruitment has had its grace: with no
+  // backup alive (or no primary, mid-failover) the distance metric cannot
+  // recover, so the whole crash→standby→catch-up arc is one epoch.
+  TimePoint standby_at = TimePoint::max();
+  for (const ChaosEvent& e : schedule.events) {
+    if (e.kind == FaultKind::kAddStandby) standby_at = e.at;
+  }
+  for (const ChaosEvent& e : schedule.events) {
+    switch (e.kind) {
+      case FaultKind::kCrashPrimary:
+      case FaultKind::kCrashBackup: {
+        const TimePoint recovered =
+            standby_at == TimePoint::max() ? e.at : standby_at;
+        epochs.push_back({e.at, recovered + opts.failover_grace, e.kind});
+        break;
+      }
+      case FaultKind::kAddStandby:
+        epochs.push_back({e.at, e.at + opts.failover_grace, e.kind});
+        break;
+      default:
+        epochs.push_back({e.at, e.until + opts.settle, e.kind});
+        break;
+    }
+  }
+  return epochs;
+}
+
+Workload generate_workload(std::uint64_t seed, const ChaosOptions& opts) {
+  Rng rng{derive_stream_seed(seed, kStreamWorkload)};
+  static constexpr std::int64_t kPeriodsMs[] = {10, 20, 25, 50};
+  static constexpr std::int64_t kWindowsMs[] = {80, 160, 240, 320};
+  static constexpr std::uint32_t kSizes[] = {32, 64, 128, 256, 512, 1024};
+
+  Workload w;
+  for (std::size_t i = 0; i < opts.objects; ++i) {
+    core::ObjectSpec spec;
+    spec.id = static_cast<core::ObjectId>(i + 1);
+    spec.name = "chaos-obj-" + std::to_string(spec.id);
+    const std::int64_t p = kPeriodsMs[rng.uniform(0, 3)];
+    spec.client_period = millis(p);
+    spec.client_exec = micros(200);
+    spec.update_exec = micros(500);
+    spec.size_bytes = kSizes[rng.uniform(0, 5)];
+    // δ_P must admit the write period; the window rides on top of it.
+    spec.delta_primary = millis(p + 10);
+    spec.delta_backup = spec.delta_primary + millis(kWindowsMs[rng.uniform(0, 3)]);
+    w.objects.push_back(spec);
+  }
+  if (opts.objects >= 2 && rng.bernoulli(0.5)) {
+    w.constraints.push_back({1, 2, millis(rng.uniform(150, 400))});
+  }
+  return w;
+}
+
+std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions& opts) {
+  std::string out;
+  char line[1024];
+  const auto ms = [](TimePoint t) { return t.nanos() / 1'000'000; };
+
+  std::snprintf(line, sizeof line,
+                "// ---- chaos reproducer: seed %llu ----\n"
+                "// auto at_ms = [](std::int64_t m) { return TimePoint::zero() + millis(m); };\n"
+                "chaos::ChaosOptions opts;  // defaults as of this build\n"
+                "core::ServiceParams params;\n"
+                "params.seed = 0x%llxULL;  // derive_stream_seed(seed, kStreamService)\n"
+                "params.link = opts.link;\n"
+                "params.config = opts.config;\n"
+                "core::RtpbService service(params);\n"
+                "service.start();\n"
+                "auto workload = chaos::generate_workload(%lluULL, opts);\n"
+                "for (const auto& spec : workload.objects) service.register_object(spec);\n"
+                "for (const auto& c : workload.constraints) service.add_constraint(c);\n"
+                "core::FaultPlan plan(service);\n",
+                static_cast<unsigned long long>(schedule.seed),
+                static_cast<unsigned long long>(schedule.service_seed),
+                static_cast<unsigned long long>(schedule.seed));
+  out += line;
+
+  for (const ChaosEvent& e : schedule.events) {
+    switch (e.kind) {
+      case FaultKind::kLossStorm:
+        std::snprintf(line, sizeof line, "plan.loss_storm(at_ms(%lld), at_ms(%lld), %.2f);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability);
+        break;
+      case FaultKind::kLinkDegradation:
+        std::snprintf(line, sizeof line,
+                      "plan.link_degradation(at_ms(%lld), at_ms(%lld), %.2f);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability);
+        break;
+      case FaultKind::kDuplicationBurst:
+        std::snprintf(line, sizeof line,
+                      "plan.duplication_burst(at_ms(%lld), at_ms(%lld), %.2f);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability);
+        break;
+      case FaultKind::kReorderBurst:
+        std::snprintf(line, sizeof line,
+                      "plan.reorder_burst(at_ms(%lld), at_ms(%lld), %.2f, millis(%lld));\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability, static_cast<long long>(e.extra.nanos() / 1'000'000));
+        break;
+      case FaultKind::kBurstLoss:
+        std::snprintf(line, sizeof line,
+                      "plan.burst_loss(at_ms(%lld), at_ms(%lld), %.2f, %u);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability, e.burst_length);
+        break;
+      case FaultKind::kCorruptionBurst:
+        std::snprintf(line, sizeof line,
+                      "plan.corruption_burst(at_ms(%lld), at_ms(%lld), %.2f);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability);
+        break;
+      case FaultKind::kCrashPrimary:
+        std::snprintf(line, sizeof line, "plan.crash_primary(at_ms(%lld));\n",
+                      static_cast<long long>(ms(e.at)));
+        break;
+      case FaultKind::kCrashBackup:
+        std::snprintf(line, sizeof line, "plan.crash_backup(at_ms(%lld));\n",
+                      static_cast<long long>(ms(e.at)));
+        break;
+      case FaultKind::kAddStandby:
+        std::snprintf(line, sizeof line, "plan.add_standby(at_ms(%lld));\n",
+                      static_cast<long long>(ms(e.at)));
+        break;
+    }
+    out += line;
+  }
+
+  std::snprintf(line, sizeof line,
+                "plan.arm();\n"
+                "service.run_for(millis(%lld));\n"
+                "service.finish();\n",
+                static_cast<long long>(opts.duration.nanos() / 1'000'000));
+  out += line;
+  return out;
+}
+
+}  // namespace rtpb::chaos

@@ -1,0 +1,131 @@
+// Seeded random fault schedules for the deterministic chaos harness.
+//
+// A ChaosSchedule is a timeline of typed fault events (loss storms, link
+// degradation, duplication/reorder/burst-loss/corruption bursts, crashes,
+// standby recruitment) generated from a single seed.  Every random choice
+// is quantised (1 ms times, 0.01 probabilities) so that rendering the
+// schedule as source code reproduces it exactly, and each fault family
+// draws from its own derive_stream_seed() sub-stream, so toggling one
+// family off cannot shift what another family generates.
+//
+// The schedule also *declares* its fault epochs: the intervals during
+// which the temporal-consistency oracles must tolerate window violations.
+// Everything outside a declared epoch is fair game for the oracles — that
+// asymmetry is what turns a random soak into a checked experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/faults.hpp"
+#include "core/types.hpp"
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kLossStorm,         ///< §5 update-stream loss at the primary
+  kLinkDegradation,   ///< Bernoulli loss on the genuine link (all traffic)
+  kDuplicationBurst,  ///< frames delivered twice
+  kReorderBurst,      ///< frames exempted from FIFO
+  kBurstLoss,         ///< correlated frame loss
+  kCorruptionBurst,   ///< single-bit frame corruption
+  kCrashPrimary,
+  kCrashBackup,
+  kAddStandby,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct ChaosEvent {
+  FaultKind kind{};
+  TimePoint at{};                  ///< start (the instant, for crash/standby)
+  TimePoint until{};               ///< end of interval faults; == at otherwise
+  double probability = 0.0;        ///< loss/dup/reorder/corrupt/burst-enter
+  Duration extra{};                ///< reorder extra delay
+  std::uint32_t burst_length = 0;  ///< burst-loss run length
+};
+
+/// An interval during which oracles must tolerate inconsistency (the
+/// underlying fault interval widened by the settle/failover grace).
+struct FaultEpoch {
+  TimePoint from{};
+  TimePoint until{};
+  FaultKind cause{};
+};
+
+struct ChaosOptions {
+  Duration duration = seconds(20);  ///< virtual run length
+  /// Grace appended after a network fault epoch before oracles re-arm
+  /// (lost updates are healed by the next transmission or watchdog nack).
+  Duration settle = seconds(1);
+  /// Grace after a crash (and after standby recruitment) covering failure
+  /// detection, promotion, state transfer and catch-up.  Independent of
+  /// the service config on purpose: a sabotaged failover (the harness's
+  /// canary) must NOT stretch the declared epoch.
+  Duration failover_grace = seconds(2);
+  double intensity = 1.0;  ///< scales how many fault events are generated
+
+  bool enable_loss_storms = true;   ///< update-stream loss (detector-safe)
+  bool enable_link_faults = true;   ///< degradation/dup/reorder/burst/corrupt
+  bool enable_crashes = true;       ///< crash + failover + recruitment
+  double crash_probability = 0.6;   ///< chance a run includes a crash
+  double crash_backup_bias = 0.3;   ///< of crashes, fraction hitting the backup
+
+  std::size_t objects = 4;  ///< workload size offered to admission
+
+  /// Service configuration for chaos runs.  Defaults are hardened for an
+  /// adversarial network: variance-aware admission (Lemma 2) so CPU phase
+  /// variance cannot cause out-of-model violations, and a patient failure
+  /// detector (12 misses at 50 ms pings ≈ 600 ms detection) so declared
+  /// link-fault probabilities cannot plausibly starve it into a false —
+  /// split-brain — failover.
+  core::ServiceConfig config = hardened_config();
+  net::LinkParams link = default_link();
+
+  [[nodiscard]] static core::ServiceConfig hardened_config();
+  [[nodiscard]] static net::LinkParams default_link();
+};
+
+struct ChaosSchedule {
+  std::uint64_t seed = 0;          ///< the chaos seed it was generated from
+  std::uint64_t service_seed = 0;  ///< derived seed for ServiceParams
+  std::vector<ChaosEvent> events;  ///< sorted by `at`
+};
+
+/// Sub-stream numbers of the chaos seed (derive_stream_seed streams).
+/// Fixed constants: renumbering breaks seed reproducibility across
+/// versions, so append only.
+enum ChaosStream : std::uint64_t {
+  kStreamService = 1,   ///< ServiceParams::seed for the simulation itself
+  kStreamWorkload = 2,  ///< object specs and inter-object constraints
+  kStreamLoss = 3,      ///< update-stream loss storms
+  kStreamLink = 4,      ///< link-level fault bursts
+  kStreamCrash = 5,     ///< crash / recruitment scenario
+};
+
+/// Generate the fault schedule for `seed`.  Pure function of (seed, opts).
+[[nodiscard]] ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosOptions& opts);
+
+/// Translate the schedule into FaultPlan calls (does not arm()).
+void apply(const ChaosSchedule& schedule, core::FaultPlan& plan);
+
+/// The intervals during which oracles must tolerate violations.
+[[nodiscard]] std::vector<FaultEpoch> declared_epochs(const ChaosSchedule& schedule,
+                                                      const ChaosOptions& opts);
+
+/// Generate the chaos workload for `seed`: object specs (admission may
+/// still reject some) plus occasional inter-object constraints.
+struct Workload {
+  std::vector<core::ObjectSpec> objects;
+  std::vector<core::InterObjectConstraint> constraints;
+};
+[[nodiscard]] Workload generate_workload(std::uint64_t seed, const ChaosOptions& opts);
+
+/// Render the schedule as a ready-to-paste C++ FaultPlan reproducer.
+[[nodiscard]] std::string render_reproducer(const ChaosSchedule& schedule,
+                                            const ChaosOptions& opts);
+
+}  // namespace rtpb::chaos

@@ -1,5 +1,7 @@
 #include "core/faults.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace rtpb::core {
@@ -20,6 +22,74 @@ FaultPlan& FaultPlan::link_degradation(TimePoint from, TimePoint until, double p
      [this, a, b, probability] { service_.network().set_loss_probability(a, b, probability); });
   at(until, "link-degradation-end",
      [this, a, b] { service_.network().set_loss_probability(a, b, 0.0); });
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplication_burst(TimePoint from, TimePoint until, double probability) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  at(from, "dup-burst-start", [this, a, b, probability] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.duplicate_probability = probability;
+    service_.network().set_faults(a, b, f);
+  });
+  at(until, "dup-burst-end", [this, a, b] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.duplicate_probability = 0.0;
+    service_.network().set_faults(a, b, f);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder_burst(TimePoint from, TimePoint until, double probability,
+                                    Duration extra) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  at(from, "reorder-burst-start", [this, a, b, probability, extra] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.reorder_probability = probability;
+    f.reorder_extra = extra;
+    service_.network().set_faults(a, b, f);
+  });
+  at(until, "reorder-burst-end", [this, a, b] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.reorder_probability = 0.0;
+    service_.network().set_faults(a, b, f);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(TimePoint from, TimePoint until, double enter_probability,
+                                 std::uint32_t burst_length) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  at(from, "burst-loss-start", [this, a, b, enter_probability, burst_length] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.burst_loss_probability = enter_probability;
+    f.burst_length = burst_length;
+    service_.network().set_faults(a, b, f);
+  });
+  at(until, "burst-loss-end", [this, a, b] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.burst_loss_probability = 0.0;
+    service_.network().set_faults(a, b, f);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::corruption_burst(TimePoint from, TimePoint until, double probability) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  at(from, "corruption-start", [this, a, b, probability] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.corrupt_probability = probability;
+    service_.network().set_faults(a, b, f);
+  });
+  at(until, "corruption-end", [this, a, b] {
+    net::LinkFaults f = service_.network().faults(a, b);
+    f.corrupt_probability = 0.0;
+    service_.network().set_faults(a, b, f);
+  });
   return *this;
 }
 
@@ -45,9 +115,15 @@ FaultPlan& FaultPlan::at(TimePoint when, std::string label, std::function<void()
 void FaultPlan::arm() {
   RTPB_EXPECTS(!armed_);
   armed_ = true;
+  // Schedule in virtual-time order (stable, so insertion order breaks
+  // ties): fired() then reads as a timeline no matter how the plan was
+  // phrased.  Actions already in the past fire at the current instant.
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const Action& a, const Action& b) { return a.when < b.when; });
+  const TimePoint now = service_.simulator().now();
   for (auto& action : actions_) {
     service_.simulator().schedule_at(
-        action.when, [this, label = action.label, fn = std::move(action.fn)] {
+        std::max(action.when, now), [this, label = action.label, fn = std::move(action.fn)] {
           RTPB_INFO("faults", "firing %s", label.c_str());
           fired_.push_back(label);
           fn();

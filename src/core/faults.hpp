@@ -26,6 +26,24 @@ class FaultPlan {
   /// primary and the designated-successor backup.
   FaultPlan& link_degradation(TimePoint from, TimePoint until, double probability);
 
+  /// Duplicate messages on the primary↔backup link with `probability`
+  /// between `from` and `until` (tests at-most-once handling above UDP).
+  FaultPlan& duplication_burst(TimePoint from, TimePoint until, double probability);
+
+  /// Exempt messages from FIFO delivery with `probability`, delaying each
+  /// exempted message by up to `extra` so later sends overtake it.
+  FaultPlan& reorder_burst(TimePoint from, TimePoint until, double probability,
+                           Duration extra = millis(2));
+
+  /// Correlated loss: each message may open a burst (probability
+  /// `enter_probability`) that swallows `burst_length` consecutive frames.
+  FaultPlan& burst_loss(TimePoint from, TimePoint until, double enter_probability,
+                        std::uint32_t burst_length);
+
+  /// Flip one random bit per affected frame (the transport checksum must
+  /// catch these; to the service they look like loss).
+  FaultPlan& corruption_burst(TimePoint from, TimePoint until, double probability);
+
   /// Crash the primary at `at`.
   FaultPlan& crash_primary(TimePoint at);
   /// Crash the successor backup at `at`.
@@ -36,10 +54,13 @@ class FaultPlan {
   /// Arbitrary scripted action.
   FaultPlan& at(TimePoint when, std::string label, std::function<void()> action);
 
-  /// Schedule every recorded action on the service's simulator.
+  /// Schedule every recorded action on the service's simulator.  May be
+  /// called at most once.  Actions whose time is already in the past fire
+  /// deterministically at the current virtual instant, in plan order.
   void arm();
 
-  /// Labels of actions that have fired so far (for assertions).
+  /// Labels of actions that have fired so far, in virtual-time order
+  /// (insertion order breaks ties at equal times).
   [[nodiscard]] const std::vector<std::string>& fired() const { return fired_; }
 
  private:

@@ -43,6 +43,10 @@ void Metrics::on_backup_apply(ObjectId id, TimePoint origin_ts, TimePoint now) {
   t.refresh(now);
 }
 
+void Metrics::poll(TimePoint now) {
+  for (auto& [id, t] : objects_) t.refresh(now);
+}
+
 void Metrics::finish(TimePoint now) {
   for (auto& [id, t] : objects_) {
     // An object the backup never caught up on has been maximally stale.

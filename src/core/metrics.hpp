@@ -45,6 +45,11 @@ class Metrics {
   /// `origin_ts`, at backup-local time `now` (T_i^B advances).
   void on_backup_apply(ObjectId id, TimePoint origin_ts, TimePoint now);
 
+  /// Re-evaluate every object's window violation at `now` without waiting
+  /// for the next write/apply — the chaos harness's oracle observation
+  /// point, so intervals open/close at the sampling instant.
+  void poll(TimePoint now);
+
   /// Close out open violation intervals at end of run (call once before
   /// reading results).
   void finish(TimePoint now);

@@ -139,6 +139,9 @@ class ReplicaServer {
   [[nodiscard]] const FailureDetector& detector() const { return *detector_; }
   /// The FRAGLITE layer, or nullptr when fragmentation is disabled.
   [[nodiscard]] const xkernel::FragLite* frag() const { return frag_.get(); }
+  /// The x-kernel stack (oracle/test observation: transport checksum
+  /// failures, frame counters).
+  [[nodiscard]] const xkernel::HostStack& stack() const { return stack_; }
   [[nodiscard]] TimePoint promoted_at() const { return promoted_at_; }
 
  private:

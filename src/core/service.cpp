@@ -100,6 +100,20 @@ ReplicaServer& RtpbService::acting_primary() {
   return *primary_;
 }
 
+void RtpbService::for_each_replica(const std::function<void(const ReplicaServer&)>& fn) const {
+  fn(*primary_);
+  for (const auto& b : backups_) fn(*b);
+  if (standby_) fn(*standby_);
+}
+
+std::size_t RtpbService::primaries_alive() const {
+  std::size_t n = 0;
+  for_each_replica([&n](const ReplicaServer& r) {
+    if (!r.crashed() && r.role() == Role::kPrimary) ++n;
+  });
+  return n;
+}
+
 ReplicaServer& RtpbService::add_standby() {
   RTPB_EXPECTS(standby_ == nullptr);
   standby_ = std::make_unique<ReplicaServer>(sim_, network_, names_, params_.config, metrics_,
@@ -108,7 +122,14 @@ ReplicaServer& RtpbService::add_standby() {
   network_.connect(new_primary.node(), standby_->node(), params_.link);
   standby_->add_peer(new_primary.endpoint());
   standby_->start();
-  new_primary.recruit_backup(standby_->endpoint());
+  if (!new_primary.crashed() && new_primary.role() == Role::kPrimary) {
+    new_primary.recruit_backup(standby_->endpoint());
+  } else {
+    // No live primary to recruit from (failover never settled): the
+    // standby comes up orphaned and stays cold.  The service is now
+    // primary-less, which monitoring is expected to flag.
+    RTPB_WARN("rtpb", "standby@node%u recruited with no live primary", standby_->node());
+  }
   return *standby_;
 }
 

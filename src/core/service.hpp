@@ -6,6 +6,7 @@
 // type alone.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -64,6 +65,14 @@ class RtpbService {
 
   /// The server currently acting as primary (changes after failover).
   [[nodiscard]] ReplicaServer& acting_primary();
+
+  // ---- oracle observation points (chaos harness) ----
+  /// Visit every replica ever created, crashed or not, in a deterministic
+  /// order: original primary, backups in creation order, standby last.
+  void for_each_replica(const std::function<void(const ReplicaServer&)>& fn) const;
+  /// Live (non-crashed) replicas currently claiming the primary role.
+  /// Exactly 1 whenever the system is healthy and failover has settled.
+  [[nodiscard]] std::size_t primaries_alive() const;
 
   // ---- accessors ----
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }

@@ -58,20 +58,62 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
   pkt.payload = std::move(payload);
   pkt.seq = next_seq_++;
 
+  const auto link_tag = [src, dst] {
+    return "node" + std::to_string(src) + "->node" + std::to_string(dst);
+  };
+  const LinkFaults& faults = link->params.faults;
+
+  // Burst loss: an open burst swallows frames until it is spent; a fresh
+  // burst may open on any frame.  Models correlated loss (collision storms,
+  // a switch buffer overrun) rather than independent Bernoulli drops.
+  bool burst_kill = false;
+  if (link->burst_remaining > 0) {
+    --link->burst_remaining;
+    burst_kill = true;
+  } else if (faults.burst_loss_probability > 0.0 &&
+             rng_.bernoulli(faults.burst_loss_probability)) {
+    link->burst_remaining = faults.burst_length > 0 ? faults.burst_length - 1 : 0;
+    burst_kill = true;
+  }
+  if (burst_kill) {
+    ++link->stats.dropped;
+    ++link->stats.burst_dropped;
+    if (sim_.trace().enabled()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-drop",
+                          link_tag() + " burst");
+    }
+    return true;
+  }
+
   if (rng_.bernoulli(link->params.loss_probability)) {
     ++link->stats.dropped;
     RTPB_TRACE("net", "drop pkt %llu node%u->node%u (loss)",
                static_cast<unsigned long long>(pkt.seq), src, dst);
     if (sim_.trace().enabled()) {
-      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-drop",
-                          "node" + std::to_string(src) + "->node" + std::to_string(dst));
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-drop", link_tag());
     }
     return true;  // sender cannot tell — fire and forget
   }
+
+  // Corruption: flip one random bit and deliver anyway — detecting it is
+  // the transport checksum's job.
+  if (faults.corrupt_probability > 0.0 && !pkt.payload.empty() &&
+      rng_.bernoulli(faults.corrupt_probability)) {
+    const std::size_t skip = std::min(faults.corrupt_skip, pkt.payload.size() - 1);
+    const auto idx = static_cast<std::size_t>(
+        rng_.uniform(static_cast<std::int64_t>(skip),
+                     static_cast<std::int64_t>(pkt.payload.size() - 1)));
+    pkt.payload[idx] ^= static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+    ++link->stats.corrupted;
+    if (sim_.trace().enabled()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-corrupt",
+                          link_tag() + " byte " + std::to_string(idx));
+    }
+  }
+
   if (sim_.trace().enabled()) {
     sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-send",
-                        "node" + std::to_string(src) + "->node" + std::to_string(dst) + " " +
-                            std::to_string(pkt.wire_size()) + "B");
+                        link_tag() + " " + std::to_string(pkt.wire_size()) + "B");
   }
 
   Duration delay = Duration::zero();
@@ -84,13 +126,44 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     delay += Duration{rng_.uniform(0, link->params.jitter.nanos() - 1)};
   }
 
-  // Preserve FIFO per direction.
   TimePoint deliver_at = sim_.now() + delay;
-  deliver_at = std::max(deliver_at, link->last_delivery);
-  link->last_delivery = deliver_at;
+  const bool reordered = faults.reorder_probability > 0.0 &&
+                         rng_.bernoulli(faults.reorder_probability);
+  if (reordered) {
+    // Exempt the frame from the FIFO floor and hold it back a little, so
+    // frames sent after it can (and usually do) overtake it.
+    if (faults.reorder_extra > Duration::zero()) {
+      deliver_at += Duration{rng_.uniform(0, faults.reorder_extra.nanos())};
+    }
+    ++link->stats.reordered;
+    if (sim_.trace().enabled()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-reorder", link_tag());
+    }
+  } else {
+    // Preserve FIFO per direction.
+    deliver_at = std::max(deliver_at, link->last_delivery);
+    link->last_delivery = deliver_at;
+  }
   link->stats.delays_ms.add((deliver_at - sim_.now()).millis());
 
-  sim_.schedule_at(deliver_at, [this, pkt = std::move(pkt)]() mutable {
+  if (faults.duplicate_probability > 0.0 && rng_.bernoulli(faults.duplicate_probability)) {
+    Duration dup_delay = link->params.propagation;
+    if (link->params.jitter > Duration::zero()) {
+      dup_delay += Duration{rng_.uniform(0, link->params.jitter.nanos() - 1)};
+    }
+    ++link->stats.duplicated;
+    if (sim_.trace().enabled()) {
+      sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-dup", link_tag());
+    }
+    schedule_delivery(pkt, std::max(deliver_at, sim_.now() + delay + dup_delay));
+  }
+
+  schedule_delivery(std::move(pkt), deliver_at);
+  return true;
+}
+
+void Network::schedule_delivery(Packet pkt, TimePoint at) {
+  sim_.schedule_at(at, [this, pkt = std::move(pkt)]() mutable {
     auto node_it = nodes_.find(pkt.dst);
     if (node_it == nodes_.end() || !node_it->second.up) {
       if (DirectedLink* l = find_link(pkt.src, pkt.dst)) ++l->stats.dropped;
@@ -99,7 +172,6 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     if (DirectedLink* l = find_link(pkt.src, pkt.dst)) ++l->stats.delivered;
     node_it->second.on_deliver(pkt);
   });
-  return true;
 }
 
 void Network::set_node_up(NodeId node, bool up) {
@@ -118,6 +190,26 @@ void Network::set_loss_probability(NodeId a, NodeId b, double p) {
   RTPB_EXPECTS(p >= 0.0 && p <= 1.0);
   if (DirectedLink* l = find_link(a, b)) l->params.loss_probability = p;
   if (DirectedLink* l = find_link(b, a)) l->params.loss_probability = p;
+}
+
+void Network::set_faults(NodeId a, NodeId b, const LinkFaults& faults) {
+  RTPB_EXPECTS(faults.duplicate_probability >= 0.0 && faults.duplicate_probability <= 1.0);
+  RTPB_EXPECTS(faults.reorder_probability >= 0.0 && faults.reorder_probability <= 1.0);
+  RTPB_EXPECTS(faults.corrupt_probability >= 0.0 && faults.corrupt_probability <= 1.0);
+  RTPB_EXPECTS(faults.burst_loss_probability >= 0.0 && faults.burst_loss_probability <= 1.0);
+  RTPB_EXPECTS(faults.reorder_extra >= Duration::zero());
+  for (DirectedLink* l : {find_link(a, b), find_link(b, a)}) {
+    if (l == nullptr) continue;
+    l->params.faults = faults;
+    // A dead burst knob must not keep killing frames.
+    if (faults.burst_loss_probability <= 0.0) l->burst_remaining = 0;
+  }
+}
+
+const LinkFaults& Network::faults(NodeId a, NodeId b) const {
+  auto it = links_.find({a, b});
+  RTPB_EXPECTS(it != links_.end());
+  return it->second.params.faults;
 }
 
 const LinkStats& Network::stats(NodeId a, NodeId b) const {

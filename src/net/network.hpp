@@ -23,13 +23,32 @@
 
 namespace rtpb::net {
 
+/// Chaos-injection knobs beyond plain Bernoulli loss (all off by default).
+/// These deliberately break the link assumptions admission control relies
+/// on (bounded delay, FIFO order), so experiments that enable them must
+/// declare the interval as a fault epoch when judging consistency.
+struct LinkFaults {
+  double duplicate_probability = 0.0;   ///< deliver an extra copy with fresh delay
+  double reorder_probability = 0.0;     ///< exempt a frame from FIFO, delay it extra
+  Duration reorder_extra = millis(2);   ///< max extra delay for a reordered frame
+  double corrupt_probability = 0.0;     ///< flip one random payload bit, still deliver
+  /// First payload bytes spared by corruption (0 = corrupt anywhere).  Tests
+  /// that assert on transport checksum detection aim past the lower-layer
+  /// headers so every flip lands in the checksummed datagram body.
+  std::size_t corrupt_skip = 0;
+  double burst_loss_probability = 0.0;  ///< per-frame chance to open a drop burst
+  std::uint32_t burst_length = 4;       ///< consecutive frames killed per burst
+};
+
 struct LinkParams {
   Duration propagation = millis(1);     ///< fixed one-way latency component
   Duration jitter = Duration::zero();   ///< uniform extra in [0, jitter)
   double loss_probability = 0.0;        ///< independent per-packet drop
   double bandwidth_bps = 10e6;          ///< 10 Mb/s LAN by default; <=0 → infinite
   std::size_t mtu = 1500;               ///< max frame payload; 0 → unlimited
-  /// Upper bound ℓ on one-way delay for a frame of `frame_size` bytes.
+  LinkFaults faults;                    ///< chaos knobs (duplication/reorder/…)
+  /// Upper bound ℓ on one-way delay for a frame of `frame_size` bytes
+  /// (assuming the fault knobs are quiet).
   [[nodiscard]] Duration delay_bound(std::size_t frame_size) const;
 };
 
@@ -37,7 +56,11 @@ struct LinkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
-  std::uint64_t mtu_drops = 0;  ///< frames exceeding the link MTU
+  std::uint64_t mtu_drops = 0;      ///< frames exceeding the link MTU
+  std::uint64_t burst_dropped = 0;  ///< frames killed inside a loss burst
+  std::uint64_t duplicated = 0;     ///< frames delivered twice
+  std::uint64_t reordered = 0;      ///< frames exempted from FIFO ordering
+  std::uint64_t corrupted = 0;      ///< frames delivered with a flipped bit
   SampleSet delays_ms;
 };
 
@@ -71,6 +94,13 @@ class Network {
   /// Update loss probability mid-run (failure injection).
   void set_loss_probability(NodeId a, NodeId b, double p);
 
+  /// Replace the chaos knobs of the link, both directions (failure
+  /// injection).  Delay/bandwidth parameters are untouched.
+  void set_faults(NodeId a, NodeId b, const LinkFaults& faults);
+  /// Current chaos knobs of the a→b direction (for read-modify-write
+  /// injection of a single knob).
+  [[nodiscard]] const LinkFaults& faults(NodeId a, NodeId b) const;
+
   [[nodiscard]] const LinkStats& stats(NodeId a, NodeId b) const;
   [[nodiscard]] std::optional<LinkParams> link_params(NodeId a, NodeId b) const;
 
@@ -78,7 +108,8 @@ class Network {
   struct DirectedLink {
     LinkParams params;
     LinkStats stats;
-    TimePoint last_delivery{};  ///< FIFO floor for this direction
+    TimePoint last_delivery{};        ///< FIFO floor for this direction
+    std::uint32_t burst_remaining = 0;  ///< frames left to kill in an open burst
   };
   struct Node {
     DeliveryFn on_deliver;
@@ -88,6 +119,8 @@ class Network {
   using LinkKey = std::pair<NodeId, NodeId>;  // directed (src, dst)
 
   DirectedLink* find_link(NodeId src, NodeId dst);
+  /// Hand `pkt` to the destination at virtual time `at` (if it is still up).
+  void schedule_delivery(Packet pkt, TimePoint at);
 
   sim::Simulator& sim_;
   Rng rng_;

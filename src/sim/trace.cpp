@@ -23,9 +23,32 @@ void TraceRecorder::enable(std::size_t capacity) {
   capacity_ = capacity;
 }
 
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a_byte(std::uint64_t h, std::uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = fnv1a_byte(h, static_cast<std::uint8_t>(v >> (i * 8)));
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  return fnv1a_byte(h, 0);  // terminator keeps ("ab","c") != ("a","bc")
+}
+}  // namespace
+
 void TraceRecorder::record(TimePoint at, TraceCategory category, std::string label,
                            std::string detail) {
   if (!enabled_) return;
+  digest_ = fnv1a_u64(digest_, static_cast<std::uint64_t>(at.nanos()));
+  digest_ = fnv1a_byte(digest_, static_cast<std::uint8_t>(category));
+  digest_ = fnv1a_str(digest_, label);
+  digest_ = fnv1a_str(digest_, detail);
+  ++recorded_;
   if (events_.size() >= capacity_) {
     events_.pop_front();
     ++dropped_;
@@ -36,6 +59,8 @@ void TraceRecorder::record(TimePoint at, TraceCategory category, std::string lab
 void TraceRecorder::clear() {
   events_.clear();
   dropped_ = 0;
+  digest_ = kFnvOffset;
+  recorded_ = 0;
 }
 
 std::vector<TraceEvent> TraceRecorder::with_label(const std::string& label) const {

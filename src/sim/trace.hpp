@@ -45,15 +45,27 @@ class TraceRecorder {
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
   void clear();
 
+  /// FNV-1a digest folded over every event recorded since enable()/clear(),
+  /// including events later evicted from the bounded window.  Two runs of a
+  /// seeded simulation are behaviourally identical iff their digests match,
+  /// which is what the chaos harness asserts for seed reproducibility.
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  /// Total events recorded (evicted ones included).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
   /// Events whose label matches exactly (convenience for assertions).
   [[nodiscard]] std::vector<TraceEvent> with_label(const std::string& label) const;
   /// Multi-line human-readable dump (optionally one category only).
   [[nodiscard]] std::string render() const;
 
  private:
+  static constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
   bool enabled_ = false;
   std::size_t capacity_ = 0;
   std::size_t dropped_ = 0;
+  std::uint64_t digest_ = kFnvOffset;
+  std::uint64_t recorded_ = 0;
   std::deque<TraceEvent> events_;
 };
 

@@ -22,6 +22,22 @@ namespace rtpb {
   return z ^ (z >> 31);
 }
 
+/// Seed-splitting: the seed of sub-stream `stream` of a root seed.
+///
+/// Unlike Rng::fork(), derivation is stateless — stream k of a given root
+/// is always the same generator no matter how many other streams exist or
+/// in what order they are drawn.  Consumers that each own a numbered
+/// stream therefore stay decoupled: adding or removing one (say, disabling
+/// crash injection in a chaos schedule) cannot shift the draws any other
+/// stream sees.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t root,
+                                                         std::uint64_t stream) {
+  std::uint64_t s = root ^ (0xa0761d6478bd642fULL * (stream + 1));
+  std::uint64_t mixed = splitmix64(s);
+  // A second round keeps nearby (root, stream) pairs far apart.
+  return splitmix64(mixed);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
@@ -82,6 +98,13 @@ class Rng {
 
   /// Derive an independent child generator (for per-component streams).
   Rng fork() { return Rng{next_u64()}; }
+
+  /// Stateless fork: derive sub-stream `stream` without consuming any
+  /// randomness from this generator (see derive_stream_seed).  Two
+  /// generators in identical states split identically.
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    return Rng{derive_stream_seed(state_[0] ^ (state_[2] + 0x9e3779b97f4a7c15ULL), stream)};
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,95 @@
+// The oracles must stay quiet on a healthy-but-stormy service and must
+// fire when the service is deliberately broken.  Both directions matter:
+// a silent oracle proves nothing until it has caught a planted bug.
+#include <gtest/gtest.h>
+
+#include "chaos/harness.hpp"
+
+namespace rtpb::chaos {
+namespace {
+
+TEST(ChaosOracles, DefaultSeedsRunCleanUnderFaults) {
+  ChaosOptions opts;
+  opts.duration = seconds(8);
+  for (std::uint64_t seed = 100; seed < 104; ++seed) {
+    const SeedReport report = run_seed(seed, opts);
+    EXPECT_TRUE(report.ok()) << report.summary() << "\n" << report.reproducer;
+    EXPECT_GT(report.oracle_checks, 0u);
+    EXPECT_GT(report.fired.size(), 0u) << "schedule should inject at least one fault";
+  }
+}
+
+TEST(ChaosOracles, CrashFailoverSeedRunsClean) {
+  ChaosOptions opts;  // default duration admits crash scenarios
+  opts.crash_probability = 1.0;
+  opts.crash_backup_bias = 0.0;  // force a primary crash + failover
+  const SeedReport report = run_seed(9, opts);
+  EXPECT_TRUE(report.ok()) << report.summary() << "\n" << report.reproducer;
+  bool crashed = false;
+  for (const std::string& label : report.fired) {
+    if (label.find("crash-primary") != std::string::npos) crashed = true;
+  }
+  EXPECT_TRUE(crashed) << "expected the schedule to crash the primary";
+}
+
+TEST(ChaosOracles, DisabledFailoverIsCaughtWithReproducer) {
+  // Plant the bug the harness exists to catch: a failure detector that
+  // never declares.  The primary crashes, nobody takes over, and the
+  // exactly-one-primary oracle must fire once the declared epoch closes.
+  ChaosOptions opts;
+  opts.config.ping_max_misses = 1000000;
+  opts.crash_probability = 1.0;
+  opts.crash_backup_bias = 0.0;
+
+  const SeedReport report = run_seed(7, opts);
+  ASSERT_FALSE(report.ok()) << "sabotaged failover must be caught";
+
+  bool found = false;
+  for (const OracleViolation& v : report.violations) {
+    if (v.oracle == std::string("exactly-one-primary")) found = true;
+  }
+  EXPECT_TRUE(found) << "expected an exactly-one-primary violation";
+
+  // The reproducer is ready to paste and names the killing action.
+  EXPECT_NE(report.reproducer.find("crash_primary"), std::string::npos);
+  EXPECT_NE(report.reproducer.find("plan.arm()"), std::string::npos);
+  EXPECT_NE(report.reproducer.find("seed 7"), std::string::npos);
+}
+
+TEST(ChaosOracles, SlowUpdatesAreCaughtByStalenessWindow) {
+  // Second planted bug: force a transmission period that dwarfs every
+  // negotiated window.  No faults are injected, so nothing excuses the
+  // violations and the staleness oracle must fire.
+  ChaosOptions opts;
+  opts.duration = seconds(5);
+  opts.config.update_period_override = millis(800);
+  opts.config.admission_control_enabled = false;
+  opts.enable_loss_storms = false;
+  opts.enable_link_faults = false;
+  opts.enable_crashes = false;
+
+  const SeedReport report = run_seed(1, opts);
+  ASSERT_FALSE(report.ok());
+  bool found = false;
+  for (const OracleViolation& v : report.violations) {
+    if (v.oracle == std::string("staleness-window")) found = true;
+  }
+  EXPECT_TRUE(found) << "expected a staleness-window violation";
+}
+
+TEST(ChaosOracles, ViolationCountKeepsCountingPastStorageCap) {
+  ChaosOptions opts;
+  opts.duration = seconds(10);
+  opts.config.update_period_override = millis(800);
+  opts.config.admission_control_enabled = false;
+  opts.enable_loss_storms = false;
+  opts.enable_link_faults = false;
+  opts.enable_crashes = false;
+
+  const SeedReport report = run_seed(2, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GE(report.violation_count, report.violations.size());
+}
+
+}  // namespace
+}  // namespace rtpb::chaos

@@ -1,0 +1,125 @@
+// FaultPlan edge semantics the chaos harness leans on: arm() is
+// single-shot, past actions fire deterministically at the current
+// instant, and fired() reports virtual-time order regardless of the
+// order the plan was scripted in.
+#include <gtest/gtest.h>
+
+#include "core/faults.hpp"
+
+namespace rtpb::core {
+namespace {
+
+ServiceParams make_params(std::uint64_t seed = 42) {
+  ServiceParams p;
+  p.seed = seed;
+  p.link.propagation = millis(1);
+  p.link.jitter = micros(200);
+  return p;
+}
+
+TimePoint at(std::int64_t ms) { return TimePoint::zero() + millis(ms); }
+
+TEST(FaultPlanEdge, DoubleArmDies) {
+  RtpbService service(make_params());
+  FaultPlan plan(service);
+  plan.at(at(10), "noop", [] {});
+  plan.arm();
+  EXPECT_DEATH(plan.arm(), "precondition");
+}
+
+TEST(FaultPlanEdge, AddingActionsAfterArmDies) {
+  RtpbService service(make_params());
+  FaultPlan plan(service);
+  plan.arm();
+  EXPECT_DEATH(plan.at(at(10), "late", [] {}), "precondition");
+}
+
+TEST(FaultPlanEdge, NullActionDies) {
+  RtpbService service(make_params());
+  FaultPlan plan(service);
+  EXPECT_DEATH(plan.at(at(10), "null", nullptr), "precondition");
+}
+
+TEST(FaultPlanEdge, PastActionsFireImmediatelyAtArmInstant) {
+  RtpbService service(make_params());
+  service.start();
+  service.run_for(millis(500));  // now = 500 ms
+
+  FaultPlan plan(service);
+  std::vector<TimePoint> when;
+  plan.at(at(100), "past", [&] { when.push_back(service.simulator().now()); });
+  plan.at(at(700), "future", [&] { when.push_back(service.simulator().now()); });
+  plan.arm();  // "past" is 400 ms stale
+  service.run_for(millis(500));
+
+  ASSERT_EQ(plan.fired().size(), 2u);
+  EXPECT_EQ(plan.fired()[0], "past");
+  EXPECT_EQ(when[0], at(500)) << "stale action fires at the arm instant, not at(100)";
+  EXPECT_EQ(plan.fired()[1], "future");
+  EXPECT_EQ(when[1], at(700));
+}
+
+TEST(FaultPlanEdge, FiredOrderIsVirtualTimeNotInsertionOrder) {
+  RtpbService service(make_params());
+  FaultPlan plan(service);
+  // Scripted deliberately out of order.
+  plan.at(at(300), "third", [] {});
+  plan.at(at(100), "first", [] {});
+  plan.at(at(200), "second", [] {});
+  plan.arm();
+  service.start();
+  service.run_for(millis(400));
+
+  ASSERT_EQ(plan.fired().size(), 3u);
+  EXPECT_EQ(plan.fired()[0], "first");
+  EXPECT_EQ(plan.fired()[1], "second");
+  EXPECT_EQ(plan.fired()[2], "third");
+}
+
+TEST(FaultPlanEdge, EqualTimesBreakTiesByInsertionOrder) {
+  RtpbService service(make_params());
+  FaultPlan plan(service);
+  plan.at(at(100), "a", [] {});
+  plan.at(at(100), "b", [] {});
+  plan.at(at(100), "c", [] {});
+  plan.arm();
+  service.start();
+  service.run_for(millis(200));
+
+  ASSERT_EQ(plan.fired().size(), 3u);
+  EXPECT_EQ(plan.fired()[0], "a");
+  EXPECT_EQ(plan.fired()[1], "b");
+  EXPECT_EQ(plan.fired()[2], "c");
+}
+
+TEST(FaultPlanEdge, ChaosVerbsBracketTheirIntervals) {
+  RtpbService service(make_params());
+  FaultPlan plan(service);
+  plan.duplication_burst(at(100), at(200), 0.5);
+  plan.reorder_burst(at(150), at(250), 0.5, millis(3));
+  plan.burst_loss(at(300), at(400), 0.02, 5);
+  plan.corruption_burst(at(350), at(450), 0.2);
+  plan.arm();
+  service.start();
+  service.run_for(millis(500));
+
+  const std::vector<std::string> want = {
+      "dup-burst-start",    "reorder-burst-start", "dup-burst-end",
+      "reorder-burst-end",  "burst-loss-start",    "corruption-start",
+      "burst-loss-end",     "corruption-end",
+  };
+  EXPECT_EQ(plan.fired(), want);
+
+  // All knobs must be back at zero after the intervals close.
+  const auto& primary = service.primary();
+  const auto& backup = service.backup();
+  const net::LinkFaults& f =
+      service.network().faults(primary.node(), backup.node());
+  EXPECT_EQ(f.duplicate_probability, 0.0);
+  EXPECT_EQ(f.reorder_probability, 0.0);
+  EXPECT_EQ(f.corrupt_probability, 0.0);
+  EXPECT_EQ(f.burst_loss_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace rtpb::core

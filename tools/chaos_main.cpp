@@ -1,0 +1,139 @@
+// chaos_main — multi-seed driver for the deterministic chaos harness.
+//
+// Each seed is a complete experiment: a generated fault schedule, a
+// generated workload, a full RtpbService run, and continuous oracle
+// checking.  Exit status is 0 iff every seed finished with zero oracle
+// violations; every failing seed prints its violations and a
+// ready-to-paste FaultPlan reproducer.
+//
+//   chaos_main --seeds 200                # sweep seeds 0..199
+//   chaos_main --seed 42                  # one seed, verbose
+//   chaos_main --seeds 16 --duration-ms 30000 --intensity 2
+//   chaos_main --seeds 8 --sabotage no-failover   # oracle self-test
+//
+// The --sabotage modes deliberately break the service to prove the
+// oracles catch real bugs: `no-failover` lobotomises the failure
+// detector so a primary crash is never failed over (exactly-one-primary
+// must fire), `slow-updates` forces an 800 ms transmission period that
+// dwarfs every negotiated window (staleness-window must fire).
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "chaos/harness.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [options]\n"
+            << "  --seeds N          number of seeds to sweep (default 16)\n"
+            << "  --first-seed S     first seed of the sweep (default 0)\n"
+            << "  --seed S           run exactly one seed\n"
+            << "  --duration-ms MS   virtual run length per seed (default 20000)\n"
+            << "  --intensity X      fault-count multiplier (default 1.0)\n"
+            << "  --objects N        objects offered per seed (default 4)\n"
+            << "  --no-crashes       disable crash/recruit scenarios\n"
+            << "  --sabotage MODE    none | no-failover | slow-updates\n"
+            << "  --log-warnings     keep service WARN lines (hidden by default)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rtpb::chaos::ChaosOptions;
+
+  std::uint64_t first_seed = 0;
+  std::size_t count = 16;
+  bool single = false;
+  bool log_warnings = false;
+  ChaosOptions opts;
+  std::string sabotage = "none";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      count = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--first-seed") {
+      first_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      first_seed = std::strtoull(next(), nullptr, 10);
+      count = 1;
+      single = true;
+    } else if (arg == "--duration-ms") {
+      opts.duration = rtpb::millis(std::strtoll(next(), nullptr, 10));
+    } else if (arg == "--intensity") {
+      opts.intensity = std::strtod(next(), nullptr);
+    } else if (arg == "--objects") {
+      opts.objects = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--no-crashes") {
+      opts.enable_crashes = false;
+    } else if (arg == "--sabotage") {
+      sabotage = next();
+    } else if (arg == "--log-warnings") {
+      log_warnings = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Chaos runs *cause* checksum failures and dead links on purpose; the
+  // per-event WARN stream would drown the per-seed summaries.
+  if (!log_warnings) {
+    rtpb::Logger::instance().set_level(rtpb::LogLevel::kError);
+  }
+
+  if (sabotage == "no-failover") {
+    // Failure detector never declares: a crashed primary stays dead and
+    // unreplaced.  exactly-one-primary must catch this on crash seeds.
+    opts.config.ping_max_misses = 1000000;
+    opts.crash_probability = 1.0;
+    opts.crash_backup_bias = 0.0;  // always crash the primary
+  } else if (sabotage == "slow-updates") {
+    // Transmission period far beyond every negotiated window: distances
+    // grow unbounded with zero faults.  staleness-window must catch it.
+    opts.config.update_period_override = rtpb::millis(800);
+    opts.config.admission_control_enabled = false;
+    opts.enable_loss_storms = false;
+    opts.enable_link_faults = false;
+    opts.enable_crashes = false;
+  } else if (sabotage != "none") {
+    std::cerr << "unknown sabotage mode: " << sabotage << "\n";
+    return 2;
+  }
+
+  const rtpb::chaos::SweepResult result =
+      rtpb::chaos::run_sweep(first_seed, count, opts, &std::cout);
+
+  std::cout << "---\n"
+            << result.seeds_run << " seeds, " << result.total_checks
+            << " oracle checks, " << result.failures.size() << " failing seeds\n";
+
+  if (single && !result.failures.empty()) {
+    std::cout << "reproduce with: --seed " << first_seed << "\n";
+  }
+  if (sabotage != "none") {
+    // Self-test: sabotage SHOULD be caught.  Succeed iff it was.
+    if (result.failures.empty()) {
+      std::cout << "sabotage '" << sabotage << "' was NOT caught — oracle gap!\n";
+      return 1;
+    }
+    std::cout << "sabotage '" << sabotage << "' caught as expected\n";
+    return 0;
+  }
+  return result.ok() ? 0 : 1;
+}
