@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "telemetry/export.hpp"
 
 namespace rtpb::bench {
 
@@ -18,6 +21,17 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   params.config.admission_control_enabled = spec.admission_control;
 
   core::RtpbService service(params);
+  // RTPB_TRACE_OUT / RTPB_TRACE_JSONL export a causal trace of the run
+  // (Chrome trace-event JSON / trace_inspect input).  Each experiment cell
+  // overwrites the file, so the export left behind is the LAST cell of the
+  // sweep — run a single-cell bench (or pick the cell you want last) when
+  // tracing.  Telemetry stays off otherwise; results are unaffected either
+  // way since the hub never perturbs the simulation.
+  const char* trace_json = std::getenv("RTPB_TRACE_OUT");
+  const char* trace_jsonl = std::getenv("RTPB_TRACE_JSONL");
+  if (trace_json != nullptr || trace_jsonl != nullptr) {
+    service.simulator().telemetry().enable();
+  }
   service.start();
 
   RunResult result;
@@ -37,6 +51,17 @@ RunResult run_experiment(const ExperimentSpec& spec) {
   service.warm_up(spec.warmup);
   service.run_for(spec.duration);
   service.finish();
+
+  if (trace_json != nullptr) {
+    if (std::ofstream out(trace_json); out) {
+      telemetry::write_chrome_trace(service.simulator().telemetry(), out);
+    }
+  }
+  if (trace_jsonl != nullptr) {
+    if (std::ofstream out(trace_jsonl); out) {
+      telemetry::write_jsonl(service.simulator().telemetry(), out);
+    }
+  }
 
   const core::Metrics& m = service.metrics();
   result.mean_response_ms = m.response_times().mean();

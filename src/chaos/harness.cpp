@@ -1,9 +1,12 @@
 #include "chaos/harness.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <ostream>
 
 #include "core/faults.hpp"
+#include "telemetry/export.hpp"
+#include "util/log.hpp"
 
 namespace rtpb::chaos {
 
@@ -30,6 +33,7 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
 
   core::RtpbService service(params);
   service.simulator().trace().enable();
+  if (opts.telemetry) service.simulator().telemetry().enable();
   service.start();
 
   const Workload workload = generate_workload(seed, opts);
@@ -71,6 +75,30 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
   report.total_inconsistency_ms = service.metrics().total_inconsistency().millis();
   report.inconsistency_intervals = service.metrics().inconsistency_intervals();
   if (!report.ok()) report.reproducer = render_reproducer(schedule, opts);
+
+  const telemetry::Hub& hub = service.simulator().telemetry();
+  if (opts.telemetry) {
+    report.spans_started = hub.spans_started();
+    report.spans_violated = hub.spans_violated();
+    report.metrics_json = hub.registry().to_json();
+    // The service lives only inside this call, so exports happen here too.
+    if (!opts.trace_json_path.empty()) {
+      std::ofstream out(opts.trace_json_path);
+      if (out) {
+        telemetry::write_chrome_trace(hub, out);
+      } else {
+        RTPB_WARN("chaos", "cannot open %s for trace export", opts.trace_json_path.c_str());
+      }
+    }
+    if (!opts.trace_jsonl_path.empty()) {
+      std::ofstream out(opts.trace_jsonl_path);
+      if (out) {
+        telemetry::write_jsonl(hub, out);
+      } else {
+        RTPB_WARN("chaos", "cannot open %s for trace export", opts.trace_jsonl_path.c_str());
+      }
+    }
+  }
   return report;
 }
 

@@ -39,6 +39,11 @@ struct SeedReport {
   double total_inconsistency_ms = 0.0;
   std::uint64_t inconsistency_intervals = 0;
 
+  // Telemetry (zero / empty unless ChaosOptions::telemetry).
+  std::uint64_t spans_started = 0;
+  std::uint64_t spans_violated = 0;
+  std::string metrics_json;  ///< registry snapshot
+
   /// Ready-to-paste FaultPlan reproducer (filled when violations > 0).
   std::string reproducer;
 

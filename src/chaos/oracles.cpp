@@ -23,12 +23,17 @@ bool OracleMonitor::in_fault_epoch(TimePoint t) const {
   return false;
 }
 
-void OracleMonitor::report(TimePoint now, const char* oracle, std::string detail) {
+void OracleMonitor::report(TimePoint now, const char* oracle, std::string detail,
+                           telemetry::SpanId span) {
   ++violation_count_;
   if (violations_.size() < kMaxStored) {
     violations_.push_back({now, oracle, detail});
   }
   auto& sim = service_.simulator();
+  if (sim.telemetry().enabled()) {
+    sim.telemetry().registry().counter(std::string("chaos.violations.") + oracle).add();
+    sim.telemetry().mark_violation(span, oracle, detail);
+  }
   if (sim.trace().enabled()) {
     sim.trace().record(now, sim::TraceCategory::kUser,
                        std::string("oracle-violation:") + oracle, std::move(detail));
@@ -64,11 +69,16 @@ void OracleMonitor::check() {
     const bool was = was_violating_[id];
     was_violating_[id] = violating;
 
+    // The update whose journey is implicated: the newest span minted for
+    // this object at the primary (the write the backup has not applied).
+    const telemetry::SpanId guilty = service_.simulator().telemetry().latest_span(id);
+
     // inconsistency-epoch: an interval may only OPEN inside an epoch.
     if (violating && !was && !in_epoch) {
       report(now, "inconsistency-epoch",
              "object " + std::to_string(id) +
-                 " opened a violation interval outside any declared fault epoch");
+                 " opened a violation interval outside any declared fault epoch",
+             guilty);
     }
 
     // staleness-window: with a primary up and no epoch open, the object
@@ -78,7 +88,8 @@ void OracleMonitor::check() {
         stale_reported_[id] = true;
         report(now, "staleness-window",
                "object " + std::to_string(id) + " out of window (max distance " +
-                   std::to_string(service_.metrics().max_distance(id).millis()) + " ms)");
+                   std::to_string(service_.metrics().max_distance(id).millis()) + " ms)",
+               guilty);
       }
     } else if (!violating) {
       stale_reported_[id] = false;

@@ -64,7 +64,11 @@ class OracleMonitor {
   static constexpr std::size_t kMaxStored = 64;
 
   void check();
-  void report(TimePoint now, const char* oracle, std::string detail);
+  /// Record a violation.  `span` (when not kNoSpan and telemetry is on)
+  /// names the guilty update: the newest span of the object that broke the
+  /// invariant, so traces show which update's journey went wrong.
+  void report(TimePoint now, const char* oracle, std::string detail,
+              telemetry::SpanId span = telemetry::kNoSpan);
 
   core::RtpbService& service_;
   std::vector<core::ObjectId> admitted_;

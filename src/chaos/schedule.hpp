@@ -85,6 +85,14 @@ struct ChaosOptions {
   core::ServiceConfig config = hardened_config();
   net::LinkParams link = default_link();
 
+  /// Collect causal spans / metrics during the run.  Purely observational:
+  /// digests are byte-identical with it on or off.
+  bool telemetry = false;
+  /// When non-empty (and telemetry is on), run_seed writes a Chrome
+  /// trace-event JSON / JSONL event stream for the seed there.
+  std::string trace_json_path;
+  std::string trace_jsonl_path;
+
   [[nodiscard]] static core::ServiceConfig hardened_config();
   [[nodiscard]] static net::LinkParams default_link();
 };

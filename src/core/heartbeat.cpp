@@ -32,6 +32,7 @@ void FailureDetector::send_ping() {
   if (peer_dead_) return;
   const std::uint64_t seq = next_seq_++;
   ++pings_sent_;
+  if (sim_.telemetry().enabled()) sim_.telemetry().registry().counter("core.heartbeat.pings").add();
   send_ping_(seq);
   const TimePoint sent_at = sim_.now();
   timeout_event_.cancel();
@@ -48,10 +49,22 @@ void FailureDetector::on_timeout(std::uint64_t seq, TimePoint sent_at) {
   ++misses_;
   RTPB_DEBUG("heartbeat", "ping %llu unanswered (miss %u/%u)",
              static_cast<unsigned long long>(seq), misses_, params_.max_misses);
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.heartbeat.misses").add();
+    hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kInstant, "heartbeat", "ping-miss",
+               "seq " + std::to_string(seq) + " miss " + std::to_string(misses_) + "/" +
+                   std::to_string(params_.max_misses));
+  }
   if (misses_ >= params_.max_misses) {
     peer_dead_ = true;
     timer_.stop();
     RTPB_INFO("heartbeat", "peer declared dead after %u misses", misses_);
+    if (hub.enabled()) {
+      hub.registry().counter("core.heartbeat.peer_deaths").add();
+      hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kInstant, "heartbeat",
+                 "peer-dead", "after " + std::to_string(misses_) + " misses");
+    }
     on_peer_dead_();
   }
 }

@@ -6,6 +6,14 @@
 
 namespace rtpb::core {
 
+namespace {
+std::string rtpb_track(net::NodeId n) { return "node" + std::to_string(n) + "/rtpb"; }
+
+std::string obj_tag(ObjectId id, std::uint64_t version) {
+  return "obj" + std::to_string(id) + " v" + std::to_string(version);
+}
+}  // namespace
+
 ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
                              ServiceConfig config, Metrics& metrics, Role role,
                              std::string service_name)
@@ -21,6 +29,7 @@ ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameSer
       rng_(sim.rng().fork()) {
   if (config_.enable_fragmentation) {
     frag_ = std::make_unique<xkernel::FragLite>(sim, config_.fragment_payload);
+    frag_->set_telemetry(&sim.telemetry(), node());
     frag_->connect_down(stack_.udp());
     frag_->set_handler([this](xkernel::Message& msg, const xkernel::MsgAttrs& attrs) {
       handle_message(msg, attrs);
@@ -168,13 +177,31 @@ void ReplicaServer::local_write(ObjectId id, Bytes value, const sched::JobInfo& 
   metrics_.record_response(info.finish - info.release);
   metrics_.on_primary_write(id, info.finish);
 
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    // Mint the causal span for this update version, back-dated with the
+    // sensing job's scheduling history so the span's first hops show how
+    // long the write waited for the CPU.
+    const std::uint64_t version = store_.get(id).version;
+    const telemetry::SpanId span = hub.begin_span(id, version);
+    hub.registry().counter("core.primary.writes").add();
+    hub.registry().histogram("core.primary.write_response_ms").record(info.finish - info.release);
+    const std::string track = rtpb_track(node());
+    hub.record_at(info.release, span, node(), telemetry::EventKind::kInstant, track,
+                  "write-release", obj_tag(id, version));
+    hub.record_at(info.start, span, node(), telemetry::EventKind::kInstant, track,
+                  "write-start");
+    hub.record_at(info.finish, span, node(), telemetry::EventKind::kInstant, track, "write",
+                  obj_tag(id, version));
+  }
+
   // Window-consistent baseline: each write immediately queues its own
   // transmission job (coupled), instead of the decoupled periodic tasks.
   if (config_.update_scheduling == UpdateScheduling::kCoupled && !peers_.empty() &&
       cpu_.started()) {
     const Duration cost = store_.get(id).spec.update_exec;
     cpu_.submit_job("xmit-now-" + std::to_string(id), cost,
-                    [this, id](const sched::JobInfo&) { send_update(id, false); });
+                    [this, id](const sched::JobInfo& job) { send_update(id, false, &job); });
   }
 }
 
@@ -197,8 +224,9 @@ void ReplicaServer::sync_update_tasks() {
     task.period = period;
     task.wcet = store_.contains(id) ? store_.get(id).spec.update_exec : millis(1);
     const ObjectId obj = id;
-    const sched::TaskId tid = cpu_.add_task(
-        task, [this, obj](const sched::JobInfo&) { send_update(obj, /*retransmission=*/false); });
+    const sched::TaskId tid = cpu_.add_task(task, [this, obj](const sched::JobInfo& job) {
+      send_update(obj, /*retransmission=*/false, &job);
+    });
     update_tasks_[id] = UpdateTaskState{tid, period};
   }
   // Drop tasks for objects no longer admitted.
@@ -212,7 +240,7 @@ void ReplicaServer::sync_update_tasks() {
   }
 }
 
-void ReplicaServer::send_update(ObjectId id, bool retransmission) {
+void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::JobInfo* job) {
   if (crashed_ || peers_.empty() || !store_.contains(id)) return;
   const ObjectState& state = store_.get(id);
   if (state.version == 0) return;  // nothing written yet
@@ -220,10 +248,36 @@ void ReplicaServer::send_update(ObjectId id, bool retransmission) {
   ++updates_sent_;
   if (retransmission) ++retransmissions_;
 
+  telemetry::Hub& hub = sim_.telemetry();
+  const telemetry::SpanId span =
+      hub.enabled() ? hub.span_for(id, state.version) : telemetry::kNoSpan;
+  // Everything pushed synchronously below (FRAGLITE → UDPLITE → IPLITE →
+  // SIMETH → the link) records against this update's span.
+  telemetry::ScopedSpan span_scope(hub, span);
+  if (hub.enabled()) {
+    const std::string track = rtpb_track(node());
+    if (job != nullptr && span != telemetry::kNoSpan) {
+      hub.record_at(job->release, span, node(), telemetry::EventKind::kInstant, track,
+                    "xmit-release", obj_tag(id, state.version));
+      hub.record_at(job->start, span, node(), telemetry::EventKind::kInstant, track,
+                    "xmit-start");
+    }
+    hub.registry()
+        .counter(retransmission ? "core.primary.retransmissions" : "core.primary.update_sends")
+        .add();
+    hub.record(span, node(), telemetry::EventKind::kInstant, track,
+               retransmission ? "update-retx" : "update-send", obj_tag(id, state.version));
+  }
+
   // §5 methodology: loss injected on the update stream itself (the paper's
   // "probability of message loss from the primary to the backup").
   if (rng_.bernoulli(config_.update_loss_probability)) {
     ++updates_loss_injected_;
+    if (hub.enabled()) {
+      hub.registry().counter("core.primary.loss_injected").add();
+      hub.record(span, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "update-loss-injected", obj_tag(id, state.version));
+    }
   } else {
     wire::Update u;
     u.object = id;
@@ -331,6 +385,14 @@ void ReplicaServer::promote() {
   if (sim_.trace().enabled()) {
     sim_.trace().record(sim_.now(), sim::TraceCategory::kService, "promote",
                         "node" + std::to_string(node()));
+  }
+  {
+    telemetry::Hub& hub = sim_.telemetry();
+    if (hub.enabled()) {
+      hub.registry().counter("core.failovers").add();
+      hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "promote");
+    }
   }
   if (detector_) detector_->stop();
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
@@ -459,9 +521,15 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
 }
 
 void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
+  telemetry::Hub& hub = sim_.telemetry();
   if (!store_.contains(u.object)) {
     // Registration hasn't reached us yet; the acked transfer will retry.
     ++stale_updates_;
+    if (hub.enabled()) {
+      hub.registry().counter("core.backup.unknown_object").add();
+      hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "update-unknown", obj_tag(u.object, u.version));
+    }
     return;
   }
   const bool applied = store_.apply(u.object, u.version, u.timestamp, u.value, sim_.now());
@@ -470,6 +538,19 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
     metrics_.on_backup_apply(u.object, u.timestamp, sim_.now());
   } else {
     ++stale_updates_;
+  }
+  if (hub.enabled()) {
+    const telemetry::SpanId span = hub.span_for(u.object, u.version);
+    if (applied) {
+      hub.registry().counter("core.backup.applies").add();
+      hub.registry().histogram("core.backup.apply_latency_ms").record(sim_.now() - u.timestamp);
+      hub.record(span, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "update-apply", obj_tag(u.object, u.version));
+    } else {
+      hub.registry().counter("core.backup.stale").add();
+      hub.record(span, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "update-stale", obj_tag(u.object, u.version));
+    }
   }
   arm_watchdog(u.object);
   if (config_.ack_every_update) {
@@ -492,13 +573,20 @@ void ReplicaServer::handle_retransmit_request(const wire::RetransmitRequest& r,
   if (role_ != Role::kPrimary) return;
   if (!store_.contains(r.object)) return;
   if (store_.get(r.object).version <= r.have_version) return;  // backup is current
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.primary.retransmit_requests").add();
+    hub.record(hub.span_for(r.object, store_.get(r.object).version), node(),
+               telemetry::EventKind::kInstant, rtpb_track(node()), "retx-request",
+               obj_tag(r.object, r.have_version) + " held by backup");
+  }
   // Serving a retransmission costs CPU like a regular transmission, but at
   // background priority: it must not perturb the admitted periodic tasks.
   const ObjectId id = r.object;
   const Duration cost = store_.get(id).spec.update_exec;
   if (cpu_.started()) {
-    cpu_.submit_job("retx-" + std::to_string(id), cost, [this, id](const sched::JobInfo&) {
-      send_update(id, /*retransmission=*/true);
+    cpu_.submit_job("retx-" + std::to_string(id), cost, [this, id](const sched::JobInfo& job) {
+      send_update(id, /*retransmission=*/true, &job);
     });
   } else {
     send_update(id, /*retransmission=*/true);
@@ -514,6 +602,12 @@ void ReplicaServer::handle_ping_ack(const wire::PingAck& p) {
 }
 
 void ReplicaServer::handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from) {
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.backup.state_transfers").add();
+    hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "state-transfer", std::to_string(st.entries.size()) + " entries");
+  }
   for (const auto& entry : st.entries) {
     if (!store_.contains(entry.spec.id)) {
       store_.insert(entry.spec);
@@ -561,6 +655,14 @@ void ReplicaServer::arm_watchdog(ObjectId id) {
     const auto state = store_.find(id);
     if (!state) return;
     ++nacks_sent_;
+    telemetry::Hub& hub = sim_.telemetry();
+    if (hub.enabled()) {
+      hub.registry().counter("core.backup.nacks").add();
+      // Blame the newest span the primary minted for this object — that is
+      // the update whose absence tripped the watchdog.
+      hub.record(hub.latest_span(id), node(), telemetry::EventKind::kInstant,
+                 rtpb_track(node()), "watchdog-nack", obj_tag(id, state->version) + " held");
+    }
     if (!peers_.empty()) {
       send_to(peers_.front(), wire::encode(wire::RetransmitRequest{id, state->version}));
     }

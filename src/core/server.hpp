@@ -170,7 +170,9 @@ class ReplicaServer {
   void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
 
   void send_to(net::Endpoint to, Bytes payload);
-  void send_update(ObjectId id, bool retransmission);
+  /// `job`, when given, is the transmission job that triggered this send;
+  /// its release/start times are attached to the update's telemetry span.
+  void send_update(ObjectId id, bool retransmission, const sched::JobInfo* job = nullptr);
   /// Reconcile CPU update tasks with admission's current period table
   /// (periods move under compressed scheduling and constraint tightening).
   void sync_update_tasks();

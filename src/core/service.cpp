@@ -74,6 +74,12 @@ void RtpbService::repoint_backup(ReplicaServer& backup, net::Endpoint dead_prima
 void RtpbService::start() {
   RTPB_EXPECTS(!started_);
   started_ = true;
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().gauge("core.service.backups").set(static_cast<double>(backups_.size()));
+    hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kInstant, "service", "start",
+               params_.service_name + " primary=node" + std::to_string(primary_->node()));
+  }
   primary_->start();
   for (auto& b : backups_) b->start();
 }

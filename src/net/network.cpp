@@ -1,10 +1,16 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "telemetry/telemetry.hpp"
 #include "util/log.hpp"
 
 namespace rtpb::net {
+
+namespace {
+std::string net_track(NodeId node) { return "node" + std::to_string(node) + "/net"; }
+}  // namespace
 
 Duration LinkParams::delay_bound(std::size_t frame_size) const {
   Duration tx = Duration::zero();
@@ -44,11 +50,26 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
   }
   ++link->stats.sent;
 
+  telemetry::Hub& hub = sim_.telemetry();
+  const auto link_tag = [src, dst] {
+    return "node" + std::to_string(src) + "->node" + std::to_string(dst);
+  };
+  const auto count_drop = [&hub](const char* reason) {
+    hub.registry().counter("net.link.drops").add();
+    hub.registry().counter(std::string("net.link.drops_") + reason).add();
+  };
+  if (hub.enabled()) hub.registry().counter("net.link.sends").add();
+
   if (link->params.mtu > 0 && payload.size() > link->params.mtu) {
     ++link->stats.mtu_drops;
     ++link->stats.dropped;
     RTPB_DEBUG("net", "frame of %zu bytes exceeds MTU %zu; dropped", payload.size(),
                link->params.mtu);
+    if (hub.enabled()) {
+      count_drop("mtu");
+      hub.record(hub.current_span(), src, telemetry::EventKind::kInstant, net_track(src),
+                 "net-drop", link_tag() + " mtu");
+    }
     return true;  // like UDP over a real link: silently gone
   }
 
@@ -57,10 +78,13 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
   pkt.dst = dst;
   pkt.payload = std::move(payload);
   pkt.seq = next_seq_++;
+  pkt.span = hub.current_span();
 
-  const auto link_tag = [src, dst] {
-    return "node" + std::to_string(src) + "->node" + std::to_string(dst);
-  };
+  if (hub.enabled()) {
+    hub.record(pkt.span, src, telemetry::EventKind::kInstant, net_track(src), "net-enqueue",
+               link_tag() + " " + std::to_string(pkt.wire_size()) + "B");
+  }
+
   const LinkFaults& faults = link->params.faults;
 
   // Burst loss: an open burst swallows frames until it is spent; a fresh
@@ -82,6 +106,11 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
       sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-drop",
                           link_tag() + " burst");
     }
+    if (hub.enabled()) {
+      count_drop("burst");
+      hub.record(pkt.span, src, telemetry::EventKind::kInstant, net_track(src), "net-drop",
+                 link_tag() + " burst");
+    }
     return true;
   }
 
@@ -91,6 +120,11 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
                static_cast<unsigned long long>(pkt.seq), src, dst);
     if (sim_.trace().enabled()) {
       sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-drop", link_tag());
+    }
+    if (hub.enabled()) {
+      count_drop("loss");
+      hub.record(pkt.span, src, telemetry::EventKind::kInstant, net_track(src), "net-drop",
+                 link_tag() + " loss");
     }
     return true;  // sender cannot tell — fire and forget
   }
@@ -108,6 +142,11 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     if (sim_.trace().enabled()) {
       sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-corrupt",
                           link_tag() + " byte " + std::to_string(idx));
+    }
+    if (hub.enabled()) {
+      hub.registry().counter("net.link.corrupted").add();
+      hub.record(pkt.span, src, telemetry::EventKind::kInstant, net_track(src), "net-corrupt",
+                 link_tag() + " byte " + std::to_string(idx));
     }
   }
 
@@ -139,12 +178,16 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     if (sim_.trace().enabled()) {
       sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-reorder", link_tag());
     }
+    if (hub.enabled()) hub.registry().counter("net.link.reordered").add();
   } else {
     // Preserve FIFO per direction.
     deliver_at = std::max(deliver_at, link->last_delivery);
     link->last_delivery = deliver_at;
   }
   link->stats.delays_ms.add((deliver_at - sim_.now()).millis());
+  if (hub.enabled()) {
+    hub.registry().histogram("net.link.delay_ms").record(deliver_at - sim_.now());
+  }
 
   if (faults.duplicate_probability > 0.0 && rng_.bernoulli(faults.duplicate_probability)) {
     Duration dup_delay = link->params.propagation;
@@ -155,6 +198,7 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     if (sim_.trace().enabled()) {
       sim_.trace().record(sim_.now(), sim::TraceCategory::kNet, "frame-dup", link_tag());
     }
+    if (hub.enabled()) hub.registry().counter("net.link.duplicated").add();
     schedule_delivery(pkt, std::max(deliver_at, sim_.now() + delay + dup_delay));
   }
 
@@ -164,12 +208,28 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
 
 void Network::schedule_delivery(Packet pkt, TimePoint at) {
   sim_.schedule_at(at, [this, pkt = std::move(pkt)]() mutable {
+    telemetry::Hub& hub = sim_.telemetry();
     auto node_it = nodes_.find(pkt.dst);
     if (node_it == nodes_.end() || !node_it->second.up) {
       if (DirectedLink* l = find_link(pkt.src, pkt.dst)) ++l->stats.dropped;
+      if (hub.enabled()) {
+        hub.registry().counter("net.link.drops").add();
+        hub.registry().counter("net.link.drops_node_down").add();
+        hub.record(pkt.span, pkt.dst, telemetry::EventKind::kInstant, net_track(pkt.dst),
+                   "net-drop", "node" + std::to_string(pkt.dst) + " down");
+      }
       return;
     }
     if (DirectedLink* l = find_link(pkt.src, pkt.dst)) ++l->stats.delivered;
+    if (hub.enabled()) {
+      hub.registry().counter("net.link.delivers").add();
+      hub.record(pkt.span, pkt.dst, telemetry::EventKind::kInstant, net_track(pkt.dst),
+                 "net-deliver",
+                 "node" + std::to_string(pkt.src) + "->node" + std::to_string(pkt.dst));
+    }
+    // Propagate the frame's causal span to everything the delivery triggers
+    // synchronously: demux up the x-kernel stack and the backup apply path.
+    telemetry::ScopedSpan span_scope(hub, pkt.span);
     node_it->second.on_deliver(pkt);
   });
 }

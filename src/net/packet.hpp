@@ -15,7 +15,8 @@ struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   Bytes payload;
-  std::uint64_t seq = 0;  ///< network-assigned, for tracing
+  std::uint64_t seq = 0;   ///< network-assigned, for tracing
+  std::uint64_t span = 0;  ///< causal telemetry span (not on the wire; 0 = none)
 
   [[nodiscard]] std::size_t wire_size() const { return payload.size() + kFramingOverhead; }
   static constexpr std::size_t kFramingOverhead = 18;  // Ethernet-ish header+FCS

@@ -143,6 +143,12 @@ void Cpu::on_release(TaskId id) {
     sim_.trace().record(sim_.now(), sim::TraceCategory::kCpu, "job-release",
                         name_ + " " + task.spec.name + " #" + std::to_string(job.index));
   }
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("sched.releases").add();
+    hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kInstant, name_, "job-release",
+               task.spec.name + " #" + std::to_string(job.index));
+  }
 
   // Periodic re-arm.
   task.next_release += task.effective_period;
@@ -179,6 +185,15 @@ void Cpu::on_completion() {
     sim_.trace().record(sim_.now(), sim::TraceCategory::kCpu, "job-finish",
                         name_ + " " + task.spec.name + " #" + std::to_string(info.index) +
                             (info.deadline_missed ? " MISSED" : ""));
+  }
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("sched.completions").add();
+    if (info.deadline_missed) hub.registry().counter("sched.deadline_misses").add();
+    hub.registry().histogram("sched.response_ms").record(info.finish - info.release);
+    hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kInstant, name_, "job-finish",
+               task.spec.name + " #" + std::to_string(info.index) +
+                   (info.deadline_missed ? " MISSED" : ""));
   }
   const bool retire = task.one_shot && task.backlog.empty();
   auto on_complete = task.on_complete;  // survives the erase below
@@ -225,6 +240,8 @@ void Cpu::dispatch() {
   if (!started_) return;
 
   // Charge the running job for the time it has had the CPU.
+  const TaskId prev = running_;
+  bool prev_unfinished = false;
   if (running_ != kInvalidTask) {
     auto it = tasks_.find(running_);
     RTPB_ASSERT(it != tasks_.end());
@@ -232,12 +249,39 @@ void Cpu::dispatch() {
     const Duration used = sim_.now() - running_since_;
     job.remaining -= used;
     RTPB_ASSERT(job.remaining >= Duration::zero());
+    prev_unfinished = job.remaining > Duration::zero();
     busy_time_ += used;
     completion_event_.cancel();
     running_ = kInvalidTask;
   }
 
   Task* next = pick_ready();
+
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    // Maintain the CPU-possession slice (one open begin/end pair per job
+    // tenure) and count true preemptions: the incumbent still had work
+    // left but a different job takes the CPU.
+    const bool same_tenure = slice_open_ && next != nullptr && next->spec.id == slice_task_ &&
+                             !next->backlog.empty() && next->backlog.front().index == slice_index_;
+    if (slice_open_ && !same_tenure) {
+      hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kEnd, name_, slice_name_);
+      slice_open_ = false;
+    }
+    if (next != nullptr && !same_tenure) {
+      slice_open_ = true;
+      slice_task_ = next->spec.id;
+      slice_index_ = next->backlog.front().index;
+      slice_name_ = next->spec.name + " #" + std::to_string(slice_index_);
+      hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kBegin, name_, slice_name_);
+    }
+    if (prev != kInvalidTask && prev_unfinished && next != nullptr && next->spec.id != prev) {
+      hub.registry().counter("sched.preemptions").add();
+      hub.record(telemetry::kNoSpan, 0, telemetry::EventKind::kInstant, name_, "preempt",
+                 next->spec.name + " preempts task " + std::to_string(prev));
+    }
+  }
+
   if (next == nullptr) return;
 
   Job& job = next->backlog.front();

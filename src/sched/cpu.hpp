@@ -128,6 +128,13 @@ class Cpu {
   TimePoint running_since_{};
   sim::EventHandle completion_event_;
 
+  // Open CPU-possession slice on the telemetry track named after this CPU
+  // (begin/end pairs survive preemption round-trips of the same job).
+  bool slice_open_ = false;
+  TaskId slice_task_ = kInvalidTask;
+  std::uint64_t slice_index_ = 0;
+  std::string slice_name_;
+
   std::uint64_t deadline_misses_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_dropped_ = 0;

@@ -17,6 +17,7 @@ bool EventHandle::pending() const {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
   Logger::instance().set_clock([this] { return now_; });
+  hub_.set_clock([this] { return now_; });
 }
 
 Simulator::~Simulator() { Logger::instance().clear_clock(); }

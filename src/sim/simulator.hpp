@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -79,6 +80,12 @@ class Simulator {
   /// `if (sim.trace().enabled()) sim.trace().record(sim.now(), ...)`.
   TraceRecorder& trace() { return trace_; }
 
+  /// Telemetry runtime (metrics registry + causal update spans); disabled
+  /// by default.  Components guard with `if (telemetry().enabled())` —
+  /// same idiom as trace().
+  telemetry::Hub& telemetry() { return hub_; }
+  [[nodiscard]] const telemetry::Hub& telemetry() const { return hub_; }
+
  private:
   struct QueueEntry {
     TimePoint at;
@@ -98,6 +105,7 @@ class Simulator {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   Rng rng_;
   TraceRecorder trace_;
+  telemetry::Hub hub_;
 };
 
 /// Self-rescheduling periodic timer.  The callback runs once per period

@@ -1,0 +1,26 @@
+// Telemetry exporters.
+//
+//   write_chrome_trace  Chrome trace-event JSON (the format Perfetto and
+//                       chrome://tracing load): one process per node, one
+//                       thread per protocol layer / CPU, duration slices for
+//                       CPU job possession, instants for protocol hops, and
+//                       one async track per update span so a single update's
+//                       journey primary → net → backup reads as one row.
+//   write_jsonl         Flat JSONL event stream (one JSON object per line;
+//                       span records first, then events) — the input format
+//                       of tools/trace_inspect.
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/telemetry.hpp"
+
+namespace rtpb::telemetry {
+
+void write_chrome_trace(const Hub& hub, std::ostream& os);
+void write_jsonl(const Hub& hub, std::ostream& os);
+
+/// JSON string escaping shared by the exporters (and tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace rtpb::telemetry

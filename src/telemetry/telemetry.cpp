@@ -1,0 +1,252 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rtpb::telemetry {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kInstant: return "i";
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(enabled_)).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(enabled_)).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<LatencyHistogram>(enabled_)).first;
+  }
+  return *it->second;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+std::vector<std::string> split_dots(const std::string& name) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    const std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) {
+      parts.push_back(name.substr(start));
+      break;
+    }
+    parts.push_back(name.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return parts;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Emit a sorted map of (dotted name → prerendered JSON value) as nested
+/// objects.  Sorted iteration means shared prefixes are adjacent, so a
+/// simple open/close-brace walk over the common-prefix depth suffices.
+void write_nested(std::string& out, const std::map<std::string, std::string>& leaves) {
+  out += '{';
+  std::vector<std::string> open;  // currently open path
+  bool first_leaf = true;
+  for (const auto& [name, value] : leaves) {
+    std::vector<std::string> parts = split_dots(name);
+    RTPB_ASSERT(!parts.empty());
+    // Longest common prefix with the open path (leaf level excluded).
+    std::size_t common = 0;
+    while (common < open.size() && common + 1 < parts.size() && open[common] == parts[common]) {
+      ++common;
+    }
+    for (std::size_t i = open.size(); i > common; --i) out += '}';
+    open.resize(common);
+    if (!first_leaf) out += ',';
+    first_leaf = false;
+    for (std::size_t i = common; i + 1 < parts.size(); ++i) {
+      out += '"';
+      json_escape_into(out, parts[i]);
+      out += "\":{";
+      open.push_back(parts[i]);
+    }
+    out += '"';
+    json_escape_into(out, parts.back());
+    out += "\":";
+    out += value;
+  }
+  for (std::size_t i = open.size(); i > 0; --i) out += '}';
+  out += '}';
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::map<std::string, std::string> counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = std::to_string(c->value());
+  }
+  std::map<std::string, std::string> gauges;
+  for (const auto& [name, g] : gauges_) {
+    gauges[name] = format_double(g->value());
+  }
+  std::map<std::string, std::string> histograms;
+  for (const auto& [name, h] : histograms_) {
+    const SampleSet& s = h->samples();
+    std::string v = "{\"count\":" + std::to_string(s.count());
+    v += ",\"mean_ms\":" + format_double(s.mean());
+    v += ",\"p50_ms\":" + format_double(s.quantile(0.5));
+    v += ",\"p90_ms\":" + format_double(s.quantile(0.9));
+    v += ",\"p99_ms\":" + format_double(s.quantile(0.99));
+    v += ",\"max_ms\":" + format_double(s.max());
+    v += '}';
+    histograms[name] = v;
+  }
+
+  std::string out = "{\"counters\":";
+  write_nested(out, counters);
+  out += ",\"gauges\":";
+  write_nested(out, gauges);
+  out += ",\"histograms\":";
+  write_nested(out, histograms);
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hub.
+// ---------------------------------------------------------------------------
+
+void Hub::enable(std::size_t event_capacity, std::size_t span_capacity) {
+  RTPB_EXPECTS(event_capacity > 0);
+  RTPB_EXPECTS(span_capacity > 0);
+  enabled_ = true;
+  event_capacity_ = event_capacity;
+  span_capacity_ = span_capacity;
+}
+
+SpanId Hub::begin_span(std::uint64_t object, std::uint64_t version) {
+  if (!enabled_) return kNoSpan;
+  const SpanId id = next_span_++;
+  ++spans_started_;
+
+  if (spans_.size() >= span_capacity_ && !span_order_.empty()) {
+    const SpanId victim = span_order_.front();
+    span_order_.pop_front();
+    auto it = spans_.find(victim);
+    if (it != spans_.end()) {
+      by_key_.erase({it->second.object, it->second.version});
+      auto lt = latest_.find(it->second.object);
+      if (lt != latest_.end() && lt->second == victim) latest_.erase(lt);
+      spans_.erase(it);
+    }
+  }
+
+  SpanInfo info;
+  info.id = id;
+  info.object = object;
+  info.version = version;
+  info.begin = now();
+  spans_.emplace(id, std::move(info));
+  span_order_.push_back(id);
+  by_key_[{object, version}] = id;
+  latest_[object] = id;
+  return id;
+}
+
+SpanId Hub::span_for(std::uint64_t object, std::uint64_t version) const {
+  auto it = by_key_.find({object, version});
+  return it == by_key_.end() ? kNoSpan : it->second;
+}
+
+SpanId Hub::latest_span(std::uint64_t object) const {
+  auto it = latest_.find(object);
+  return it == latest_.end() ? kNoSpan : it->second;
+}
+
+void Hub::mark_violation(SpanId span, const std::string& oracle, std::string detail) {
+  if (!enabled_ || span == kNoSpan) return;
+  auto it = spans_.find(span);
+  if (it == spans_.end()) return;
+  if (it->second.violation.empty()) {
+    it->second.violation = oracle;
+    ++spans_violated_;
+  }
+  record(span, 0, EventKind::kInstant, "oracle", "violation:" + oracle, std::move(detail));
+}
+
+void Hub::record_at(TimePoint at, SpanId span, std::uint32_t node, EventKind kind,
+                    std::string track, std::string name, std::string detail) {
+  if (!enabled_) return;
+  ++recorded_events_;
+  if (events_.size() >= event_capacity_) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
+  events_.push_back(
+      Event{span, at, node, kind, std::move(track), std::move(name), std::move(detail)});
+}
+
+void Hub::clear() {
+  current_ = kNoSpan;
+  spans_started_ = 0;
+  spans_violated_ = 0;
+  recorded_events_ = 0;
+  dropped_events_ = 0;
+  events_.clear();
+  spans_.clear();
+  span_order_.clear();
+  by_key_.clear();
+  latest_.clear();
+  registry_.clear();
+}
+
+}  // namespace rtpb::telemetry

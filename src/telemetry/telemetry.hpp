@@ -1,0 +1,257 @@
+// Unified telemetry: a metrics registry (named counters / gauges / latency
+// histograms with a dotted component hierarchy) plus causal update spans.
+//
+// A SpanId is minted per client update at the primary and carried — via the
+// Hub's scoped "current span" context — through the CPU scheduler, the
+// x-kernel protocol stack, the network fabric and the backup apply path, so
+// each update yields a complete latency breakdown and a lost update shows
+// exactly which hop ate it.
+//
+// Everything here is passive and deterministic: the Hub draws no randomness,
+// schedules no simulator events, and when disabled every instrument costs a
+// single predicted branch.  Components therefore instrument unconditionally;
+// chaos-harness trace digests are byte-identical whether or not a Hub is
+// attached.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::telemetry {
+
+/// Causal span identifier: one per client update (object, version) pair.
+/// 0 means "no span" — events carrying it are plain track events.
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+// ---------------------------------------------------------------------------
+// Instruments.  Each holds a pointer to the owning Hub's enabled flag, so a
+// disabled instrument is one load + one branch.  References handed out by
+// the Registry are stable for the Registry's lifetime.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  void add(std::uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  void set(double v) {
+    if (*enabled_) value_ = v;
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  const bool* enabled_;
+  double value_ = 0.0;
+};
+
+/// Latency distribution; retains samples so snapshots report exact
+/// quantiles (sim-scale sample counts make this affordable).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(const bool* enabled) : enabled_(enabled) {}
+  void record(Duration d) {
+    if (*enabled_) samples_.add(d.millis());
+  }
+  void record_ms(double ms) {
+    if (*enabled_) samples_.add(ms);
+  }
+  [[nodiscard]] const SampleSet& samples() const { return samples_; }
+
+ private:
+  const bool* enabled_;
+  SampleSet samples_;
+};
+
+/// Named-instrument registry.  Names are dotted component paths
+/// ("net.link.drops", "core.backup.applies", "sched.preemptions"); the
+/// JSON snapshot nests along the dots.  Instruments are created on first
+/// use and live as long as the registry.
+class Registry {
+ public:
+  explicit Registry(const bool* enabled) : enabled_(enabled) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name);
+
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<LatencyHistogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Nested-JSON snapshot of every instrument, dots becoming object levels.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+ private:
+  const bool* enabled_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+// ---------------------------------------------------------------------------
+// Span events.
+// ---------------------------------------------------------------------------
+
+enum class EventKind : std::uint8_t {
+  kInstant,  ///< point event on a track (hop, drop, apply, …)
+  kBegin,    ///< open a duration slice on a track (CPU job possession)
+  kEnd,      ///< close the most recent open slice on the same track
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+struct Event {
+  SpanId span = kNoSpan;   ///< causal span, or kNoSpan for plain track events
+  TimePoint at{};
+  std::uint32_t node = 0;  ///< originating host (0 = not node-scoped)
+  EventKind kind = EventKind::kInstant;
+  std::string track;       ///< timeline this renders on, e.g. "node1/udplite"
+  std::string name;        ///< short event name, e.g. "udp-push"
+  std::string detail;      ///< free-form context
+};
+
+struct SpanInfo {
+  SpanId id = kNoSpan;
+  std::uint64_t object = 0;
+  std::uint64_t version = 0;
+  TimePoint begin{};
+  /// Set by mark_violation(): which oracle blamed this update, if any.
+  std::string violation;
+};
+
+// ---------------------------------------------------------------------------
+// Hub: the per-simulation telemetry runtime.
+// ---------------------------------------------------------------------------
+
+class Hub {
+ public:
+  Hub() : registry_(&enabled_) {}
+
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  /// Start collecting.  At most `event_capacity` most-recent events and
+  /// `span_capacity` most-recent spans are retained (older ones evicted,
+  /// counted in dropped_events()).
+  void enable(std::size_t event_capacity = 1u << 18, std::size_t span_capacity = 1u << 16);
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Timestamp source for events recorded without an explicit time; the
+  /// simulator installs its virtual clock here.
+  void set_clock(std::function<TimePoint()> clock) { clock_ = std::move(clock); }
+  [[nodiscard]] TimePoint now() const { return clock_ ? clock_() : TimePoint{}; }
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+
+  // ---- spans ----
+  /// Mint the span for update (object, version); remembers it as the
+  /// object's latest span.  Returns kNoSpan when disabled.
+  SpanId begin_span(std::uint64_t object, std::uint64_t version);
+  /// The span minted for (object, version), or kNoSpan if unknown/evicted.
+  [[nodiscard]] SpanId span_for(std::uint64_t object, std::uint64_t version) const;
+  /// The most recently minted span for `object`, or kNoSpan.
+  [[nodiscard]] SpanId latest_span(std::uint64_t object) const;
+  /// Blame `span` for an oracle violation: flags the SpanInfo and records a
+  /// violation event attached to it.
+  void mark_violation(SpanId span, const std::string& oracle, std::string detail = {});
+
+  [[nodiscard]] const std::map<SpanId, SpanInfo>& spans() const { return spans_; }
+  [[nodiscard]] std::uint64_t spans_started() const { return spans_started_; }
+  [[nodiscard]] std::uint64_t spans_violated() const { return spans_violated_; }
+
+  // ---- context ----
+  /// The span currently being worked on (propagated through synchronous
+  /// protocol pushes/demuxes and across simulated frame delivery).
+  [[nodiscard]] SpanId current_span() const { return current_; }
+
+  // ---- events ----
+  void record(SpanId span, std::uint32_t node, EventKind kind, std::string track,
+              std::string name, std::string detail = {}) {
+    record_at(now(), span, node, kind, std::move(track), std::move(name), std::move(detail));
+  }
+  /// Record with an explicit timestamp (retroactive scheduling events).
+  void record_at(TimePoint at, SpanId span, std::uint32_t node, EventKind kind,
+                 std::string track, std::string name, std::string detail = {});
+
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  [[nodiscard]] std::uint64_t recorded_events() const { return recorded_events_; }
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
+
+  /// Forget all spans, events and instrument values (not enabled state).
+  void clear();
+
+ private:
+  friend class ScopedSpan;
+
+  bool enabled_ = false;
+  std::function<TimePoint()> clock_;
+  Registry registry_;
+
+  SpanId current_ = kNoSpan;
+  SpanId next_span_ = 1;
+  std::uint64_t spans_started_ = 0;
+  std::uint64_t spans_violated_ = 0;
+
+  std::size_t event_capacity_ = 0;
+  std::size_t span_capacity_ = 0;
+  std::uint64_t recorded_events_ = 0;
+  std::uint64_t dropped_events_ = 0;
+  std::deque<Event> events_;
+
+  std::map<SpanId, SpanInfo> spans_;
+  std::deque<SpanId> span_order_;                       ///< FIFO for eviction
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SpanId> by_key_;  ///< (object, version)
+  std::map<std::uint64_t, SpanId> latest_;              ///< object → newest span
+};
+
+/// RAII "current span" context.  Protocol layers record against
+/// hub.current_span() without knowing what an update is; the sender and the
+/// network delivery path scope the right span around their synchronous work.
+class ScopedSpan {
+ public:
+  ScopedSpan(Hub& hub, SpanId span) : hub_(hub), prev_(hub.current_) { hub_.current_ = span; }
+  ~ScopedSpan() { hub_.current_ = prev_; }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Hub& hub_;
+  SpanId prev_;
+};
+
+}  // namespace rtpb::telemetry

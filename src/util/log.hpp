@@ -1,6 +1,8 @@
 // Tiny leveled logger.  Components tag their lines; the global threshold
 // makes disabled levels nearly free (an atomic load and a branch).  The
 // simulator injects the virtual clock so log lines carry simulated time.
+// Output goes to stderr by default; tests (or embedders) can install a
+// sink to capture structured records instead.
 #pragma once
 
 #include <atomic>
@@ -11,9 +13,25 @@
 
 #include "util/time.hpp"
 
+#if defined(__GNUC__) || defined(__clang__)
+#define RTPB_PRINTF_FORMAT(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))
+#else
+#define RTPB_PRINTF_FORMAT(fmt_index, first_arg)
+#endif
+
 namespace rtpb {
 
 enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// One fully-formatted log line, as handed to an installed sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* component = "";
+  bool has_time = false;  ///< true iff a virtual clock is installed
+  TimePoint time{};       ///< simulated time (valid when has_time)
+  std::string message;
+};
 
 class Logger {
  public:
@@ -29,22 +47,26 @@ class Logger {
   void set_clock(std::function<TimePoint()> clock) { clock_ = std::move(clock); }
   void clear_clock() { clock_ = nullptr; }
 
-  void write(LogLevel level, const char* component, const std::string& msg);
+  /// Route records to `sink` instead of stderr (clear_sink restores the
+  /// default).  The sink sees every record that passes the level filter.
+  void set_sink(std::function<void(const LogRecord&)> sink) { sink_ = std::move(sink); }
+  void clear_sink() { sink_ = nullptr; }
+
+  void write(LogLevel level, const char* component, std::string msg);
 
  private:
   Logger() = default;
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
   std::function<TimePoint()> clock_;
+  std::function<void(const LogRecord&)> sink_;
 };
 
 namespace detail {
-template <typename... Args>
-std::string log_format(const char* fmt, Args&&... args) {
-  char buf[512];
-  std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
-  return buf;
-}
-inline std::string log_format(const char* fmt) { return fmt; }
+/// printf-style formatting with no truncation: a stack buffer serves the
+/// common case and longer messages get a second, exactly-sized pass.  The
+/// format attribute makes argument/format mismatches at RTPB_LOG call
+/// sites compile errors instead of runtime garbage.
+RTPB_PRINTF_FORMAT(1, 2) std::string log_format(const char* fmt, ...);
 }  // namespace detail
 
 #define RTPB_LOG(level, component, ...)                                             \

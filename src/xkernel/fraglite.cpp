@@ -26,6 +26,11 @@ void FragLite::push(Message& msg, const MsgAttrs& attrs) {
   RTPB_EXPECTS(count <= 0xFFFF);
 
   ++messages_sent_;
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.fraglite.messages_sent").add();
+    tele_record("frag-push", std::to_string(count) + " fragment(s), " +
+                                 std::to_string(whole.size()) + "B");
+  }
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t begin = i * max_payload_;
     const std::size_t end = std::min(whole.size(), begin + max_payload_);
@@ -64,6 +69,10 @@ void FragLite::demux(Message& msg, MsgAttrs& attrs) {
       return;
     }
     ++messages_reassembled_;
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.fraglite.messages_reassembled").add();
+      tele_record("frag-demux", "unfragmented");
+    }
     if (handler_) handler_(msg, attrs);
     return;
   }
@@ -100,6 +109,10 @@ void FragLite::demux(Message& msg, MsgAttrs& attrs) {
     return;
   }
   ++messages_reassembled_;
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.fraglite.messages_reassembled").add();
+    tele_record("frag-demux", "reassembled " + std::to_string(count) + " fragments");
+  }
   Message complete{std::move(whole)};
   if (handler_) handler_(complete, attrs);
 }
@@ -110,6 +123,11 @@ void FragLite::expire(const Key& key) {
   ++reassembly_timeouts_;
   RTPB_DEBUG("fraglite", "reassembly timed out (%zu/%zu fragments)", it->second.received,
              it->second.fragments.size());
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.fraglite.reassembly_timeouts").add();
+    tele_record("frag-timeout", std::to_string(it->second.received) + "/" +
+                                    std::to_string(it->second.fragments.size()) + " fragments");
+  }
   reassembly_.erase(it);
 }
 

@@ -37,6 +37,11 @@ HostStack::HostStack(net::Network& network, const std::string& graph_spec)
   eth_->set_up(ip_.get());
   udp_->connect_down(*ip_);
   ip_->register_upper(IpLite::kProtoUdp, udp_.get());
+
+  telemetry::Hub& hub = network.simulator().telemetry();
+  eth_->set_telemetry(&hub, node());
+  ip_->set_telemetry(&hub, node());
+  udp_->set_telemetry(&hub, node());
 }
 
 void HostStack::send_datagram(net::Port local_port, net::Endpoint remote, Bytes payload) {

@@ -12,6 +12,12 @@ void IpLite::register_upper(std::uint8_t proto, Protocol* up) {
 
 void IpLite::push_as(std::uint8_t proto, Message& msg, const MsgAttrs& attrs) {
   RTPB_EXPECTS(down() != nullptr);
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.iplite.pushes").add();
+    tele_record("ip-push", "proto " + std::to_string(proto) + " node" +
+                               std::to_string(attrs.src.node) + "->node" +
+                               std::to_string(attrs.dst.node));
+  }
   ByteWriter w(kHeaderSize);
   w.u32(attrs.src.node);
   w.u32(attrs.dst.node);
@@ -30,6 +36,10 @@ void IpLite::demux(Message& msg, MsgAttrs& attrs) {
   if (msg.size() < kHeaderSize) {
     ++bad_headers_;
     RTPB_WARN("iplite", "runt packet (%zu bytes); dropped", msg.size());
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.iplite.bad_headers").add();
+      tele_record("ip-drop", "runt");
+    }
     return;
   }
   ByteReader r(msg.pop(kHeaderSize));
@@ -40,6 +50,10 @@ void IpLite::demux(Message& msg, MsgAttrs& attrs) {
   if (!r.ok() || length != msg.size()) {
     ++bad_headers_;
     RTPB_WARN("iplite", "bad header (len %u vs %zu); dropped", length, msg.size());
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.iplite.bad_headers").add();
+      tele_record("ip-drop", "bad header");
+    }
     return;
   }
   attrs.src.node = src;
@@ -48,7 +62,15 @@ void IpLite::demux(Message& msg, MsgAttrs& attrs) {
   if (it == uppers_.end()) {
     ++unknown_proto_;
     RTPB_WARN("iplite", "no upper for proto %u; dropped", proto);
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.iplite.unknown_proto").add();
+      tele_record("ip-drop", "unknown proto " + std::to_string(proto));
+    }
     return;
+  }
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.iplite.demuxes").add();
+    tele_record("ip-demux", "proto " + std::to_string(proto));
   }
   it->second->demux(msg, attrs);
 }

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "net/address.hpp"
+#include "telemetry/telemetry.hpp"
 #include "xkernel/message.hpp"
 
 namespace rtpb::xkernel {
@@ -67,9 +68,32 @@ class Protocol {
   void connect_down(Protocol& down) { down_ = &down; }
   [[nodiscard]] Protocol* down() const { return down_; }
 
+  /// Attach the telemetry hub and the owning host's node id so xPush/xPop
+  /// hops show up on a per-host, per-layer track.  Optional — protocols
+  /// run fine without it.
+  void set_telemetry(telemetry::Hub* hub, net::NodeId node) {
+    hub_ = hub;
+    tele_node_ = node;
+  }
+
+ protected:
+  [[nodiscard]] bool tele_enabled() const { return hub_ != nullptr && hub_->enabled(); }
+  /// Record an instant event on this protocol's track ("node<N>/<name>"),
+  /// attached to the hub's current causal span.  Callers guard with
+  /// tele_enabled() so detail strings are only built when collecting.
+  void tele_record(const char* event, std::string detail = {}) {
+    if (!tele_enabled()) return;
+    hub_->record(hub_->current_span(), tele_node_, telemetry::EventKind::kInstant,
+                 "node" + std::to_string(tele_node_) + "/" + name_, event, std::move(detail));
+  }
+  [[nodiscard]] telemetry::Hub* tele_hub() const { return hub_; }
+  [[nodiscard]] net::NodeId tele_node() const { return tele_node_; }
+
  private:
   std::string name_;
   Protocol* down_ = nullptr;
+  telemetry::Hub* hub_ = nullptr;
+  net::NodeId tele_node_ = 0;
 };
 
 }  // namespace rtpb::xkernel

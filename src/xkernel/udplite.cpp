@@ -26,6 +26,11 @@ std::uint16_t UdpLite::checksum(std::span<const std::uint8_t> data) {
 
 void UdpLite::push(Message& msg, const MsgAttrs& attrs) {
   RTPB_EXPECTS(down() != nullptr);
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.udplite.pushes").add();
+    tele_record("udp-push", "port " + std::to_string(attrs.src.port) + "->" +
+                                std::to_string(attrs.dst.port));
+  }
   const std::uint16_t csum = checksum(msg.contents());
   ByteWriter w(kHeaderSize);
   w.u16(attrs.src.port);
@@ -60,6 +65,10 @@ std::unique_ptr<Session> UdpLite::open(net::Endpoint local, net::Endpoint remote
 void UdpLite::demux(Message& msg, MsgAttrs& attrs) {
   if (msg.size() < kHeaderSize) {
     ++checksum_failures_;
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.udplite.checksum_failures").add();
+      tele_record("udp-drop", "runt");
+    }
     return;
   }
   ByteReader r(msg.pop(kHeaderSize));
@@ -70,6 +79,10 @@ void UdpLite::demux(Message& msg, MsgAttrs& attrs) {
   if (!r.ok() || length != msg.size() || checksum(msg.contents()) != csum) {
     ++checksum_failures_;
     RTPB_WARN("udplite", "checksum/length failure on datagram to port %u", dst_port);
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.udplite.checksum_failures").add();
+      tele_record("udp-drop", "checksum port " + std::to_string(dst_port));
+    }
     return;
   }
   attrs.src.port = src_port;
@@ -78,7 +91,15 @@ void UdpLite::demux(Message& msg, MsgAttrs& attrs) {
   if (it == bindings_.end()) {
     ++no_listener_;
     RTPB_DEBUG("udplite", "no listener on port %u; dropped", dst_port);
+    if (tele_enabled()) {
+      tele_hub()->registry().counter("xkernel.udplite.no_listener").add();
+      tele_record("udp-drop", "no listener port " + std::to_string(dst_port));
+    }
     return;
+  }
+  if (tele_enabled()) {
+    tele_hub()->registry().counter("xkernel.udplite.demuxes").add();
+    tele_record("udp-demux", "port " + std::to_string(dst_port));
   }
   it->second(msg, attrs);
 }

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "core/rtpb.hpp"
 #include "sched/cpu.hpp"
 
@@ -37,6 +40,83 @@ TEST(TraceRecorder, RingBufferKeepsMostRecent) {
   EXPECT_EQ(trace.events()[0].label, "7");
   EXPECT_EQ(trace.events()[2].label, "9");
   EXPECT_EQ(trace.dropped(), 7u);
+}
+
+TEST(TraceRecorder, DigestAndRecordedCoverEvictedEvents) {
+  // The digest is the determinism oracle: it must fold over EVERY event
+  // ever recorded, not just the bounded window the ring buffer retains.
+  sim::TraceRecorder small;
+  sim::TraceRecorder large;
+  small.enable(/*capacity=*/2);
+  large.enable(/*capacity=*/1024);
+  for (int i = 0; i < 50; ++i) {
+    small.record(TimePoint{i}, sim::TraceCategory::kNet, "ev", std::to_string(i));
+    large.record(TimePoint{i}, sim::TraceCategory::kNet, "ev", std::to_string(i));
+  }
+  EXPECT_EQ(small.digest(), large.digest());
+  EXPECT_EQ(small.recorded(), 50u);
+  EXPECT_EQ(large.recorded(), 50u);
+  EXPECT_EQ(small.events().size(), 2u);
+  EXPECT_EQ(small.dropped(), 48u);
+  EXPECT_EQ(large.dropped(), 0u);
+
+  // A single divergent event — even one that is later evicted — changes it.
+  small.record(TimePoint{50}, sim::TraceCategory::kNet, "ev", "fork");
+  large.record(TimePoint{50}, sim::TraceCategory::kNet, "ev", "FORK");
+  EXPECT_NE(small.digest(), large.digest());
+}
+
+TEST(TraceRecorder, WithLabelSeesOnlyTheRetainedWindow) {
+  sim::TraceRecorder trace;
+  trace.enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(TimePoint{i}, sim::TraceCategory::kUser, i % 2 ? "odd" : "even",
+                 std::to_string(i));
+  }
+  // Window holds events 6..9; two of each parity survive the wraparound.
+  const auto odd = trace.with_label("odd");
+  ASSERT_EQ(odd.size(), 2u);
+  EXPECT_EQ(odd[0].detail, "7");
+  EXPECT_EQ(odd[1].detail, "9");
+  EXPECT_EQ(trace.with_label("even").size(), 2u);
+  EXPECT_TRUE(trace.with_label("never-recorded").empty());
+}
+
+TEST(TraceRecorder, RenderShowsOneLinePerRetainedEvent) {
+  sim::TraceRecorder trace;
+  trace.enable(/*capacity=*/2);
+  trace.record(TimePoint{}, sim::TraceCategory::kNet, "evicted", "gone");
+  trace.record(TimePoint{} + millis(1), sim::TraceCategory::kCpu, "job-start", "task 3");
+  trace.record(TimePoint{} + millis(2), sim::TraceCategory::kService, "promote", "node2");
+
+  const std::string out = trace.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_EQ(out.find("evicted"), std::string::npos);
+  EXPECT_NE(out.find("cpu"), std::string::npos);
+  EXPECT_NE(out.find("job-start"), std::string::npos);
+  EXPECT_NE(out.find("task 3"), std::string::npos);
+  EXPECT_NE(out.find("service"), std::string::npos);
+  EXPECT_NE(out.find("1.000ms"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearResetsDigestDroppedAndCounts) {
+  sim::TraceRecorder trace;
+  trace.enable(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    trace.record(TimePoint{i}, sim::TraceCategory::kUser, "x");
+  }
+  const std::uint64_t first_digest = trace.digest();
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_TRUE(trace.enabled()) << "clear() forgets data, not the enabled state";
+
+  // Replaying the identical stream reproduces the identical digest.
+  for (int i = 0; i < 5; ++i) {
+    trace.record(TimePoint{i}, sim::TraceCategory::kUser, "x");
+  }
+  EXPECT_EQ(trace.digest(), first_digest);
 }
 
 TEST(TraceRecorder, FilterByLabelAndRender) {

@@ -1,0 +1,99 @@
+// Logger: level filtering, pluggable sink capture, virtual-clock
+// timestamps, and log_format's dynamic growth past the old fixed-buffer
+// truncation point.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rtpb {
+namespace {
+
+/// Captures records through a sink and restores the logger's global state
+/// (level, sink, clock) on teardown — the logger is a process singleton.
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::instance().level();
+    Logger::instance().set_sink([this](const LogRecord& r) { records_.push_back(r); });
+  }
+  void TearDown() override {
+    Logger::instance().clear_sink();
+    Logger::instance().clear_clock();
+    Logger::instance().set_level(saved_level_);
+  }
+
+  std::vector<LogRecord> records_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggerTest, SinkReceivesOnlyRecordsPassingTheLevelFilter) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  RTPB_DEBUG("comp", "below threshold %d", 1);
+  RTPB_INFO("comp", "below threshold %d", 2);
+  RTPB_WARN("comp", "warn %d", 3);
+  RTPB_ERROR("comp", "error %d", 4);
+
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].level, LogLevel::kWarn);
+  EXPECT_EQ(records_[0].message, "warn 3");
+  EXPECT_EQ(records_[1].level, LogLevel::kError);
+  EXPECT_EQ(records_[1].message, "error 4");
+  EXPECT_STREQ(records_[0].component, "comp");
+}
+
+TEST_F(LoggerTest, LoweringTheLevelAdmitsFinerRecords) {
+  Logger::instance().set_level(LogLevel::kTrace);
+  RTPB_TRACE("t", "visible");
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].level, LogLevel::kTrace);
+
+  Logger::instance().set_level(LogLevel::kOff);
+  RTPB_ERROR("t", "suppressed");
+  EXPECT_EQ(records_.size(), 1u);
+}
+
+TEST_F(LoggerTest, VirtualClockStampsRecords) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  RTPB_INFO("t", "before clock");
+
+  TimePoint now = TimePoint{} + millis(1234);
+  Logger::instance().set_clock([&now] { return now; });
+  RTPB_INFO("t", "with clock");
+  now = now + millis(1);
+  RTPB_INFO("t", "later");
+
+  ASSERT_EQ(records_.size(), 3u);
+  EXPECT_FALSE(records_[0].has_time);
+  EXPECT_TRUE(records_[1].has_time);
+  EXPECT_EQ(records_[1].time.millis(), 1234.0);
+  EXPECT_EQ(records_[2].time.millis(), 1235.0);
+}
+
+TEST_F(LoggerTest, LogFormatGrowsPastTheStackBuffer) {
+  // The old implementation silently truncated at 512 bytes.
+  const std::string long_arg(2000, 'x');
+  Logger::instance().set_level(LogLevel::kInfo);
+  RTPB_INFO("t", "head %s tail", long_arg.c_str());
+
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].message.size(), 2000u + 10u);
+  EXPECT_EQ(records_[0].message.substr(0, 7), "head xx");
+  EXPECT_EQ(records_[0].message.substr(records_[0].message.size() - 5), " tail");
+}
+
+TEST(LogFormat, ExactBufferBoundary) {
+  // Lengths straddling the 512-byte internal buffer must all come through
+  // intact (the boundary is where one-pass snprintf would truncate).
+  for (const std::size_t len : {510u, 511u, 512u, 513u, 1024u}) {
+    const std::string arg(len, 'y');
+    EXPECT_EQ(detail::log_format("%s", arg.c_str()).size(), len);
+  }
+  EXPECT_EQ(detail::log_format("no args"), "no args");
+  EXPECT_EQ(detail::log_format("%d-%s", 7, "z"), "7-z");
+}
+
+}  // namespace
+}  // namespace rtpb

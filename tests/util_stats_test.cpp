@@ -75,6 +75,16 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_FALSE(h.render().empty());
 }
 
+TEST(HistogramDeathTest, RejectsDegenerateConstruction) {
+  // A lo >= hi range would make every bucket width non-positive and
+  // add() divide by a zero-or-negative width; zero buckets would clamp
+  // into an empty vector.  Both are precondition violations, not silent
+  // degenerate histograms.
+  EXPECT_DEATH(Histogram(1.0, 1.0, 4), "precondition");
+  EXPECT_DEATH(Histogram(2.0, 1.0, 4), "precondition");
+  EXPECT_DEATH(Histogram(0.0, 1.0, 0), "precondition");
+}
+
 TEST(IntervalRecorder, BasicOpenClose) {
   IntervalRecorder r;
   r.open(TimePoint{100});

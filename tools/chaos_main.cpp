@@ -37,7 +37,12 @@ void usage(const char* argv0) {
             << "  --objects N        objects offered per seed (default 4)\n"
             << "  --no-crashes       disable crash/recruit scenarios\n"
             << "  --sabotage MODE    none | no-failover | slow-updates\n"
-            << "  --log-warnings     keep service WARN lines (hidden by default)\n";
+            << "  --log-warnings     keep service WARN lines (hidden by default)\n"
+            << "  --telemetry        collect causal spans + metrics (per-seed summary)\n"
+            << "  --trace-out FILE   write a Chrome trace (Perfetto-loadable) for the\n"
+            << "                     last seed run; implies --telemetry\n"
+            << "  --jsonl-out FILE   write the JSONL event stream for the last seed run\n"
+            << "                     (input of trace_inspect); implies --telemetry\n";
 }
 
 }  // namespace
@@ -81,6 +86,14 @@ int main(int argc, char** argv) {
       sabotage = next();
     } else if (arg == "--log-warnings") {
       log_warnings = true;
+    } else if (arg == "--telemetry") {
+      opts.telemetry = true;
+    } else if (arg == "--trace-out") {
+      opts.trace_json_path = next();
+      opts.telemetry = true;
+    } else if (arg == "--jsonl-out") {
+      opts.trace_jsonl_path = next();
+      opts.telemetry = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -116,8 +129,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const rtpb::chaos::SweepResult result =
-      rtpb::chaos::run_sweep(first_seed, count, opts, &std::cout);
+  rtpb::chaos::SweepResult result;
+  if (single) {
+    // Single-seed mode runs directly so the telemetry summary is printed
+    // even when the seed passes (run_sweep only keeps failing reports).
+    rtpb::chaos::SeedReport report = rtpb::chaos::run_seed(first_seed, opts);
+    result.seeds_run = 1;
+    result.total_checks = report.oracle_checks;
+    std::cout << report.summary() << "\n";
+    if (opts.telemetry) {
+      std::cout << "telemetry: " << report.spans_started << " spans ("
+                << report.spans_violated << " violated)\n"
+                << report.metrics_json << "\n";
+    }
+    if (!report.ok()) {
+      for (const rtpb::chaos::OracleViolation& v : report.violations) {
+        std::cout << "  [" << v.at.to_string() << "] " << v.oracle << ": " << v.detail << "\n";
+      }
+      std::cout << report.reproducer;
+      result.failures.push_back(std::move(report));
+    }
+  } else {
+    result = rtpb::chaos::run_sweep(first_seed, count, opts, &std::cout);
+  }
 
   std::cout << "---\n"
             << result.seeds_run << " seeds, " << result.total_checks

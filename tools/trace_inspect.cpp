@@ -1,0 +1,312 @@
+// trace_inspect — offline analysis of a telemetry JSONL stream.
+//
+// Input is the event stream written by `chaos_main --jsonl-out` (or any
+// telemetry::write_jsonl output).  The tool reconstructs each causal span
+// (one per client update), sorts its events into a timeline, and prints:
+//
+//   * per-hop latency quantiles — for every adjacent event pair observed
+//     on a span (e.g. update-send → net-deliver), exact p50/p90/p99/max
+//     over all spans that crossed that hop
+//   * end-to-end latency quantiles (write at the primary → apply at the
+//     backup) and the delivered / lost split
+//   * culprit table — lost or violated updates grouped by the last event
+//     they reached, i.e. which hop ate them
+//   * full timelines of the K worst updates (violated first, then the
+//     slowest deliveries)
+//
+//   trace_inspect trace.jsonl
+//   trace_inspect trace.jsonl --worst 5 --hops 24
+//
+// The parser is deliberately minimal: it understands exactly the flat
+// one-object-per-line JSON that write_jsonl emits, not arbitrary JSON.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace {
+
+struct Event {
+  double ts_ms = 0.0;
+  std::uint64_t node = 0;
+  std::string track;
+  std::string name;
+  std::string detail;
+};
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t object = 0;
+  std::uint64_t version = 0;
+  double begin_ms = 0.0;
+  std::string violation;  ///< oracle name, empty if the span stayed clean
+  std::vector<Event> events;
+};
+
+// --- minimal field extraction over our own JSONL -------------------------
+
+/// Finds `"key":` and returns the character index just past the colon, or
+/// npos.  Keys in write_jsonl output never appear inside string values
+/// with the quote-colon suffix, so a plain search is sufficient.
+std::size_t find_key(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  return at == std::string::npos ? std::string::npos : at + needle.size();
+}
+
+bool get_u64(const std::string& line, const char* key, std::uint64_t& out) {
+  const std::size_t at = find_key(line, key);
+  if (at == std::string::npos) return false;
+  out = std::strtoull(line.c_str() + at, nullptr, 10);
+  return true;
+}
+
+bool get_double(const std::string& line, const char* key, double& out) {
+  const std::size_t at = find_key(line, key);
+  if (at == std::string::npos) return false;
+  out = std::strtod(line.c_str() + at, nullptr);
+  return true;
+}
+
+bool get_string(const std::string& line, const char* key, std::string& out) {
+  std::size_t at = find_key(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') return false;
+  out.clear();
+  for (++at; at < line.size(); ++at) {
+    const char c = line[at];
+    if (c == '"') return true;
+    if (c == '\\' && at + 1 < line.size()) {
+      const char esc = line[++at];
+      switch (esc) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': out.push_back('?'); at += 4; break;  // control chars: opaque
+        default: out.push_back(esc); break;            // \" \\ \/
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return false;  // unterminated string
+}
+
+// --- reporting -----------------------------------------------------------
+
+std::string quantile_row(const rtpb::SampleSet& s) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%8zu %9.3f %9.3f %9.3f %9.3f", s.count(),
+                s.quantile(0.5), s.quantile(0.9), s.quantile(0.99), s.max());
+  return buf;
+}
+
+void print_timeline(const Span& s) {
+  std::printf("  span %llu  obj%llu v%llu  begin %.3f ms%s%s\n",
+              static_cast<unsigned long long>(s.id),
+              static_cast<unsigned long long>(s.object),
+              static_cast<unsigned long long>(s.version), s.begin_ms,
+              s.violation.empty() ? "" : "  VIOLATION: ", s.violation.c_str());
+  for (const Event& e : s.events) {
+    std::printf("    %12.3f ms  node%llu  %-18s %-16s %s\n", e.ts_ms,
+                static_cast<unsigned long long>(e.node), e.track.c_str(), e.name.c_str(),
+                e.detail.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t worst_k = 3;
+  std::size_t hop_limit = 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--worst") {
+      worst_k = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--hops") {
+      hop_limit = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: " << argv[0] << " TRACE.jsonl [--worst K] [--hops N]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: " << argv[0] << " TRACE.jsonl [--worst K] [--hops N]\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+
+  std::uint64_t meta_spans = 0;
+  std::uint64_t meta_violated = 0;
+  std::uint64_t meta_events = 0;
+  std::uint64_t meta_dropped = 0;
+  std::map<std::uint64_t, Span> spans;
+  std::uint64_t unattributed = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string type;
+    if (!get_string(line, "type", type)) continue;
+    if (type == "meta") {
+      get_u64(line, "spans_started", meta_spans);
+      get_u64(line, "spans_violated", meta_violated);
+      get_u64(line, "events_recorded", meta_events);
+      get_u64(line, "events_dropped", meta_dropped);
+    } else if (type == "span") {
+      Span s;
+      get_u64(line, "span", s.id);
+      get_u64(line, "object", s.object);
+      get_u64(line, "version", s.version);
+      get_double(line, "begin_ms", s.begin_ms);
+      get_string(line, "violation", s.violation);
+      spans.emplace(s.id, std::move(s));
+    } else if (type == "event") {
+      std::uint64_t id = 0;
+      get_u64(line, "span", id);
+      if (id == 0) {
+        ++unattributed;
+        continue;
+      }
+      Event e;
+      get_double(line, "ts_ms", e.ts_ms);
+      get_u64(line, "node", e.node);
+      get_string(line, "track", e.track);
+      get_string(line, "name", e.name);
+      get_string(line, "detail", e.detail);
+      spans[id].events.push_back(std::move(e));
+    }
+  }
+
+  // Events arrive in record order; retroactive records (sched releases,
+  // transmission-job phases) can be out of timestamp order, so sort each
+  // span's timeline.  stable_sort keeps record order within a tick.
+  for (auto& [id, s] : spans) {
+    (void)id;
+    std::stable_sort(s.events.begin(), s.events.end(),
+                     [](const Event& a, const Event& b) { return a.ts_ms < b.ts_ms; });
+  }
+
+  // Per-hop latencies (adjacent event pairs along each span) and
+  // end-to-end latency (span begin → last update-apply).
+  std::map<std::string, rtpb::SampleSet> hop_latency;
+  rtpb::SampleSet end_to_end;
+  std::vector<const Span*> delivered;
+  std::vector<const Span*> lost;
+  std::vector<const Span*> violated;
+  for (const auto& [id, s] : spans) {
+    (void)id;
+    for (std::size_t i = 1; i < s.events.size(); ++i) {
+      hop_latency[s.events[i - 1].name + " -> " + s.events[i].name].add(
+          s.events[i].ts_ms - s.events[i - 1].ts_ms);
+    }
+    double applied_at = -1.0;
+    for (const Event& e : s.events) {
+      if (e.name == "update-apply") applied_at = e.ts_ms;
+    }
+    if (applied_at >= 0.0) {
+      end_to_end.add(applied_at - s.begin_ms);
+      delivered.push_back(&s);
+    } else {
+      lost.push_back(&s);
+    }
+    if (!s.violation.empty()) violated.push_back(&s);
+  }
+
+  std::printf("trace: %s\n", path.c_str());
+  std::printf("spans %llu (%llu violated)  events %llu (%llu dropped, %llu unattributed)\n",
+              static_cast<unsigned long long>(meta_spans),
+              static_cast<unsigned long long>(meta_violated),
+              static_cast<unsigned long long>(meta_events),
+              static_cast<unsigned long long>(meta_dropped),
+              static_cast<unsigned long long>(unattributed));
+  std::printf("updates: %zu delivered, %zu never applied at a backup\n\n", delivered.size(),
+              lost.size());
+
+  if (!end_to_end.empty()) {
+    std::printf("end-to-end latency, write -> backup apply (ms)\n");
+    std::printf("  %-44s %8s %9s %9s %9s %9s\n", "", "count", "p50", "p90", "p99", "max");
+    std::printf("  %-44s %s\n\n", "write -> update-apply", quantile_row(end_to_end).c_str());
+  }
+
+  std::printf("per-hop latency (ms), %zu distinct hops", hop_latency.size());
+  if (hop_latency.size() > hop_limit) {
+    std::printf(" (showing the %zu busiest; --hops to widen)", hop_limit);
+  }
+  std::printf("\n  %-44s %8s %9s %9s %9s %9s\n", "hop", "count", "p50", "p90", "p99", "max");
+  std::vector<const std::pair<const std::string, rtpb::SampleSet>*> hops;
+  hops.reserve(hop_latency.size());
+  for (const auto& entry : hop_latency) hops.push_back(&entry);
+  std::stable_sort(hops.begin(), hops.end(),
+                   [](const auto* a, const auto* b) { return a->second.count() > b->second.count(); });
+  if (hops.size() > hop_limit) hops.resize(hop_limit);
+  for (const auto* entry : hops) {
+    std::printf("  %-44s %s\n", entry->first.c_str(), quantile_row(entry->second).c_str());
+  }
+
+  if (!lost.empty() || !violated.empty()) {
+    // Which hop ate them: group doomed spans by the last event they reached.
+    std::map<std::string, std::size_t> culprits;
+    for (const Span* s : lost) {
+      culprits[s->events.empty() ? "(no events)"
+                                 : s->events.back().track + " " + s->events.back().name]++;
+    }
+    for (const Span* s : violated) {
+      culprits["violation:" + s->violation]++;
+    }
+    std::vector<std::pair<std::string, std::size_t>> ranked(culprits.begin(), culprits.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::printf("\ntop culprits (last event reached by lost updates, plus violations)\n");
+    for (const auto& [where, n] : ranked) {
+      std::printf("  %6zu  %s\n", n, where.c_str());
+    }
+  }
+
+  if (worst_k > 0) {
+    // Worst updates: every violated span first, then the slowest deliveries.
+    std::vector<const Span*> worst(violated);
+    std::vector<const Span*> slow(delivered);
+    std::stable_sort(slow.begin(), slow.end(), [](const Span* a, const Span* b) {
+      const auto span_latency = [](const Span* s) {
+        return s->events.empty() ? 0.0 : s->events.back().ts_ms - s->begin_ms;
+      };
+      return span_latency(a) > span_latency(b);
+    });
+    for (const Span* s : slow) {
+      if (worst.size() >= worst_k) break;
+      if (std::find(worst.begin(), worst.end(), s) == worst.end()) worst.push_back(s);
+    }
+    if (worst.size() > worst_k) worst.resize(worst_k);
+    if (!worst.empty()) {
+      std::printf("\n%zu worst updates (violated first, then slowest deliveries)\n",
+                  worst.size());
+      for (const Span* s : worst) print_timeline(*s);
+    }
+  }
+  return 0;
+}
