@@ -1,0 +1,108 @@
+// Ablation: replication cost and failover behaviour as the backup chain
+// grows, N ∈ {1, 2, 4, 8}.  The paper runs one primary and one backup;
+// this sweep exercises the multi-backup generalisation (paper §6 future
+// work, "support for multiple backups").  Each cell runs a steady-state
+// phase, then crashes the primary and lets the designated successor take
+// over, measuring promotion latency and whether temporal consistency
+// (excess distance, inconsistency time) degrades with chain length.
+#include <cstdint>
+
+#include "common/harness.hpp"
+
+namespace {
+
+using namespace rtpb;
+
+struct CellResult {
+  std::size_t accepted = 0;
+  std::uint64_t updates_sent = 0;
+  double applied_per_backup = 0.0;
+  double excess_ms = 0.0;
+  double incons_ms = 0.0;
+  std::uint64_t intervals = 0;
+  double failover_ms = 0.0;
+  std::uint64_t new_epoch = 0;
+};
+
+CellResult run_cell(std::size_t backups, std::uint64_t seed) {
+  core::ServiceParams params;
+  params.seed = seed;
+  params.backup_count = backups;
+  params.link.propagation = millis(1);
+  params.link.jitter = micros(200);
+
+  core::RtpbService service(params);
+  service.start();
+
+  CellResult result;
+  for (core::ObjectId id = 1; id <= 5; ++id) {
+    core::ObjectSpec object;
+    object.id = id;
+    object.name = "obj" + std::to_string(id);
+    object.size_bytes = 64;
+    object.client_period = millis(10);
+    object.client_exec = micros(200);
+    object.update_exec = millis(1);
+    object.delta_primary = millis(20);
+    object.delta_backup = millis(100);
+    if (service.register_object(object).ok()) ++result.accepted;
+  }
+
+  service.warm_up(seconds(1));
+  service.run_for(seconds(8));
+
+  // Failover arc: kill the primary, let the successor promote and the
+  // remaining chain re-peer behind it, then recruit a fresh standby
+  // (§4.4's "waits to recruit a new backup") and keep serving.  Without
+  // the recruit step an N=1 chain has no replica left after promotion and
+  // its inconsistency clock runs until the end of the experiment.
+  const TimePoint crashed_at = service.simulator().now();
+  result.updates_sent = service.primary().updates_sent();
+  service.crash_primary();
+  service.run_for(seconds(1));
+  service.add_standby();
+  service.run_for(seconds(7));
+  service.finish();
+
+  result.failover_ms = (service.backup().promoted_at() - crashed_at).millis();
+  result.new_epoch = service.acting_primary().epoch();
+
+  std::uint64_t applied = 0;
+  for (const auto& backup : service.backups()) applied += backup->updates_applied();
+  result.applied_per_backup =
+      static_cast<double>(applied) / static_cast<double>(backups);
+
+  const core::Metrics& m = service.metrics();
+  result.excess_ms = m.average_max_excess_distance_ms();
+  result.incons_ms = m.total_inconsistency().millis();
+  result.intervals = m.inconsistency_intervals();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtpb;
+
+  bench::banner(
+      "Ablation — backup chain length N ∈ {1, 2, 4, 8}",
+      "Replication fan-out cost and failover latency as the backup chain "
+      "grows.  Expect promotion latency to stay within the detection bound "
+      "regardless of N, the post-failover primary to sit at epoch 2, and "
+      "chains of N >= 2 to keep inconsistency time near zero across the "
+      "failover because a surviving backup covers the window while a "
+      "standby is recruited — the N = 1 chain pays that gap in full.");
+
+  bench::Table table({"backups", "admitted", "upd_sent", "applied/bkp",
+                      "excess_ms", "incons_ms", "intervals", "failover_ms",
+                      "epoch"});
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const CellResult r = run_cell(n, /*seed=*/7);
+    table.add_row({static_cast<double>(n), static_cast<double>(r.accepted),
+                   static_cast<double>(r.updates_sent), r.applied_per_backup,
+                   r.excess_ms, r.incons_ms, static_cast<double>(r.intervals),
+                   r.failover_ms, static_cast<double>(r.new_epoch)});
+  }
+  table.print();
+  return 0;
+}

@@ -30,6 +30,7 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
   params.seed = schedule.service_seed;
   params.link = opts.link;
   params.config = opts.config;
+  params.backup_count = opts.backups;
 
   core::RtpbService service(params);
   service.simulator().trace().enable();
@@ -70,6 +71,8 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
       service.client().writes_issued() + service.backup_client().writes_issued();
   service.for_each_replica([&report](const core::ReplicaServer& r) {
     report.updates_applied += r.updates_applied();
+    report.epoch_rejections += r.epoch_rejections();
+    report.cross_epoch_applies += r.cross_epoch_applies();
   });
   report.avg_max_distance_ms = service.metrics().average_max_distance_ms();
   report.total_inconsistency_ms = service.metrics().total_inconsistency().millis();

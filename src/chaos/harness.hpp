@@ -34,7 +34,9 @@ struct SeedReport {
   std::size_t objects_offered = 0;
   std::size_t objects_admitted = 0;
   std::uint64_t client_writes = 0;
-  std::uint64_t updates_applied = 0;  ///< summed over replicas
+  std::uint64_t updates_applied = 0;      ///< summed over replicas
+  std::uint64_t epoch_rejections = 0;     ///< stale-epoch messages fenced, all replicas
+  std::uint64_t cross_epoch_applies = 0;  ///< stale-epoch updates applied (want 0)
   double avg_max_distance_ms = 0.0;
   double total_inconsistency_ms = 0.0;
   std::uint64_t inconsistency_intervals = 0;

@@ -115,6 +115,19 @@ void OracleMonitor::check() {
       }
     }
   });
+
+  // cross-epoch-apply: epoch fencing's core guarantee, checked even inside
+  // declared fault epochs — a fault may delay convergence but never
+  // licenses applying a deposed primary's updates.
+  std::uint64_t cross = 0;
+  service_.for_each_replica(
+      [&cross](const core::ReplicaServer& r) { cross += r.cross_epoch_applies(); });
+  if (cross > last_cross_epoch_applies_) {
+    report(now, "cross-epoch-apply",
+           std::to_string(cross - last_cross_epoch_applies_) +
+               " update(s) applied from a deposed epoch");
+    last_cross_epoch_applies_ = cross;
+  }
 }
 
 }  // namespace rtpb::chaos

@@ -15,6 +15,10 @@
 //                        primary role — zero means failover never
 //                        happened, two means split brain
 //   monotone-versions    object versions at every replica never decrease
+//   cross-epoch-apply    no replica ever applies an update minted under an
+//                        older epoch than one it has already accepted —
+//                        epoch fencing's core guarantee.  Unconditional:
+//                        not even a declared fault epoch excuses it.
 //
 // The monitor is passive: it draws no randomness and only reads state, so
 // attaching it cannot change what the simulation does (trace records it
@@ -86,6 +90,8 @@ class OracleMonitor {
   /// Last sampled violation state per object (edge detection).
   std::map<core::ObjectId, bool> was_violating_;
   bool primary_count_reported_ = false;
+  /// Last seen sum of cross_epoch_applies() over replicas (edge detection).
+  std::uint64_t last_cross_epoch_applies_ = 0;
 };
 
 }  // namespace rtpb::chaos

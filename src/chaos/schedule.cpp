@@ -39,6 +39,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kCrashPrimary: return "crash-primary";
     case FaultKind::kCrashBackup: return "crash-backup";
     case FaultKind::kAddStandby: return "add-standby";
+    case FaultKind::kPartitionPrimary: return "partition-primary";
   }
   return "?";
 }
@@ -129,9 +130,22 @@ ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosOptions& opts) {
     }
   }
 
+  // Partition scenario: isolate the primary from its successor so both
+  // keep running (split brain) — epoch fencing's job to resolve.  It uses
+  // the same failover machinery as a crash, so when active it replaces the
+  // crash family (independent streams keep every other family's draws
+  // unchanged either way).
+  const bool partition_active =
+      opts.enable_partition && opts.backups >= 2 && dur_ms >= 12000;
+  if (partition_active) {
+    Rng rng{derive_stream_seed(seed, kStreamPartition)};
+    const std::int64_t cut = rng.uniform(dur_ms * 3 / 10, dur_ms * 55 / 100);
+    s.events.push_back({FaultKind::kPartitionPrimary, at_ms(cut), at_ms(cut)});
+  }
+
   // One crash scenario per run at most: the service supports a single
   // recruited standby, so a second crash would leave nothing to fail to.
-  if (opts.enable_crashes && dur_ms >= 12000) {
+  if (opts.enable_crashes && !partition_active && dur_ms >= 12000) {
     Rng rng{derive_stream_seed(seed, kStreamCrash)};
     if (rng.bernoulli(opts.crash_probability)) {
       const bool hit_backup = rng.bernoulli(opts.crash_backup_bias);
@@ -178,6 +192,9 @@ void apply(const ChaosSchedule& schedule, core::FaultPlan& plan) {
       case FaultKind::kAddStandby:
         plan.add_standby(e.at);
         break;
+      case FaultKind::kPartitionPrimary:
+        plan.partition_primary(e.at);
+        break;
     }
   }
 }
@@ -203,6 +220,12 @@ std::vector<FaultEpoch> declared_epochs(const ChaosSchedule& schedule,
       }
       case FaultKind::kAddStandby:
         epochs.push_back({e.at, e.at + opts.failover_grace, e.kind});
+        break;
+      case FaultKind::kPartitionPrimary:
+        // Detection + promotion + recruitment + depose notice + the new
+        // primary's version counter overtaking the survivor's divergent
+        // suffix: double the failover grace covers the whole arc.
+        epochs.push_back({e.at, e.at + opts.failover_grace + opts.failover_grace, e.kind});
         break;
       default:
         epochs.push_back({e.at, e.until + opts.settle, e.kind});
@@ -252,6 +275,7 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
                 "params.seed = 0x%llxULL;  // derive_stream_seed(seed, kStreamService)\n"
                 "params.link = opts.link;\n"
                 "params.config = opts.config;\n"
+                "params.backup_count = %zu;\n"
                 "core::RtpbService service(params);\n"
                 "service.start();\n"
                 "auto workload = chaos::generate_workload(%lluULL, opts);\n"
@@ -259,7 +283,7 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
                 "for (const auto& c : workload.constraints) service.add_constraint(c);\n"
                 "core::FaultPlan plan(service);\n",
                 static_cast<unsigned long long>(schedule.seed),
-                static_cast<unsigned long long>(schedule.service_seed),
+                static_cast<unsigned long long>(schedule.service_seed), opts.backups,
                 static_cast<unsigned long long>(schedule.seed));
   out += line;
 
@@ -310,6 +334,10 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
         break;
       case FaultKind::kAddStandby:
         std::snprintf(line, sizeof line, "plan.add_standby(at_ms(%lld));\n",
+                      static_cast<long long>(ms(e.at)));
+        break;
+      case FaultKind::kPartitionPrimary:
+        std::snprintf(line, sizeof line, "plan.partition_primary(at_ms(%lld));\n",
                       static_cast<long long>(ms(e.at)));
         break;
     }

@@ -35,6 +35,7 @@ enum class FaultKind : std::uint8_t {
   kCrashPrimary,
   kCrashBackup,
   kAddStandby,
+  kPartitionPrimary,  ///< isolate primary from its successor (split brain)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -74,7 +75,20 @@ struct ChaosOptions {
   double crash_probability = 0.6;   ///< chance a run includes a crash
   double crash_backup_bias = 0.3;   ///< of crashes, fraction hitting the backup
 
+  /// Partition the primary from its successor instead of crashing anyone
+  /// (replaces the crash family: the two scenarios contend for the same
+  /// failover machinery and would double-promote).  The old primary keeps
+  /// running — split brain — which epoch fencing must resolve, so the
+  /// scenario needs `backups >= 2`: the surviving backup is the deposed
+  /// primary's only path to learning of the new epoch.  Ignored when
+  /// backups < 2 or the run is too short for a failover arc.
+  bool enable_partition = false;
+
   std::size_t objects = 4;  ///< workload size offered to admission
+
+  /// Number of backups in the replication chain (1 = the paper's classic
+  /// primary/backup pair).  Backup 0 is the designated successor.
+  std::size_t backups = 1;
 
   /// Service configuration for chaos runs.  Defaults are hardened for an
   /// adversarial network: variance-aware admission (Lemma 2) so CPU phase
@@ -111,7 +125,8 @@ enum ChaosStream : std::uint64_t {
   kStreamWorkload = 2,  ///< object specs and inter-object constraints
   kStreamLoss = 3,      ///< update-stream loss storms
   kStreamLink = 4,      ///< link-level fault bursts
-  kStreamCrash = 5,     ///< crash / recruitment scenario
+  kStreamCrash = 5,      ///< crash / recruitment scenario
+  kStreamPartition = 6,  ///< split-brain partition scenario
 };
 
 /// Generate the fault schedule for `seed`.  Pure function of (seed, opts).

@@ -67,6 +67,11 @@ class AdmissionController {
   }
   [[nodiscard]] Duration link_delay_bound() const { return ell_; }
 
+  /// Re-derive ℓ when the frame budget grows (a larger object was
+  /// registered).  Applies to subsequent admissions; already-admitted
+  /// periods keep the bound they were negotiated under.
+  void set_link_delay_bound(Duration ell) { ell_ = ell; }
+
   /// Total utilisation of client + transmission tasks as admitted.
   [[nodiscard]] double total_utilization() const;
 

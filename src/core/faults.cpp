@@ -93,6 +93,13 @@ FaultPlan& FaultPlan::corruption_burst(TimePoint from, TimePoint until, double p
   return *this;
 }
 
+FaultPlan& FaultPlan::partition_primary(TimePoint when) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  return at(when, "partition-primary",
+            [this, a, b] { service_.network().set_loss_probability(a, b, 1.0); });
+}
+
 FaultPlan& FaultPlan::crash_primary(TimePoint when) {
   return at(when, "crash-primary", [this] { service_.crash_primary(); });
 }

@@ -44,6 +44,12 @@ class FaultPlan {
   /// catch these; to the service they look like loss).
   FaultPlan& corruption_burst(TimePoint from, TimePoint until, double probability);
 
+  /// Partition the original primary from the designated-successor backup
+  /// at `at` (loss 1.0, both directions, permanently).  The successor
+  /// declares the primary dead and promotes while the old primary keeps
+  /// running — the split-brain scenario epoch fencing must resolve.
+  FaultPlan& partition_primary(TimePoint at);
+
   /// Crash the primary at `at`.
   FaultPlan& crash_primary(TimePoint at);
   /// Crash the successor backup at `at`.

@@ -69,11 +69,28 @@ void FailureDetector::on_timeout(std::uint64_t seq, TimePoint sent_at) {
   }
 }
 
-void FailureDetector::on_ping_ack(std::uint64_t /*seq*/) { note_traffic(); }
-
-void FailureDetector::note_traffic() {
+void FailureDetector::on_ping_ack(std::uint64_t seq) {
+  // A valid ack names a ping we actually sent and have not yet credited.
+  // Anything else is a duplicate or a stale replay (chaos `dup`/`reorder`
+  // verbs) and proves nothing about the peer's liveness *now*.
+  if (seq == 0 || seq >= next_seq_ || seq <= last_acked_seq_) {
+    ++stale_acks_;
+    if (sim_.telemetry().enabled()) {
+      sim_.telemetry().registry().counter("core.heartbeat.stale_acks").add();
+    }
+    return;
+  }
+  last_acked_seq_ = seq;
   last_traffic_ = sim_.now();
   if (!peer_dead_) misses_ = 0;
+}
+
+void FailureDetector::note_traffic() {
+  // Non-ack traffic excuses the currently outstanding ping (on_timeout
+  // compares last_traffic_ against the ping's send time) but does not
+  // clear already-accumulated misses: a replayed duplicate of an old
+  // frame must not reset the count the way a matched ack does.
+  last_traffic_ = sim_.now();
 }
 
 }  // namespace rtpb::core

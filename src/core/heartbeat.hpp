@@ -32,7 +32,9 @@ class FailureDetector {
   void stop();
   [[nodiscard]] bool running() const { return timer_.running(); }
 
-  /// The peer answered ping `seq`.
+  /// The peer answered ping `seq`.  Only an ack matching an outstanding
+  /// ping (sent, and not already consumed) counts — duplicated or stale
+  /// acks replayed by the network must not keep a dead peer "alive".
   void on_ping_ack(std::uint64_t seq);
   /// Any other message arrived from the peer (counts as liveness).
   void note_traffic();
@@ -40,6 +42,7 @@ class FailureDetector {
   [[nodiscard]] bool peer_declared_dead() const { return peer_dead_; }
   [[nodiscard]] std::uint32_t consecutive_misses() const { return misses_; }
   [[nodiscard]] std::uint64_t pings_sent() const { return pings_sent_; }
+  [[nodiscard]] std::uint64_t stale_acks() const { return stale_acks_; }
 
  private:
   void send_ping();
@@ -52,7 +55,9 @@ class FailureDetector {
   sim::PeriodicTimer timer_;
   sim::EventHandle timeout_event_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t last_acked_seq_ = 0;
   std::uint64_t pings_sent_ = 0;
+  std::uint64_t stale_acks_ = 0;
   TimePoint last_traffic_{};
   std::uint32_t misses_ = 0;
   bool peer_dead_ = false;

@@ -12,6 +12,10 @@ std::string rtpb_track(net::NodeId n) { return "node" + std::to_string(n) + "/rt
 std::string obj_tag(ObjectId id, std::uint64_t version) {
   return "obj" + std::to_string(id) + " v" + std::to_string(version);
 }
+
+std::string peer_counter(net::NodeId peer, const char* what) {
+  return "core.primary.peer.node" + std::to_string(peer) + "." + what;
+}
 }  // namespace
 
 ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
@@ -27,6 +31,10 @@ ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameSer
       stack_(network),
       cpu_(sim, config.cpu_policy, std::string(role_name(role)) + "-cpu"),
       rng_(sim.rng().fork()) {
+  // The initial primary is epoch 1; backups start at 0 ("unknown") and
+  // learn the cluster epoch from the first accepted message.  Epoch-0
+  // traffic is never fenced, so a fresh standby can bootstrap.
+  if (role_ == Role::kPrimary) epoch_ = 1;
   if (config_.enable_fragmentation) {
     frag_ = std::make_unique<xkernel::FragLite>(sim, config_.fragment_payload);
     frag_->set_telemetry(&sim.telemetry(), node());
@@ -50,19 +58,23 @@ ReplicaServer::~ReplicaServer() = default;
 void ReplicaServer::add_peer(net::Endpoint peer) {
   RTPB_EXPECTS(peer.node != net::kInvalidNode);
   peers_.push_back(peer);
+  peer_state_[peer.node].endpoint = peer;
 }
 
 void ReplicaServer::start() {
   RTPB_EXPECTS(!started_);
   started_ = true;
 
-  // Admission control needs the delay bound ℓ of the replication link.
+  // Admission control needs the delay bound ℓ of the replication link,
+  // sized for the largest update frame we may send.  The budget starts at
+  // the historical 1 KiB floor and grows with each larger registration
+  // (grow_frame_budget) — a hardcoded budget silently under-estimated ℓ
+  // for big objects.
   Duration ell = Duration::zero();
   if (!peers_.empty()) {
     if (auto params = network_.link_params(node(), peers_.front().node)) {
-      // Bound for a full-size update frame (largest object payload is not
-      // known yet; use a 1 KiB budget, generous for the paper's objects).
-      ell = params->delay_bound(1024);
+      link_params_ = *params;
+      ell = params->delay_bound(frame_budget_);
     }
   }
   admission_ = std::make_unique<AdmissionController>(config_, ell);
@@ -76,40 +88,95 @@ void ReplicaServer::start() {
 
 void ReplicaServer::start_heartbeat() {
   RTPB_EXPECTS(!peers_.empty());
+  for (const net::Endpoint peer : peers_) ensure_detector(peer);
+}
+
+void ReplicaServer::ensure_detector(net::Endpoint peer) {
+  PeerState& ps = peer_state_[peer.node];
+  ps.endpoint = peer;
+  if (ps.detector && ps.detector->running()) return;
   FailureDetector::Params params;
   params.ping_period = config_.ping_period;
   params.ack_timeout = config_.ping_ack_timeout;
   params.max_misses = config_.ping_max_misses;
-  const net::Endpoint partner = peers_.front();
-  detector_ = std::make_unique<FailureDetector>(
+  ps.detector = std::make_unique<FailureDetector>(
       sim_, params,
-      [this, partner](std::uint64_t seq) { send_to(partner, wire::encode(wire::Ping{seq})); },
-      [this] {
-        RTPB_INFO("rtpb", "%s: heartbeat partner declared dead", role_name(role_));
-        if (role_ == Role::kBackup) {
-          if (successor_) {
-            promote();
-          } else if (hooks_.on_primary_lost) {
-            hooks_.on_primary_lost();
-          }
-        } else {
-          // §4.4: "If the backup is dead, the primary cancels the ping
-          // messages as well as update events for each registered object."
-          for (auto& [id, task] : update_tasks_) cpu_.remove_task(task.task);
-          update_tasks_.clear();
-          peers_.clear();
-          transfer_retry_.cancel();
-          pending_transfers_.clear();
-        }
-      });
-  detector_->start();
+      [this, peer](std::uint64_t seq) {
+        send_to(peer, wire::encode(wire::Ping{seq, epoch_}));
+      },
+      [this, dead = peer.node] { on_peer_dead(dead); });
+  ps.detector->start();
+}
+
+void ReplicaServer::on_peer_dead(net::NodeId peer) {
+  RTPB_INFO("rtpb", "%s@node%u: heartbeat peer node%u declared dead", role_name(role_), node(),
+            peer);
+  if (role_ == Role::kBackup) {
+    // A backup's only peer is (its view of) the primary.
+    if (successor_) {
+      promote();
+    } else if (hooks_.on_primary_lost) {
+      hooks_.on_primary_lost();
+    }
+    return;
+  }
+  // Primary: drop just this backup from the replication set.  The erase is
+  // deferred one event because we are inside the dying detector's own
+  // callback.
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter(peer_counter(peer, "dead")).add();
+  }
+  sim_.schedule_after(Duration::zero(), [this, peer] { remove_peer(peer); });
+}
+
+void ReplicaServer::remove_peer(net::NodeId peer) {
+  auto it = peer_state_.find(peer);
+  if (it != peer_state_.end()) {
+    if (it->second.detector) {
+      it->second.detector->stop();
+      retired_detectors_.push_back(std::move(it->second.detector));
+    }
+    peer_state_.erase(it);
+  }
+  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                              [peer](const net::Endpoint& e) { return e.node == peer; }),
+               peers_.end());
+  for (auto t = pending_transfers_.begin(); t != pending_transfers_.end();) {
+    t->second.awaiting.erase(peer);
+    if (t->second.awaiting.empty()) {
+      t = pending_transfers_.erase(t);
+    } else {
+      ++t;
+    }
+  }
+  if (pending_transfers_.empty()) transfer_retry_.cancel();
+  if (peers_.empty() && role_ == Role::kPrimary) {
+    // §4.4: "If the backup is dead, the primary cancels the ping messages
+    // as well as update events for each registered object."  With N peers
+    // this applies once the LAST backup is gone.
+    for (auto& [id, task] : update_tasks_) cpu_.remove_task(task.task);
+    update_tasks_.clear();
+  }
+}
+
+void ReplicaServer::clear_peers() {
+  for (auto& [n, ps] : peer_state_) {
+    if (ps.detector) {
+      ps.detector->stop();
+      retired_detectors_.push_back(std::move(ps.detector));
+    }
+  }
+  peer_state_.clear();
+  peers_.clear();
 }
 
 void ReplicaServer::crash() {
   if (crashed_) return;
   crashed_ = true;
   cpu_.stop();
-  if (detector_) detector_->stop();
+  for (auto& [n, ps] : peer_state_) {
+    if (ps.detector) ps.detector->stop();
+  }
   transfer_retry_.cancel();
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
   for (auto& [id, a] : ack_state_) a.timeout.cancel();
@@ -121,9 +188,24 @@ void ReplicaServer::crash() {
 // Client-facing interface.
 // ---------------------------------------------------------------------------
 
+void ReplicaServer::grow_frame_budget(std::size_t payload_bytes) {
+  if (payload_bytes <= frame_budget_) return;
+  frame_budget_ = payload_bytes;
+  if (link_params_ && admission_) {
+    const Duration ell = link_params_->delay_bound(frame_budget_);
+    admission_->set_link_delay_bound(ell);
+    RTPB_INFO("rtpb", "frame budget grown to %zu B; admission ℓ now %s", frame_budget_,
+              ell.to_string().c_str());
+  }
+}
+
 AdmissionResult ReplicaServer::register_object(const ObjectSpec& spec) {
   RTPB_EXPECTS(started_);
   RTPB_EXPECTS(role_ == Role::kPrimary);
+  // Re-derive ℓ before admitting: a payload larger than the current frame
+  // budget makes the replication frame — and thus the admission delay
+  // bound — bigger for this and subsequent registrations.
+  grow_frame_budget(spec.size_bytes);
   AdmissionResult result = admission_->admit(spec);
   if (!result.ok()) {
     RTPB_DEBUG("rtpb", "admission rejected object %u: %s", spec.id,
@@ -159,6 +241,7 @@ AdmissionStatus ReplicaServer::add_constraint(const InterObjectConstraint& c) {
       wire::StateTransfer st;
       st.transfer_id = tid;
       st.constraints = replicated_constraints_;
+      st.epoch = epoch_;
       const Bytes payload = wire::encode(st);
       for (const net::Endpoint& peer : peers_) send_to(peer, payload);
       if (!transfer_retry_.pending()) {
@@ -171,7 +254,9 @@ AdmissionStatus ReplicaServer::add_constraint(const InterObjectConstraint& c) {
 }
 
 void ReplicaServer::local_write(ObjectId id, Bytes value, const sched::JobInfo& info) {
-  RTPB_EXPECTS(role_ == Role::kPrimary);
+  // A client job already on the CPU queue can fire after a step-down
+  // deposed this primary; drop the write instead of asserting.
+  if (role_ != Role::kPrimary) return;
   if (!store_.contains(id)) return;  // racing a failed registration
   store_.write(id, std::move(value), info.finish);
   metrics_.record_response(info.finish - info.release);
@@ -183,7 +268,7 @@ void ReplicaServer::local_write(ObjectId id, Bytes value, const sched::JobInfo& 
     // sensing job's scheduling history so the span's first hops show how
     // long the write waited for the CPU.
     const std::uint64_t version = store_.get(id).version;
-    const telemetry::SpanId span = hub.begin_span(id, version);
+    const telemetry::SpanId span = hub.begin_span(id, version, epoch_);
     hub.registry().counter("core.primary.writes").add();
     hub.registry().histogram("core.primary.write_response_ms").record(info.finish - info.release);
     const std::string track = rtpb_track(node());
@@ -240,7 +325,8 @@ void ReplicaServer::sync_update_tasks() {
   }
 }
 
-void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::JobInfo* job) {
+void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::JobInfo* job,
+                                const std::vector<net::Endpoint>* targets) {
   if (crashed_ || peers_.empty() || !store_.contains(id)) return;
   const ObjectState& state = store_.get(id);
   if (state.version == 0) return;  // nothing written yet
@@ -285,8 +371,10 @@ void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::J
     u.timestamp = state.origin_timestamp;
     u.retransmission = retransmission;
     u.value = state.value;
+    u.epoch = epoch_;
     const Bytes payload = wire::encode(u);
-    for (const net::Endpoint& peer : peers_) send_to(peer, payload);
+    const std::vector<net::Endpoint>& dst = targets != nullptr ? *targets : peers_;
+    for (const net::Endpoint& peer : dst) send_to(peer, payload);
   }
 
   if (config_.ack_every_update && !retransmission) arm_ack_timeout(id, state.version);
@@ -297,13 +385,28 @@ void ReplicaServer::arm_ack_timeout(ObjectId id, std::uint64_t version) {
   const Duration period =
       task_it != update_tasks_.end() ? task_it->second.period : config_.ping_period;
   AckState& ack = ack_state_[id];
-  ack.timeout.cancel();
+  // An armed deadline sticks: re-arming on every periodic send (one per
+  // period, deadline two periods out) would postpone it forever and the
+  // ack path would never retransmit while the stream flows.  The pending
+  // deadline checks the version it was armed with; the next send arms a
+  // fresh one, so every version eventually faces its deadline.
+  if (ack.timeout.pending()) return;
   ack.timeout = sim_.schedule_after(period * config_.ack_timeout_periods, [this, id, version] {
-    auto it = ack_state_.find(id);
-    if (it == ack_state_.end() || it->second.acked_version >= version) return;
-    RTPB_DEBUG("rtpb", "update %u v%llu unacked; retransmitting", id,
-               static_cast<unsigned long long>(version));
-    send_update(id, /*retransmission=*/true);
+    // Retransmit only to the peers still behind: one fast backup's ack
+    // must not cancel retransmission for a backup that never received the
+    // update (the old shared acked_version slot did exactly that).
+    std::vector<net::Endpoint> lagging;
+    for (const net::Endpoint& peer : peers_) {
+      std::uint64_t acked = 0;
+      if (auto ps = peer_state_.find(peer.node); ps != peer_state_.end()) {
+        if (auto a = ps->second.acked.find(id); a != ps->second.acked.end()) acked = a->second;
+      }
+      if (acked < version) lagging.push_back(peer);
+    }
+    if (lagging.empty()) return;
+    RTPB_DEBUG("rtpb", "update %u v%llu unacked by %zu peer(s); retransmitting", id,
+               static_cast<unsigned long long>(version), lagging.size());
+    send_update(id, /*retransmission=*/true, nullptr, &lagging);
     arm_ack_timeout(id, version);
   });
 }
@@ -337,6 +440,7 @@ void ReplicaServer::replicate_registration(ObjectId id) {
   entry.value = state.value;
   st.entries.push_back(std::move(entry));
   st.constraints = replicated_constraints_;
+  st.epoch = epoch_;
 
   const Bytes payload = wire::encode(st);
   for (const net::Endpoint& peer : peers_) send_to(peer, payload);
@@ -363,6 +467,7 @@ void ReplicaServer::retry_pending_registrations() {
       st.entries.push_back(std::move(entry));
     }
     st.constraints = replicated_constraints_;
+    st.epoch = epoch_;
     const Bytes payload = wire::encode(st);
     // Only peers that have not acknowledged yet need the retry.
     for (const net::Endpoint& peer : peers_) {
@@ -382,29 +487,39 @@ void ReplicaServer::promote() {
   RTPB_EXPECTS(!crashed_);
   role_ = Role::kPrimary;
   promoted_at_ = sim_.now();
+  // Mint a new incarnation: strictly above every epoch this replica has
+  // seen, and above the initial primary's epoch 1 even if this backup
+  // never received a single message before promoting.
+  epoch_ = std::max<std::uint64_t>(epoch_, 1) + 1;
   if (sim_.trace().enabled()) {
     sim_.trace().record(sim_.now(), sim::TraceCategory::kService, "promote",
-                        "node" + std::to_string(node()));
+                        "node" + std::to_string(node()) + " epoch" + std::to_string(epoch_));
   }
   {
     telemetry::Hub& hub = sim_.telemetry();
     if (hub.enabled()) {
       hub.registry().counter("core.failovers").add();
+      hub.registry().gauge("core.epoch").set(static_cast<double>(epoch_));
       hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
-                 "promote");
+                 "promote", "epoch " + std::to_string(epoch_));
     }
   }
-  if (detector_) detector_->stop();
+  clear_peers();  // the old primary is gone
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
   watchdogs_.clear();
-  peers_.clear();  // the old primary is gone
 
   // Rewrite the name file to point clients at us (§4.4).
   names_.publish(service_name_, endpoint());
 
   // Rebuild admission state from the replicated specs so the service can
-  // keep enforcing temporal constraints for new registrations.
+  // keep enforcing temporal constraints for new registrations.  The frame
+  // budget is re-derived from the replicated payload sizes — the largest
+  // replicated object bounds the frames this new primary will send.
   Duration ell = admission_ ? admission_->link_delay_bound() : Duration::zero();
+  store_.for_each([this](const ObjectState& state) {
+    if (state.spec.size_bytes > frame_budget_) frame_budget_ = state.spec.size_bytes;
+  });
+  if (link_params_) ell = link_params_->delay_bound(frame_budget_);
   admission_ = std::make_unique<AdmissionController>(config_, ell);
   store_.for_each([this](const ObjectState& state) {
     const AdmissionResult r = admission_->admit(state.spec);
@@ -415,17 +530,49 @@ void ReplicaServer::promote() {
   });
   for (const auto& c : replicated_constraints_) (void)admission_->add_constraint(c);
 
-  RTPB_INFO("rtpb", "backup promoted to primary at %s", sim_.now().to_string().c_str());
+  RTPB_INFO("rtpb", "backup promoted to primary at %s (epoch %llu)",
+            sim_.now().to_string().c_str(), static_cast<unsigned long long>(epoch_));
   // Bring up the local (backup) client application via up-call.
   if (hooks_.on_promoted) hooks_.on_promoted();
+}
+
+void ReplicaServer::step_down(std::uint64_t new_epoch) {
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  ++step_downs_;
+  RTPB_INFO("rtpb", "primary@node%u deposed: saw epoch %llu > own %llu; stepping down", node(),
+            static_cast<unsigned long long>(new_epoch),
+            static_cast<unsigned long long>(epoch_));
+  if (sim_.trace().enabled()) {
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kService, "step-down",
+                        "node" + std::to_string(node()) + " epoch" + std::to_string(new_epoch));
+  }
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.epoch.step_downs").add();
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "step-down", "deposed by epoch " + std::to_string(new_epoch));
+  }
+  role_ = Role::kBackup;
+  epoch_ = new_epoch;
+  // Tear down the primary-side machinery.  The deposed replica stays up
+  // as an ORPHANED backup: its store may hold a divergent suffix the new
+  // primary never saw, so it must not rejoin the chain until a state
+  // transfer from the new primary re-peers it.
+  for (auto& [id, task] : update_tasks_) cpu_.remove_task(task.task);
+  update_tasks_.clear();
+  for (auto& [id, a] : ack_state_) a.timeout.cancel();
+  ack_state_.clear();
+  transfer_retry_.cancel();
+  pending_transfers_.clear();
+  clear_peers();
+  if (hooks_.on_deposed) hooks_.on_deposed();
 }
 
 void ReplicaServer::follow_new_primary(net::Endpoint new_primary) {
   RTPB_EXPECTS(role_ == Role::kBackup);
   RTPB_EXPECTS(!crashed_);
-  if (detector_) detector_->stop();
-  peers_.clear();
-  peers_.push_back(new_primary);
+  clear_peers();
+  add_peer(new_primary);
   start_heartbeat();
   RTPB_INFO("rtpb", "backup@node%u now follows primary at node%u", node(), new_primary.node);
 }
@@ -434,7 +581,7 @@ void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
   RTPB_EXPECTS(role_ == Role::kPrimary);
   RTPB_EXPECTS(!crashed_);
   if (std::find(peers_.begin(), peers_.end(), new_backup) == peers_.end()) {
-    peers_.push_back(new_backup);
+    add_peer(new_backup);
   }
 
   const std::uint64_t tid = next_transfer_id_++;
@@ -456,6 +603,7 @@ void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
     st.entries.push_back(std::move(entry));
   }
   st.constraints = replicated_constraints_;
+  st.epoch = epoch_;
   send_to(new_backup, wire::encode(st));
   if (!transfer_retry_.pending()) {
     transfer_retry_ =
@@ -488,14 +636,56 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
     return;
   }
   const net::Endpoint from = attrs.src;
-  if (detector_) detector_->note_traffic();
+
+  // ---- epoch fencing ----
+  // Traffic stamped with a LOWER epoch comes from a deposed primary (or a
+  // not-yet-repointed backup) and is rejected outright; epoch 0 is the
+  // bootstrap wildcard.  A ping still gets an answer carrying OUR epoch:
+  // that ack is the depose notice a zombie primary steps down on.
+  const std::uint64_t msg_epoch = wire::epoch_of(*decoded);
+  if (config_.epoch_fencing && msg_epoch != 0 && msg_epoch < epoch_) {
+    ++epoch_rejections_;
+    telemetry::Hub& hub = sim_.telemetry();
+    if (hub.enabled()) {
+      hub.registry().counter("core.epoch.rejected").add();
+      hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "epoch-reject",
+                 std::string(wire::msg_type_name(decoded->type)) + " epoch " +
+                     std::to_string(msg_epoch) + " < " + std::to_string(epoch_));
+    }
+    RTPB_DEBUG("rtpb", "%s from node%u fenced: epoch %llu < %llu",
+               wire::msg_type_name(decoded->type), from.node,
+               static_cast<unsigned long long>(msg_epoch),
+               static_cast<unsigned long long>(epoch_));
+    if (decoded->type == wire::MsgType::kPing) {
+      send_to(from, wire::encode(wire::PingAck{decoded->ping->seq, epoch_}));
+    }
+    return;
+  }
+  if (msg_epoch > epoch_) {
+    if (role_ == Role::kBackup) {
+      // Backups adopt the highest epoch seen on accepted traffic.
+      epoch_ = msg_epoch;
+    } else if (config_.epoch_fencing) {
+      // A higher epoch at a primary means someone was promoted over us:
+      // we were deposed without noticing.  Step down, then handle the
+      // message as the backup we now are.
+      step_down(msg_epoch);
+    }
+    // With fencing off a primary ignores the higher epoch — the historic
+    // split-brain behaviour the chaos sabotage self-test relies on.
+  }
+
+  if (auto ps = peer_state_.find(from.node); ps != peer_state_.end() && ps->second.detector) {
+    ps->second.detector->note_traffic();
+  }
 
   switch (decoded->type) {
     case wire::MsgType::kUpdate:
       handle_update(*decoded->update, from);
       break;
     case wire::MsgType::kUpdateAck:
-      handle_update_ack(*decoded->update_ack);
+      handle_update_ack(*decoded->update_ack, from);
       break;
     case wire::MsgType::kRetransmitRequest:
       handle_retransmit_request(*decoded->retransmit, from);
@@ -504,7 +694,7 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
       handle_ping(*decoded->ping, from);
       break;
     case wire::MsgType::kPingAck:
-      handle_ping_ack(*decoded->ping_ack);
+      handle_ping_ack(*decoded->ping_ack, from);
       break;
     case wire::MsgType::kStateTransfer:
       handle_state_transfer(*decoded->state_transfer, from);
@@ -522,6 +712,18 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
 
 void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
   telemetry::Hub& hub = sim_.telemetry();
+  if (role_ != Role::kBackup) {
+    // Role guard: a primary must never apply (or ack) an update stream.
+    // Reachable when fencing is off — a deposed old primary keeps sending
+    // after this replica was promoted over it.
+    ++role_rejections_;
+    if (hub.enabled()) {
+      hub.registry().counter("core.role_rejected").add();
+      hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+                 "update-role-reject", obj_tag(u.object, u.version));
+    }
+    return;
+  }
   if (!store_.contains(u.object)) {
     // Registration hasn't reached us yet; the acked transfer will retry.
     ++stale_updates_;
@@ -535,6 +737,13 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
   const bool applied = store_.apply(u.object, u.version, u.timestamp, u.value, sim_.now());
   if (applied) {
     ++updates_applied_;
+    if (u.epoch != 0 && u.epoch < epoch_) {
+      // Only reachable with fencing disabled: we just applied state from
+      // a deposed primary's incarnation.  The chaos no-cross-epoch-apply
+      // oracle trips on this counter.
+      ++cross_epoch_applies_;
+      if (hub.enabled()) hub.registry().counter("core.epoch.cross_epoch_applies").add();
+    }
     metrics_.on_backup_apply(u.object, u.timestamp, sim_.now());
   } else {
     ++stale_updates_;
@@ -555,17 +764,19 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
   arm_watchdog(u.object);
   if (config_.ack_every_update) {
     ++acks_sent_;
-    send_to(from, wire::encode(wire::UpdateAck{u.object, u.version}));
+    send_to(from, wire::encode(wire::UpdateAck{u.object, u.version, epoch_}));
   }
 }
 
-void ReplicaServer::handle_update_ack(const wire::UpdateAck& a) {
-  auto it = ack_state_.find(a.object);
-  if (it == ack_state_.end()) {
-    ack_state_[a.object].acked_version = a.version;
-    return;
+void ReplicaServer::handle_update_ack(const wire::UpdateAck& a, net::Endpoint from) {
+  if (role_ != Role::kPrimary) return;
+  auto it = peer_state_.find(from.node);
+  if (it == peer_state_.end()) return;  // ack from a node we no longer replicate to
+  std::uint64_t& acked = it->second.acked[a.object];
+  acked = std::max(acked, a.version);
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter(peer_counter(from.node, "acks")).add();
   }
-  it->second.acked_version = std::max(it->second.acked_version, a.version);
 }
 
 void ReplicaServer::handle_retransmit_request(const wire::RetransmitRequest& r,
@@ -594,19 +805,44 @@ void ReplicaServer::handle_retransmit_request(const wire::RetransmitRequest& r,
 }
 
 void ReplicaServer::handle_ping(const wire::Ping& p, net::Endpoint from) {
-  send_to(from, wire::encode(wire::PingAck{p.seq}));
+  send_to(from, wire::encode(wire::PingAck{p.seq, epoch_}));
 }
 
-void ReplicaServer::handle_ping_ack(const wire::PingAck& p) {
-  if (detector_) detector_->on_ping_ack(p.seq);
+void ReplicaServer::handle_ping_ack(const wire::PingAck& p, net::Endpoint from) {
+  auto it = peer_state_.find(from.node);
+  if (it != peer_state_.end() && it->second.detector) it->second.detector->on_ping_ack(p.seq);
 }
 
 void ReplicaServer::handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from) {
   telemetry::Hub& hub = sim_.telemetry();
+  if (role_ != Role::kBackup) {
+    // Role guard: a primary never takes state from another primary.
+    ++role_rejections_;
+    if (hub.enabled()) hub.registry().counter("core.role_rejected").add();
+    return;
+  }
+  // Re-peer: a transfer from a node we do not follow is a recruitment —
+  // after a failover the new primary recruits the surviving backups, and
+  // they must stop heartbeating the dead (or deposed) old primary.
+  const bool known_peer =
+      std::find_if(peers_.begin(), peers_.end(),
+                   [&](const net::Endpoint& e) { return e.node == from.node; }) != peers_.end();
+  if (!known_peer) follow_new_primary(from);
+
+  // Reorder guard: per-sender transfer ids are monotone.  Object entries
+  // are safe to apply idempotently from ANY transfer (versions gate the
+  // store), but the constraint table and watchdog expectations are
+  // last-writer-wins snapshots — a delayed retry of an older transfer
+  // must not clobber the newer state we already hold.
+  std::uint64_t& high_water = transfer_high_water_[from.node];
+  const bool newest = st.transfer_id > high_water;
+  if (newest) high_water = st.transfer_id;
   if (hub.enabled()) {
     hub.registry().counter("core.backup.state_transfers").add();
+    if (!newest) hub.registry().counter("core.backup.state_transfers_stale").add();
     hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
-               "state-transfer", std::to_string(st.entries.size()) + " entries");
+               "state-transfer",
+               std::to_string(st.entries.size()) + " entries" + (newest ? "" : " (stale id)"));
   }
   for (const auto& entry : st.entries) {
     if (!store_.contains(entry.spec.id)) {
@@ -615,30 +851,39 @@ void ReplicaServer::handle_state_transfer(const wire::StateTransfer& st, net::En
     }
     if (entry.version > 0) {
       if (store_.apply(entry.spec.id, entry.version, entry.timestamp, entry.value, sim_.now())) {
+        if (st.epoch != 0 && st.epoch < epoch_) {
+          ++cross_epoch_applies_;
+          if (hub.enabled()) hub.registry().counter("core.epoch.cross_epoch_applies").add();
+        }
         metrics_.on_backup_apply(entry.spec.id, entry.timestamp, sim_.now());
       }
     }
-    WatchdogState& w = watchdogs_[entry.spec.id];
-    w.expected_period = entry.update_period;
-    arm_watchdog(entry.spec.id);
+    if (newest) {
+      WatchdogState& w = watchdogs_[entry.spec.id];
+      w.expected_period = entry.update_period;
+      arm_watchdog(entry.spec.id);
+    }
   }
-  replicated_constraints_ = st.constraints;
-  send_to(from, wire::encode(wire::StateTransferAck{st.transfer_id}));
+  if (newest) replicated_constraints_ = st.constraints;
+  // Always ack — even a stale transfer id — so the sender's retry loop
+  // terminates.
+  send_to(from, wire::encode(wire::StateTransferAck{st.transfer_id, epoch_}));
 }
 
 void ReplicaServer::handle_state_transfer_ack(const wire::StateTransferAck& ack,
                                               net::Endpoint from) {
+  if (role_ != Role::kPrimary) return;
   auto it = pending_transfers_.find(ack.transfer_id);
   if (it == pending_transfers_.end()) return;
   it->second.awaiting.erase(from.node);
   const bool was_pending = it->second.awaiting.empty();
   if (was_pending) pending_transfers_.erase(it);
   if (was_pending && pending_transfers_.empty()) transfer_retry_.cancel();
-  if (was_pending && role_ == Role::kPrimary && !peers_.empty()) {
+  if (was_pending && !peers_.empty()) {
     // Recruited backup (or fresh registration) confirmed: (re)start
     // replication machinery.
     sync_update_tasks();
-    if (!detector_ || !detector_->running()) start_heartbeat();
+    start_heartbeat();
     if (hooks_.on_backup_recruited) hooks_.on_backup_recruited();
   }
 }
@@ -664,10 +909,31 @@ void ReplicaServer::arm_watchdog(ObjectId id) {
                  rtpb_track(node()), "watchdog-nack", obj_tag(id, state->version) + " held");
     }
     if (!peers_.empty()) {
-      send_to(peers_.front(), wire::encode(wire::RetransmitRequest{id, state->version}));
+      send_to(peers_.front(), wire::encode(wire::RetransmitRequest{id, state->version, epoch_}));
     }
     arm_watchdog(id);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+const FailureDetector* ReplicaServer::detector(net::NodeId peer) const {
+  auto it = peer_state_.find(peer);
+  return it != peer_state_.end() ? it->second.detector.get() : nullptr;
+}
+
+std::uint64_t ReplicaServer::peer_acked_version(net::NodeId peer, ObjectId id) const {
+  auto it = peer_state_.find(peer);
+  if (it == peer_state_.end()) return 0;
+  auto a = it->second.acked.find(id);
+  return a != it->second.acked.end() ? a->second : 0;
+}
+
+std::uint64_t ReplicaServer::highest_transfer_applied(net::NodeId sender) const {
+  auto it = transfer_high_water_.find(sender);
+  return it != transfer_high_water_.end() ? it->second : 0;
 }
 
 }  // namespace rtpb::core

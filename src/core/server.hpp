@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -65,6 +66,10 @@ class ReplicaServer {
     /// designated successor (multi-backup deployments): it should re-peer
     /// with the new primary once the name service is rewritten.
     std::function<void()> on_primary_lost;
+    /// Fired on a primary that learned of a higher replication epoch and
+    /// stepped down (split-brain resolution): the hosting service should
+    /// deactivate this replica's client application.
+    std::function<void()> on_deposed;
   };
 
   ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
@@ -128,6 +133,23 @@ class ReplicaServer {
   /// follow `new_primary` instead; restarts the heartbeat.
   void follow_new_primary(net::Endpoint new_primary);
 
+  // ---- epoch fencing ----
+  /// Current replication epoch (incarnation).  The first primary starts at
+  /// 1; each promote() mints a higher epoch; backups track the highest
+  /// epoch seen on accepted traffic.  0 = not yet learned (fresh standby).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Messages dropped because they carried a lower (stale) epoch.
+  [[nodiscard]] std::uint64_t epoch_rejections() const { return epoch_rejections_; }
+  /// Updates/transfers dropped because this replica is not a backup.
+  [[nodiscard]] std::uint64_t role_rejections() const { return role_rejections_; }
+  /// Updates this replica APPLIED although they were stamped with a lower
+  /// epoch than its own — the split-brain hazard.  Always 0 with epoch
+  /// fencing on; the chaos no-cross-epoch-apply oracle asserts it.
+  [[nodiscard]] std::uint64_t cross_epoch_applies() const { return cross_epoch_applies_; }
+  /// Times this replica, as primary, stepped down after seeing a higher
+  /// epoch (it had been deposed without noticing).
+  [[nodiscard]] std::uint64_t step_downs() const { return step_downs_; }
+
   // ---- introspection / stats ----
   [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
   [[nodiscard]] std::uint64_t updates_loss_injected() const { return updates_loss_injected_; }
@@ -136,7 +158,15 @@ class ReplicaServer {
   [[nodiscard]] std::uint64_t retransmit_requests_sent() const { return nacks_sent_; }
   [[nodiscard]] std::uint64_t retransmissions_served() const { return retransmissions_; }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
-  [[nodiscard]] const FailureDetector& detector() const { return *detector_; }
+  /// Per-peer failure detector, or nullptr if none exists for `peer`.
+  [[nodiscard]] const FailureDetector* detector(net::NodeId peer) const;
+  /// Newest version of `id` acknowledged by `peer` (ack mode; 0 if none).
+  [[nodiscard]] std::uint64_t peer_acked_version(net::NodeId peer, ObjectId id) const;
+  /// Highest state-transfer id applied from `sender` (0 if none) — the
+  /// reorder guard for constraint tables and watchdog periods.
+  [[nodiscard]] std::uint64_t highest_transfer_applied(net::NodeId sender) const;
+  /// Frame budget ℓ is derived from: max(1 KiB, largest registered payload).
+  [[nodiscard]] std::size_t frame_budget() const { return frame_budget_; }
   /// The FRAGLITE layer, or nullptr when fragmentation is disabled.
   [[nodiscard]] const xkernel::FragLite* frag() const { return frag_.get(); }
   /// The x-kernel stack (oracle/test observation: transport checksum
@@ -149,9 +179,11 @@ class ReplicaServer {
     sched::TaskId task = sched::kInvalidTask;
     Duration period{};
   };
-  /// Primary-side per-object ack bookkeeping (ack_every_update mode).
+  /// Primary-side per-object ack-timeout handle (ack_every_update mode).
+  /// Which versions each peer acknowledged lives in PeerState — a shared
+  /// slot here let the fastest backup's ack cancel retransmission for
+  /// peers that never received the update.
   struct AckState {
-    std::uint64_t acked_version = 0;
     sim::EventHandle timeout;
   };
   /// Backup-side per-object watchdog.
@@ -159,20 +191,30 @@ class ReplicaServer {
     Duration expected_period{};
     sim::EventHandle timer;
   };
+  /// Per-peer replication state (the tentpole 1→N generalisation): each
+  /// backup gets its own acked-version table and failure detector.
+  struct PeerState {
+    net::Endpoint endpoint{};
+    std::map<ObjectId, std::uint64_t> acked;
+    std::unique_ptr<FailureDetector> detector;
+  };
 
   void handle_message(xkernel::Message& msg, const xkernel::MsgAttrs& attrs);
   void handle_update(const wire::Update& u, net::Endpoint from);
-  void handle_update_ack(const wire::UpdateAck& a);
+  void handle_update_ack(const wire::UpdateAck& a, net::Endpoint from);
   void handle_retransmit_request(const wire::RetransmitRequest& r, net::Endpoint from);
   void handle_ping(const wire::Ping& p, net::Endpoint from);
-  void handle_ping_ack(const wire::PingAck& p);
+  void handle_ping_ack(const wire::PingAck& p, net::Endpoint from);
   void handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from);
   void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
 
   void send_to(net::Endpoint to, Bytes payload);
   /// `job`, when given, is the transmission job that triggered this send;
   /// its release/start times are attached to the update's telemetry span.
-  void send_update(ObjectId id, bool retransmission, const sched::JobInfo* job = nullptr);
+  /// `targets`, when given, restricts the send to those peers (targeted
+  /// retransmission to lagging backups); default is every peer.
+  void send_update(ObjectId id, bool retransmission, const sched::JobInfo* job = nullptr,
+                   const std::vector<net::Endpoint>* targets = nullptr);
   /// Reconcile CPU update tasks with admission's current period table
   /// (periods move under compressed scheduling and constraint tightening).
   void sync_update_tasks();
@@ -185,6 +227,19 @@ class ReplicaServer {
   [[nodiscard]] Duration effective_update_interval(ObjectId id) const;
   void arm_ack_timeout(ObjectId id, std::uint64_t version);
   void start_heartbeat();
+  /// Create + start the failure detector for `peer` unless already running.
+  void ensure_detector(net::Endpoint peer);
+  /// A per-peer detector declared `peer` dead.
+  void on_peer_dead(net::NodeId peer);
+  /// Drop `peer` from the replication set (detector, acks, transfers).
+  void remove_peer(net::NodeId peer);
+  /// Stop every per-peer detector and park it in retired_ (safe even when
+  /// called from inside a detector callback), then forget all peers.
+  void clear_peers();
+  /// This primary learned of a higher epoch: demote to an orphaned backup.
+  void step_down(std::uint64_t new_epoch);
+  /// Grow the admission frame budget to cover `payload_bytes`.
+  void grow_frame_budget(std::size_t payload_bytes);
 
   sim::Simulator& sim_;
   net::Network& network_;
@@ -199,14 +254,21 @@ class ReplicaServer {
   sched::Cpu cpu_;
   ObjectStore store_;
   std::unique_ptr<AdmissionController> admission_;
-  std::unique_ptr<FailureDetector> detector_;
   Hooks hooks_;
 
-  std::vector<net::Endpoint> peers_;
+  std::vector<net::Endpoint> peers_;  ///< replication order; [0] = successor
+  std::map<net::NodeId, PeerState> peer_state_;
+  /// Stopped detectors of former peers.  Destroying a FailureDetector from
+  /// inside its own peer-dead callback would free the executing object;
+  /// parking it here keeps teardown safe and deterministic.
+  std::vector<std::unique_ptr<FailureDetector>> retired_detectors_;
   std::vector<InterObjectConstraint> replicated_constraints_;
   std::map<ObjectId, UpdateTaskState> update_tasks_;
   std::map<ObjectId, AckState> ack_state_;
   std::map<ObjectId, WatchdogState> watchdogs_;
+  /// Highest transfer id applied per sender: a reordered older transfer
+  /// must not clobber newer constraint tables / watchdog periods.
+  std::map<net::NodeId, std::uint64_t> transfer_high_water_;
 
   /// Registrations / state transfers not yet acknowledged by every peer.
   struct PendingTransfer {
@@ -222,6 +284,14 @@ class ReplicaServer {
   bool successor_ = true;
   TimePoint promoted_at_{};
 
+  /// Replication epoch: 1 for the initial primary, 0 (unknown) for fresh
+  /// backups until they learn it from accepted traffic.
+  std::uint64_t epoch_ = 0;
+  /// Largest update payload registered so far (≥ the historical 1 KiB
+  /// floor); sizes the frame used to derive the admission bound ℓ.
+  std::size_t frame_budget_ = 1024;
+  std::optional<net::LinkParams> link_params_;
+
   Rng rng_{0};
   std::uint64_t updates_sent_ = 0;
   std::uint64_t updates_loss_injected_ = 0;
@@ -230,6 +300,10 @@ class ReplicaServer {
   std::uint64_t nacks_sent_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t epoch_rejections_ = 0;
+  std::uint64_t role_rejections_ = 0;
+  std::uint64_t cross_epoch_applies_ = 0;
+  std::uint64_t step_downs_ = 0;
 };
 
 }  // namespace rtpb::core

@@ -33,6 +33,13 @@ RtpbService::RtpbService(ServiceParams params)
 }
 
 void RtpbService::wire_backup_hooks() {
+  // Primary: if it is ever deposed (a higher epoch was promoted over it —
+  // split-brain resolution), stop its client application so the orphan
+  // generates no further writes.
+  ReplicaServer::Hooks primary_hooks;
+  primary_hooks.on_deposed = [this] { client_->deactivate(); };
+  primary_->set_hooks(std::move(primary_hooks));
+
   // Successor: on promotion, activate its local client twin and recruit
   // every other surviving backup.
   ReplicaServer::Hooks successor_hooks;
@@ -44,6 +51,7 @@ void RtpbService::wire_backup_hooks() {
       backups_.front()->recruit_backup(b->endpoint());
     }
   };
+  successor_hooks.on_deposed = [this] { backup_client_->deactivate(); };
   backups_.front()->set_hooks(std::move(successor_hooks));
 
   // Non-successors: when they lose the primary, follow whoever the name
@@ -125,7 +133,16 @@ ReplicaServer& RtpbService::add_standby() {
   standby_ = std::make_unique<ReplicaServer>(sim_, network_, names_, params_.config, metrics_,
                                              Role::kBackup, params_.service_name);
   ReplicaServer& new_primary = acting_primary();
+  // Connect the standby to every replica, not just the acting primary: in
+  // a multi-backup chain a later failover may have a different survivor
+  // recruit it.
   network_.connect(new_primary.node(), standby_->node(), params_.link);
+  for_each_replica([this](const ReplicaServer& r) {
+    if (r.node() == standby_->node()) return;
+    if (!network_.link_params(r.node(), standby_->node())) {
+      network_.connect(r.node(), standby_->node(), params_.link);
+    }
+  });
   standby_->add_peer(new_primary.endpoint());
   standby_->start();
   if (!new_primary.crashed() && new_primary.role() == Role::kPrimary) {
@@ -141,7 +158,9 @@ ReplicaServer& RtpbService::add_standby() {
 
 Duration RtpbService::link_delay_bound() const {
   auto p = network_.link_params(primary_->node(), backups_.front()->node());
-  return p ? p->delay_bound(1024) : Duration::zero();
+  // Sized for the primary's current frame budget (grows with the largest
+  // registered payload), matching what admission control uses.
+  return p ? p->delay_bound(primary_->frame_budget()) : Duration::zero();
 }
 
 }  // namespace rtpb::core

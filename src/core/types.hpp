@@ -115,6 +115,15 @@ struct ServiceConfig {
   std::int64_t watchdog_factor = 3;
 
   bool admission_control_enabled = true;
+
+  /// Epoch (incarnation) fencing: every RTPB message carries the sender's
+  /// replication epoch, minted at promote(); receivers reject traffic from
+  /// lower epochs and a deposed primary that learns of a higher epoch
+  /// steps down.  Disabling this restores the pre-fencing split-brain
+  /// behaviour (a deposed primary's stale updates are applied) — used by
+  /// the chaos `split-brain` sabotage self-test to prove the
+  /// no-cross-epoch-apply oracle catches it.
+  bool epoch_fencing = true;
 };
 
 }  // namespace rtpb::core

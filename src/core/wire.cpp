@@ -53,36 +53,41 @@ Bytes encode(const Update& m) {
   w.timepoint(m.timestamp);
   w.u8(m.retransmission ? 1 : 0);
   w.bytes(m.value);
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
 Bytes encode(const UpdateAck& m) {
-  ByteWriter w(16);
+  ByteWriter w(24);
   w.u8(static_cast<std::uint8_t>(MsgType::kUpdateAck));
   w.u32(m.object);
   w.u64(m.version);
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
 Bytes encode(const RetransmitRequest& m) {
-  ByteWriter w(16);
+  ByteWriter w(24);
   w.u8(static_cast<std::uint8_t>(MsgType::kRetransmitRequest));
   w.u32(m.object);
   w.u64(m.have_version);
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
 Bytes encode(const Ping& m) {
-  ByteWriter w(16);
+  ByteWriter w(24);
   w.u8(static_cast<std::uint8_t>(MsgType::kPing));
   w.u64(m.seq);
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
 Bytes encode(const PingAck& m) {
-  ByteWriter w(16);
+  ByteWriter w(24);
   w.u8(static_cast<std::uint8_t>(MsgType::kPingAck));
   w.u64(m.seq);
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
@@ -104,13 +109,15 @@ Bytes encode(const StateTransfer& m) {
     w.u32(c.second);
     w.duration(c.delta);
   }
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
 Bytes encode(const StateTransferAck& m) {
-  ByteWriter w(16);
+  ByteWriter w(24);
   w.u8(static_cast<std::uint8_t>(MsgType::kStateTransferAck));
   w.u64(m.transfer_id);
+  w.u64(m.epoch);
   return std::move(w).take();
 }
 
@@ -145,6 +152,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       m.timestamp = r.timepoint();
       m.retransmission = r.u8() != 0;
       m.value = r.bytes();
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.update = std::move(m);
       return out;
@@ -153,6 +161,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       UpdateAck m;
       m.object = r.u32();
       m.version = r.u64();
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.update_ack = m;
       return out;
@@ -161,6 +170,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       RetransmitRequest m;
       m.object = r.u32();
       m.have_version = r.u64();
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.retransmit = m;
       return out;
@@ -168,6 +178,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
     case MsgType::kPing: {
       Ping m;
       m.seq = r.u64();
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.ping = m;
       return out;
@@ -175,6 +186,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
     case MsgType::kPingAck: {
       PingAck m;
       m.seq = r.u64();
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.ping_ack = m;
       return out;
@@ -200,6 +212,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
         c.delta = r.duration();
         m.constraints.push_back(c);
       }
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.state_transfer = std::move(m);
       return out;
@@ -207,6 +220,7 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
     case MsgType::kStateTransferAck: {
       StateTransferAck m;
       m.transfer_id = r.u64();
+      m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.state_transfer_ack = m;
       return out;
@@ -230,6 +244,21 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
     }
   }
   return std::nullopt;
+}
+
+std::uint64_t epoch_of(const AnyMessage& m) {
+  switch (m.type) {
+    case MsgType::kUpdate: return m.update->epoch;
+    case MsgType::kUpdateAck: return m.update_ack->epoch;
+    case MsgType::kRetransmitRequest: return m.retransmit->epoch;
+    case MsgType::kPing: return m.ping->epoch;
+    case MsgType::kPingAck: return m.ping_ack->epoch;
+    case MsgType::kStateTransfer: return m.state_transfer->epoch;
+    case MsgType::kStateTransferAck: return m.state_transfer_ack->epoch;
+    case MsgType::kActivePrepare:
+    case MsgType::kActiveAck: return 0;
+  }
+  return 0;
 }
 
 }  // namespace rtpb::core::wire

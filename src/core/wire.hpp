@@ -31,30 +31,43 @@ enum class MsgType : std::uint8_t {
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
 
+// Every RTPB message carries the sender's replication epoch (incarnation
+// number, minted at promote()).  Receivers fence: traffic from a lower
+// epoch is stale — it comes from a deposed primary or a not-yet-repointed
+// backup — and must be rejected, not applied.  Epoch 0 means "unknown"
+// (bootstrap: a freshly recruited standby that has not yet learned the
+// cluster epoch) and is never fenced.  The field sits last in each struct
+// so aggregate initializers written before epochs existed stay valid.
+
 struct Update {
   ObjectId object = kInvalidObject;
   std::uint64_t version = 0;      ///< per-object sequence number
   TimePoint timestamp{};          ///< T_i^P: finish time of the client update
   bool retransmission = false;
   Bytes value;
+  std::uint64_t epoch = 0;
 };
 
 struct UpdateAck {
   ObjectId object = kInvalidObject;
   std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
 };
 
 struct RetransmitRequest {
   ObjectId object = kInvalidObject;
   std::uint64_t have_version = 0;  ///< newest version the backup holds
+  std::uint64_t epoch = 0;
 };
 
 struct Ping {
   std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
 };
 
 struct PingAck {
   std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
 };
 
 /// One object's entry in a state transfer (spec + current state).  Carries
@@ -72,10 +85,12 @@ struct StateTransfer {
   std::uint64_t transfer_id = 0;
   std::vector<StateEntry> entries;
   std::vector<InterObjectConstraint> constraints;
+  std::uint64_t epoch = 0;
 };
 
 struct StateTransferAck {
   std::uint64_t transfer_id = 0;
+  std::uint64_t epoch = 0;
 };
 
 /// Active baseline: a write stamped with a global sequence number; every
@@ -118,5 +133,9 @@ struct AnyMessage {
 };
 
 [[nodiscard]] std::optional<AnyMessage> decode(std::span<const std::uint8_t> data);
+
+/// The replication epoch stamped on a decoded message, or 0 for message
+/// types that do not carry one (the active-replication baseline).
+[[nodiscard]] std::uint64_t epoch_of(const AnyMessage& m);
 
 }  // namespace rtpb::core::wire

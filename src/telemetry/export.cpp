@@ -117,7 +117,8 @@ void write_chrome_trace(const Hub& hub, std::ostream& os) {
     const TimePoint end =
         bounds == span_bounds.end() ? info.begin : std::max(info.begin, bounds->second.second);
     std::string args = "\"object\":" + std::to_string(info.object) +
-                       ",\"version\":" + std::to_string(info.version);
+                       ",\"version\":" + std::to_string(info.version) +
+                       ",\"epoch\":" + std::to_string(info.epoch);
     if (!info.violation.empty()) args += ",\"violation\":\"" + json_escape(info.violation) + "\"";
     emit("{\"ph\":\"b\",\"cat\":\"update\",\"id\":" + std::to_string(id) +
          ",\"pid\":0,\"tid\":0,\"ts\":" + micros_ts(begin) + ",\"name\":\"" +
@@ -143,7 +144,8 @@ void write_jsonl(const Hub& hub, std::ostream& os) {
      << ",\"events_dropped\":" << hub.dropped_events() << "}\n";
   for (const auto& [id, info] : hub.spans()) {
     os << "{\"type\":\"span\",\"span\":" << id << ",\"object\":" << info.object
-       << ",\"version\":" << info.version << ",\"begin_ms\":" << millis_ts(info.begin);
+       << ",\"version\":" << info.version << ",\"epoch\":" << info.epoch
+       << ",\"begin_ms\":" << millis_ts(info.begin);
     if (!info.violation.empty()) {
       os << ",\"violation\":\"" << json_escape(info.violation) << "\"";
     }

@@ -173,7 +173,7 @@ void Hub::enable(std::size_t event_capacity, std::size_t span_capacity) {
   span_capacity_ = span_capacity;
 }
 
-SpanId Hub::begin_span(std::uint64_t object, std::uint64_t version) {
+SpanId Hub::begin_span(std::uint64_t object, std::uint64_t version, std::uint64_t epoch) {
   if (!enabled_) return kNoSpan;
   const SpanId id = next_span_++;
   ++spans_started_;
@@ -194,6 +194,7 @@ SpanId Hub::begin_span(std::uint64_t object, std::uint64_t version) {
   info.id = id;
   info.object = object;
   info.version = version;
+  info.epoch = epoch;
   info.begin = now();
   spans_.emplace(id, std::move(info));
   span_order_.push_back(id);

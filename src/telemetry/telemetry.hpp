@@ -146,6 +146,9 @@ struct SpanInfo {
   SpanId id = kNoSpan;
   std::uint64_t object = 0;
   std::uint64_t version = 0;
+  /// Replication epoch of the primary that minted this update (0 when the
+  /// producer predates epochs or does not carry one).
+  std::uint64_t epoch = 0;
   TimePoint begin{};
   /// Set by mark_violation(): which oracle blamed this update, if any.
   std::string violation;
@@ -179,8 +182,9 @@ class Hub {
 
   // ---- spans ----
   /// Mint the span for update (object, version); remembers it as the
-  /// object's latest span.  Returns kNoSpan when disabled.
-  SpanId begin_span(std::uint64_t object, std::uint64_t version);
+  /// object's latest span.  `epoch` tags the span with the minting
+  /// primary's replication epoch.  Returns kNoSpan when disabled.
+  SpanId begin_span(std::uint64_t object, std::uint64_t version, std::uint64_t epoch = 0);
   /// The span minted for (object, version), or kNoSpan if unknown/evicted.
   [[nodiscard]] SpanId span_for(std::uint64_t object, std::uint64_t version) const;
   /// The most recently minted span for `object`, or kNoSpan.

@@ -45,13 +45,45 @@ TEST(FailureDetector, DeclaresDeadAfterMaxMisses) {
 TEST(FailureDetector, AckWithinTimeoutPreventsMiss) {
   DetectorFixture f;
   f.detector.start();
-  // Ack each ping 10ms after it is sent.
+  // Ack each ping right after it is sent.  Acks must name the ping they
+  // answer: the detector credits liveness per matched seq, not per frame.
   for (int i = 0; i < 20; ++i) {
     f.sim.run_until(f.sim.now() + millis(100));  // ping fires at 100*i
-    f.detector.on_ping_ack(1);                   // ack arrives "10ms later"
+    ASSERT_FALSE(f.pings.empty());
+    f.detector.on_ping_ack(f.pings.back());
   }
   EXPECT_FALSE(f.dead);
   EXPECT_EQ(f.detector.consecutive_misses(), 0u);
+  EXPECT_EQ(f.detector.stale_acks(), 0u);
+}
+
+TEST(FailureDetector, StaleOrDuplicateAcksDoNotKeepPeerAlive) {
+  DetectorFixture f;
+  f.detector.start();
+  f.sim.run_until(f.sim.now() + millis(100));
+  ASSERT_FALSE(f.pings.empty());
+  f.detector.on_ping_ack(f.pings.front());  // genuine credit, once
+  // A dup/reorder storm replaying that one old ack forever must not look
+  // like liveness: the peer still dies on schedule.
+  for (int i = 0; i < 20 && !f.dead; ++i) {
+    f.sim.run_until(f.sim.now() + millis(50));
+    f.detector.on_ping_ack(f.pings.front());
+  }
+  EXPECT_TRUE(f.dead);
+  EXPECT_GT(f.detector.stale_acks(), 0u);
+}
+
+TEST(FailureDetector, AckForUnsentSeqIsIgnored) {
+  DetectorFixture f;
+  f.detector.start();
+  // Acks naming pings never sent (forged / corrupted frames) prove
+  // nothing and must not delay the declaration.
+  for (int i = 0; i < 20 && !f.dead; ++i) {
+    f.sim.run_until(f.sim.now() + millis(50));
+    f.detector.on_ping_ack(999);
+  }
+  EXPECT_TRUE(f.dead);
+  EXPECT_GT(f.detector.stale_acks(), 0u);
 }
 
 TEST(FailureDetector, OtherTrafficCountsAsLiveness) {
@@ -64,16 +96,25 @@ TEST(FailureDetector, OtherTrafficCountsAsLiveness) {
   EXPECT_FALSE(f.dead);
 }
 
-TEST(FailureDetector, MissesResetByLateTraffic) {
+TEST(FailureDetector, TrafficExcusesOutstandingPingButNotPastMisses) {
   DetectorFixture f;
   f.detector.start();
   f.sim.run_until(f.sim.now() + millis(260));  // two timeouts elapsed
   EXPECT_GE(f.detector.consecutive_misses(), 2u);
   EXPECT_FALSE(f.dead);
+  // Bare traffic must not rewind the accumulated count (a replayed
+  // duplicate of an old frame is indistinguishable from real traffic)...
   f.detector.note_traffic();
-  EXPECT_EQ(f.detector.consecutive_misses(), 0u);
-  f.sim.run_until(f.sim.now() + millis(200));
+  EXPECT_GE(f.detector.consecutive_misses(), 2u);
+  // ...but traffic arriving after each subsequent ping's send keeps
+  // excusing that ping, so a live update stream resets the count at the
+  // next timeout and the peer stays alive.
+  for (int i = 0; i < 10; ++i) {
+    f.sim.run_until(f.sim.now() + millis(50));
+    f.detector.note_traffic();
+  }
   EXPECT_FALSE(f.dead);
+  EXPECT_EQ(f.detector.consecutive_misses(), 0u);
 }
 
 TEST(FailureDetector, StopPreventsDeclaration) {

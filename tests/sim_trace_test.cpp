@@ -174,7 +174,9 @@ TEST(TraceIntegration, FailoverLeavesPromoteMarker) {
 
   const auto promotes = service.simulator().trace().with_label("promote");
   ASSERT_EQ(promotes.size(), 1u);
-  EXPECT_EQ(promotes[0].detail, "node" + std::to_string(service.backup().node()));
+  // The marker names the promoted node and the epoch it minted (the
+  // initial primary held epoch 1, so the first failover mints 2).
+  EXPECT_EQ(promotes[0].detail, "node" + std::to_string(service.backup().node()) + " epoch2");
   // Network activity was traced too.
   EXPECT_FALSE(service.simulator().trace().with_label("frame-send").empty());
 }

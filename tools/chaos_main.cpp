@@ -15,7 +15,10 @@
 // oracles catch real bugs: `no-failover` lobotomises the failure
 // detector so a primary crash is never failed over (exactly-one-primary
 // must fire), `slow-updates` forces an 800 ms transmission period that
-// dwarfs every negotiated window (staleness-window must fire).
+// dwarfs every negotiated window (staleness-window must fire), and
+// `split-brain` disables epoch fencing under a primary↔successor
+// partition so the deposed primary keeps feeding stale-epoch updates to
+// the surviving backup (cross-epoch-apply must fire).
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -35,8 +38,11 @@ void usage(const char* argv0) {
             << "  --duration-ms MS   virtual run length per seed (default 20000)\n"
             << "  --intensity X      fault-count multiplier (default 1.0)\n"
             << "  --objects N        objects offered per seed (default 4)\n"
+            << "  --backups N        backups in the replication chain (default 1)\n"
             << "  --no-crashes       disable crash/recruit scenarios\n"
-            << "  --sabotage MODE    none | no-failover | slow-updates\n"
+            << "  --partition        partition primary from successor instead of\n"
+            << "                     crashing (needs --backups >= 2; replaces crashes)\n"
+            << "  --sabotage MODE    none | no-failover | slow-updates | split-brain\n"
             << "  --log-warnings     keep service WARN lines (hidden by default)\n"
             << "  --telemetry        collect causal spans + metrics (per-seed summary)\n"
             << "  --trace-out FILE   write a Chrome trace (Perfetto-loadable) for the\n"
@@ -80,8 +86,12 @@ int main(int argc, char** argv) {
       opts.intensity = std::strtod(next(), nullptr);
     } else if (arg == "--objects") {
       opts.objects = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--backups") {
+      opts.backups = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-crashes") {
       opts.enable_crashes = false;
+    } else if (arg == "--partition") {
+      opts.enable_partition = true;
     } else if (arg == "--sabotage") {
       sabotage = next();
     } else if (arg == "--log-warnings") {
@@ -124,6 +134,15 @@ int main(int argc, char** argv) {
     opts.enable_loss_storms = false;
     opts.enable_link_faults = false;
     opts.enable_crashes = false;
+  } else if (sabotage == "split-brain") {
+    // Epoch fencing off under a primary↔successor partition: the deposed
+    // primary never steps down and keeps feeding stale-epoch updates to
+    // the surviving backup, which applies whichever versions run ahead.
+    // cross-epoch-apply must catch this.
+    opts.config.epoch_fencing = false;
+    opts.backups = 2;
+    opts.enable_partition = true;
+    opts.enable_crashes = false;
   } else if (sabotage != "none") {
     std::cerr << "unknown sabotage mode: " << sabotage << "\n";
     return 2;
@@ -161,8 +180,19 @@ int main(int argc, char** argv) {
     std::cout << "reproduce with: --seed " << first_seed << "\n";
   }
   if (sabotage != "none") {
-    // Self-test: sabotage SHOULD be caught.  Succeed iff it was.
-    if (result.failures.empty()) {
+    // Self-test: sabotage SHOULD be caught.  Succeed iff it was — and for
+    // split-brain, iff the *specific* fencing oracle fired (the generic
+    // exactly-one-primary catch would mask a cross-epoch-apply gap).
+    bool caught = !result.failures.empty();
+    if (caught && sabotage == "split-brain") {
+      caught = false;
+      for (const rtpb::chaos::SeedReport& rep : result.failures) {
+        for (const rtpb::chaos::OracleViolation& v : rep.violations) {
+          if (v.oracle == "cross-epoch-apply") caught = true;
+        }
+      }
+    }
+    if (!caught) {
       std::cout << "sabotage '" << sabotage << "' was NOT caught — oracle gap!\n";
       return 1;
     }
