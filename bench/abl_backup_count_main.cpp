@@ -93,9 +93,10 @@ int main() {
       "failover because a surviving backup covers the window while a "
       "standby is recruited — the N = 1 chain pays that gap in full.");
 
-  bench::Table table({"backups", "admitted", "upd_sent", "applied/bkp",
+  bench::Table table({"backups", "admitted", "upd_sent", "applied_per_bkp",
                       "excess_ms", "incons_ms", "intervals", "failover_ms",
                       "epoch"});
+  table.set_name("abl_backup_count");
   for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     const CellResult r = run_cell(n, /*seed=*/7);
     table.add_row({static_cast<double>(n), static_cast<double>(r.accepted),

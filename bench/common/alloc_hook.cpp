@@ -1,0 +1,70 @@
+// Global operator new/delete replacement that counts every allocation.
+// Link into a bench binary to give alloc_hook::Scope real numbers.
+#include "common/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+void* counted(std::size_t size) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned(std::size_t size, std::align_val_t align) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  const auto al = static_cast<std::size_t>(align);
+  if (posix_memalign(&p, al < sizeof(void*) ? sizeof(void*) : al,
+                     size != 0 ? size : 1) != 0) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+
+}  // namespace
+
+namespace rtpb::bench::alloc_hook {
+
+std::uint64_t count() { return g_count.load(std::memory_order_relaxed); }
+std::uint64_t bytes() { return g_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace rtpb::bench::alloc_hook
+
+void* operator new(std::size_t size) { return counted(size); }
+void* operator new[](std::size_t size) { return counted(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -1,0 +1,32 @@
+// Allocation-counting hook for the wire-path benches.
+//
+// alloc_hook.cpp replaces the global operator new/delete with counting
+// versions, so any binary that links it can measure allocations-per-
+// operation with zero instrumentation in the code under test.  Because
+// replacing the global allocator affects the whole binary, the hook is
+// linked ONLY into dedicated bench executables (wirepath_bench), never
+// into the library, the tests, or the figure benches.
+#pragma once
+
+#include <cstdint>
+
+namespace rtpb::bench::alloc_hook {
+
+/// Total allocations / bytes since process start (monotonic).
+[[nodiscard]] std::uint64_t count();
+[[nodiscard]] std::uint64_t bytes();
+
+/// Snapshot-based counter: construct, run the code under test, read off
+/// the deltas.  No reset of the global counters, so scopes may nest.
+class Scope {
+ public:
+  Scope() : count0_(count()), bytes0_(bytes()) {}
+  [[nodiscard]] std::uint64_t allocations() const { return count() - count0_; }
+  [[nodiscard]] std::uint64_t allocated_bytes() const { return bytes() - bytes0_; }
+
+ private:
+  std::uint64_t count0_;
+  std::uint64_t bytes0_;
+};
+
+}  // namespace rtpb::bench::alloc_hook

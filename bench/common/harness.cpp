@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "telemetry/export.hpp"
 
@@ -114,7 +115,54 @@ RunResult run_experiment_avg(ExperimentSpec spec, std::size_t replications) {
   return sum;
 }
 
+namespace {
+
+// %.6g without locale surprises; JSON has no Inf/NaN, map those to null.
+void append_json_number(std::string& out, double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool JsonMetrics::write(const std::string& path) const {
+  std::string out = "{\n  \"name\": \"" + name_ + "\",\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out += "    \"" + metrics_[i].first + "\": ";
+    append_json_number(out, metrics_[i].second);
+    out += i + 1 < metrics_.size() ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  std::ofstream f(path);
+  if (!f || !(f << out)) {
+    std::fprintf(stderr, "warning: could not write bench JSON to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 void Table::print() const {
+  // RTPB_BENCH_JSON=<path> additionally dumps the table for bench_report:
+  // each cell becomes "<col0>=<row value of col0>.<col>".
+  if (const char* json = std::getenv("RTPB_BENCH_JSON"); json != nullptr && json[0] != '\0') {
+    JsonMetrics metrics(name_);
+    for (const auto& row : rows_) {
+      if (row.empty()) continue;
+      char rowkey[64];
+      std::snprintf(rowkey, sizeof(rowkey), "%s=%.6g", columns_[0].c_str(), row[0]);
+      for (std::size_t i = 1; i < row.size() && i < columns_.size(); ++i) {
+        metrics.add(std::string(rowkey) + "." + columns_[i], row[i]);
+      }
+    }
+    metrics.write(json);
+  }
   // RTPB_BENCH_CSV=1 switches to machine-readable output for plotting.
   if (const char* csv = std::getenv("RTPB_BENCH_CSV"); csv != nullptr && csv[0] == '1') {
     for (std::size_t i = 0; i < columns_.size(); ++i) {

@@ -60,14 +60,35 @@ struct RunResult {
 /// scalar metrics — the stochastic figures (8, 11, 12) report these.
 [[nodiscard]] RunResult run_experiment_avg(ExperimentSpec spec, std::size_t replications = 3);
 
+/// Flat machine-readable metrics: an ordered key→value list serialised as
+///   {"name": "...", "metrics": {"key": value, ...}}
+/// This is the `BENCH_*.json` format tools/bench_report compares across
+/// builds; keep keys stable so baselines stay comparable.
+class JsonMetrics {
+ public:
+  explicit JsonMetrics(std::string name) : name_(std::move(name)) {}
+  void add(std::string key, double value) { metrics_.emplace_back(std::move(key), value); }
+  /// Write to `path`; returns false (and prints a warning) on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 /// Column-aligned table printing.
 class Table {
  public:
   explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+  /// Name the sweep for machine-readable export (see print()).
+  void set_name(std::string name) { name_ = std::move(name); }
   void add_row(std::vector<double> row) { rows_.push_back(std::move(row)); }
+  /// Prints the table; additionally, when RTPB_BENCH_JSON=<path> is set,
+  /// writes the rows as JsonMetrics keyed "<col0>=<v0>.<col>" per cell.
   void print() const;
 
  private:
+  std::string name_ = "bench";
   std::vector<std::string> columns_;
   std::vector<std::vector<double>> rows_;
 };

@@ -23,6 +23,7 @@ int main() {
     cols.push_back("ms_w" + std::to_string(w.nanos() / 1'000'000));
   }
   Table table(cols);
+  table.set_name("fig06_response_admission");
 
   for (std::size_t objects = 4; objects <= 40; objects += 4) {
     std::vector<double> row = {static_cast<double>(objects)};

@@ -63,6 +63,50 @@ void BM_WireEncodeDecodeUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_WireEncodeDecodeUpdate)->Arg(64)->Arg(512)->Arg(4096);
 
+void BM_WireEncodeDecodeUpdateBatch(benchmark::State& state) {
+  // Per-update cost of the coalesced frame: divide by entry count to
+  // compare directly against BM_WireEncodeDecodeUpdate.
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  core::wire::UpdateBatch batch;
+  for (std::size_t i = 0; i < entries; ++i) {
+    batch.entries.push_back(core::wire::UpdateBatchEntry{
+        static_cast<core::ObjectId>(i + 1), 100 + i,
+        TimePoint{static_cast<std::int64_t>(i) * 1000},
+        Bytes(64, static_cast<std::uint8_t>(i))});
+  }
+  batch.epoch = 3;
+  for (auto _ : state) {
+    const Bytes encoded = core::wire::encode(batch);
+    auto decoded = core::wire::decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries));
+}
+BENCHMARK(BM_WireEncodeDecodeUpdateBatch)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MessageSharedFanOut(benchmark::State& state) {
+  // Encode-once fan-out: one shared body, N per-peer header pushes.
+  const auto peers = static_cast<std::size_t>(state.range(0));
+  const Bytes encoded = core::wire::encode(core::wire::Update{
+      7, 123456, TimePoint{987654321}, false, Bytes(64, 0x5A), 3});
+  const Bytes header(40, 0x11);
+  for (auto _ : state) {
+    Bytes once = encoded;
+    const xkernel::Message frame{std::move(once)};
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < peers; ++p) {
+      xkernel::Message m = frame;
+      m.push(header);
+      total += m.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_MessageSharedFanOut)->Arg(1)->Arg(4)->Arg(8);
+
 void BM_UdpChecksum(benchmark::State& state) {
   Bytes data(static_cast<std::size_t>(state.range(0)), 0x77);
   for (auto _ : state) {

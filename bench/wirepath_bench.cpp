@@ -1,0 +1,261 @@
+// wirepath_bench — the allocation-lean wire-path baseline recorder.
+//
+// Measures the primary→backup hot path four ways and writes the flat
+// BENCH_wirepath.json that tools/bench_report gates future PRs against:
+//
+//   1. encode allocations per frame (asserted == 1: exact-size reserve),
+//   2. encode/decode wall time per update, single kUpdate vs kUpdateBatch,
+//   3. fan-out allocations per update for N∈{1,4,8} peers — the legacy
+//      deep-copy-per-peer scheme vs the shared-payload Message, and
+//   4. end-to-end RtpbService throughput (updates/sec of wall time) and
+//      allocations/update at N∈{1,4,8} backups, batched and unbatched.
+//
+// This binary links bench/common/alloc_hook.cpp, which REPLACES the global
+// operator new/delete — that is why it is not part of the *_main.cpp glob.
+//
+// Usage: wirepath_bench [output.json]   (default BENCH_wirepath.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/alloc_hook.hpp"
+#include "common/harness.hpp"
+#include "core/wire.hpp"
+#include "xkernel/message.hpp"
+
+namespace {
+
+using namespace rtpb;
+using bench::alloc_hook::Scope;
+
+volatile std::size_t g_sink = 0;  // defeats dead-code elimination
+
+double now_ns() {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now().time_since_epoch())
+                                 .count());
+}
+
+core::wire::Update sample_update(std::size_t value_bytes) {
+  core::wire::Update u;
+  u.object = 7;
+  u.version = 123456;
+  u.timestamp = TimePoint{987654321};
+  u.value = Bytes(value_bytes, 0x5A);
+  u.epoch = 3;
+  return u;
+}
+
+core::wire::UpdateBatch sample_batch(std::size_t entries, std::size_t value_bytes) {
+  core::wire::UpdateBatch b;
+  for (std::size_t i = 0; i < entries; ++i) {
+    b.entries.push_back(core::wire::UpdateBatchEntry{
+        static_cast<core::ObjectId>(i + 1), 100 + i,
+        TimePoint{static_cast<std::int64_t>(i) * 1000},
+        Bytes(value_bytes, static_cast<std::uint8_t>(i))});
+  }
+  b.epoch = 3;
+  return b;
+}
+
+// ---- 1. allocations per frame encode -------------------------------------
+
+template <typename Msg>
+double encode_allocs(const Msg& msg, const char* what) {
+  constexpr int kIters = 1000;
+  // Warm up so one-time lazy init does not pollute the count.
+  for (int i = 0; i < 8; ++i) g_sink = g_sink + core::wire::encode(msg).size();
+  Scope scope;
+  for (int i = 0; i < kIters; ++i) g_sink = g_sink + core::wire::encode(msg).size();
+  const double per = static_cast<double>(scope.allocations()) / kIters;
+  std::printf("  %-28s %.2f allocs/frame\n", what, per);
+  if (per > 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: %s encode took %.2f allocations/frame (expected exactly 1: "
+                 "the ByteWriter(encoded_size) reserve must cover the whole frame)\n",
+                 what, per);
+    std::exit(1);
+  }
+  return per;
+}
+
+// ---- 2. encode/decode wall time ------------------------------------------
+
+template <typename Msg>
+double encode_decode_ns(const Msg& msg, std::size_t updates_per_frame) {
+  constexpr int kIters = 20000;
+  for (int i = 0; i < 100; ++i) {  // warm-up
+    const Bytes e = core::wire::encode(msg);
+    g_sink = g_sink + (core::wire::decode(e).has_value() ? e.size() : 0);
+  }
+  const double t0 = now_ns();
+  for (int i = 0; i < kIters; ++i) {
+    const Bytes e = core::wire::encode(msg);
+    g_sink = g_sink + (core::wire::decode(e).has_value() ? e.size() : 0);
+  }
+  return (now_ns() - t0) / kIters / static_cast<double>(updates_per_frame);
+}
+
+// ---- 3. fan-out allocations: legacy deep copy vs shared message ----------
+
+// What the pre-PR4 primary did per peer: copy the encoded payload into a
+// fresh Message, then push the per-peer protocol header.
+double legacy_fanout_allocs(const Bytes& encoded, std::size_t peers) {
+  constexpr int kIters = 2000;
+  const Bytes header(40, 0x11);  // stand-in for udplite+iplite+simeth headers
+  Scope scope;
+  for (int i = 0; i < kIters; ++i) {
+    const Bytes once = encoded;  // the single encode-output copy
+    for (std::size_t p = 0; p < peers; ++p) {
+      Bytes copy = once;                       // deep copy per peer
+      xkernel::Message m{std::move(copy)};
+      m.push(header);
+      g_sink = g_sink + m.size();
+    }
+  }
+  return static_cast<double>(scope.allocations()) / kIters;
+}
+
+// The shared path: one ref-counted body; each peer's Message shares it and
+// only materialises its own header region.
+double shared_fanout_allocs(const Bytes& encoded, std::size_t peers) {
+  constexpr int kIters = 2000;
+  const Bytes header(40, 0x11);
+  Scope scope;
+  for (int i = 0; i < kIters; ++i) {
+    Bytes once = encoded;  // the single encode-output copy
+    const xkernel::Message frame{std::move(once)};
+    for (std::size_t p = 0; p < peers; ++p) {
+      xkernel::Message m = frame;              // shares the body
+      m.push(header);
+      g_sink = g_sink + m.size();
+    }
+  }
+  return static_cast<double>(scope.allocations()) / kIters;
+}
+
+// ---- 4. end-to-end service throughput ------------------------------------
+
+struct E2eResult {
+  double updates_per_sec = 0;   // logical updates propagated per wall second
+  double ns_per_update = 0;
+  double allocs_per_update = 0;
+  double frames_per_update = 0; // < 1 when batching coalesces
+};
+
+E2eResult run_e2e(std::size_t backups, bool batched) {
+  core::ServiceParams params;
+  params.seed = 7;
+  params.backup_count = backups;
+  params.link.propagation = millis(1);
+  params.link.jitter = micros(200);
+  params.config.batch_updates = batched;
+
+  core::RtpbService service(params);
+  service.start();
+  for (core::ObjectId id = 1; id <= 5; ++id) {
+    core::ObjectSpec object;
+    object.id = id;
+    object.name = "obj" + std::to_string(id);
+    object.size_bytes = 64;
+    object.client_period = millis(10);
+    object.client_exec = micros(200);
+    object.update_exec = millis(1);
+    object.delta_primary = millis(20);
+    object.delta_backup = millis(100);
+    (void)service.register_object(object);
+  }
+  service.warm_up(seconds(1));
+
+  const std::uint64_t sent0 = service.primary().updates_sent();
+  const std::uint64_t frames0 = service.primary().update_frames_sent();
+  Scope scope;
+  const double t0 = now_ns();
+  service.run_for(seconds(4));
+  const double wall_ns = now_ns() - t0;
+  const double allocs = static_cast<double>(scope.allocations());
+  service.finish();
+
+  const auto sent = static_cast<double>(service.primary().updates_sent() - sent0);
+  const auto frames = static_cast<double>(service.primary().update_frames_sent() - frames0);
+  E2eResult r;
+  if (sent > 0) {
+    r.updates_per_sec = sent / (wall_ns * 1e-9);
+    r.ns_per_update = wall_ns / sent;
+    r.allocs_per_update = allocs / sent;
+    r.frames_per_update = frames / sent;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_wirepath.json";
+  bench::JsonMetrics metrics("wirepath");
+
+  bench::banner("Wire-path baseline: allocations + latency on the update hot path",
+                "one allocation per frame encode; shared fan-out >= 2x leaner than "
+                "deep copy at N=4; batched propagation cheaper per update");
+
+  std::printf("\n[1] allocations per frame encode (exact-reserve invariant)\n");
+  const auto update = sample_update(64);
+  const auto batch = sample_batch(8, 64);
+  metrics.add("encode_update_allocs", encode_allocs(update, "kUpdate(64B)"));
+  metrics.add("encode_batch8_allocs", encode_allocs(batch, "kUpdateBatch(8x64B)"));
+
+  std::printf("\n[2] encode+decode wall time per update\n");
+  const double single_ns = encode_decode_ns(update, 1);
+  const double batch_ns = encode_decode_ns(batch, batch.entries.size());
+  std::printf("  single kUpdate               %.0f ns/update\n", single_ns);
+  std::printf("  kUpdateBatch (8 entries)     %.0f ns/update\n", batch_ns);
+  metrics.add("codec_single_ns_per_update", single_ns);
+  metrics.add("codec_batch8_ns_per_update", batch_ns);
+
+  std::printf("\n[3] fan-out allocations per update, legacy deep-copy vs shared body\n");
+  const Bytes encoded = core::wire::encode(update);
+  for (std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const double legacy = legacy_fanout_allocs(encoded, n);
+    const double shared = shared_fanout_allocs(encoded, n);
+    std::printf("  N=%zu  legacy %.2f  shared %.2f  (%.2fx)\n", n, legacy, shared,
+                shared > 0 ? legacy / shared : 0.0);
+    char key[64];
+    std::snprintf(key, sizeof(key), "fanout_legacy_allocs_n%zu", n);
+    metrics.add(key, legacy);
+    std::snprintf(key, sizeof(key), "fanout_shared_allocs_n%zu", n);
+    metrics.add(key, shared);
+    if (n == 4 && !(legacy >= 2.0 * shared)) {
+      std::fprintf(stderr,
+                   "FAIL: shared fan-out at N=4 is not >=2x leaner than deep copy "
+                   "(legacy %.2f vs shared %.2f allocs/update)\n",
+                   legacy, shared);
+      return 1;
+    }
+    if (n == 4) metrics.add("fanout_alloc_ratio_n4", legacy / shared);
+  }
+
+  std::printf("\n[4] end-to-end RtpbService, 5 objects @ 10 ms, 4 virtual seconds\n");
+  std::printf("  %-22s %12s %12s %14s %10s\n", "config", "upd/sec", "ns/update",
+              "allocs/update", "frames/upd");
+  for (std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    for (const bool batched : {true, false}) {
+      const E2eResult r = run_e2e(n, batched);
+      std::printf("  N=%zu %-18s %12.0f %12.0f %14.1f %10.2f\n", n,
+                  batched ? "batched" : "unbatched", r.updates_per_sec, r.ns_per_update,
+                  r.allocs_per_update, r.frames_per_update);
+      char key[64];
+      const char* mode = batched ? "batched" : "unbatched";
+      std::snprintf(key, sizeof(key), "e2e_%s_updates_per_sec_n%zu", mode, n);
+      metrics.add(key, r.updates_per_sec);
+      std::snprintf(key, sizeof(key), "e2e_%s_ns_per_update_n%zu", mode, n);
+      metrics.add(key, r.ns_per_update);
+      std::snprintf(key, sizeof(key), "e2e_%s_allocs_per_update_n%zu", mode, n);
+      metrics.add(key, r.allocs_per_update);
+      std::snprintf(key, sizeof(key), "e2e_%s_frames_per_update_n%zu", mode, n);
+      metrics.add(key, r.frames_per_update);
+    }
+  }
+
+  std::printf("\n");
+  return metrics.write(out_path) ? 0 : 1;
+}

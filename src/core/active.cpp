@@ -94,13 +94,13 @@ void ActiveReplicationService::multicast(const PendingWrite& w, std::uint64_t se
   prepare.object = w.object;
   prepare.timestamp = w.timestamp;
   prepare.value = w.value;
-  const Bytes payload = wire::encode(prepare);
+  // Encode once; every follower's copy shares the body buffer.
+  const xkernel::Message frame{wire::encode(prepare)};
   for (std::size_t i = 0; i < followers_.size(); ++i) {
     if (only_unacked && w.acked[i]) continue;
     ++prepares_sent_;
     if (loss_rng_.bernoulli(params_.message_loss_probability)) continue;
-    leader_stack_->send_datagram(kActivePort, {followers_[i]->stack->node(), kActivePort},
-                                 payload);
+    leader_stack_->send_message(kActivePort, {followers_[i]->stack->node(), kActivePort}, frame);
   }
 }
 

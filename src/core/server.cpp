@@ -178,6 +178,8 @@ void ReplicaServer::crash() {
     if (ps.detector) ps.detector->stop();
   }
   transfer_retry_.cancel();
+  batch_flush_.cancel();
+  staged_updates_.clear();
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
   for (auto& [id, a] : ack_state_) a.timeout.cancel();
   network_.set_node_up(node(), false);
@@ -242,8 +244,8 @@ AdmissionStatus ReplicaServer::add_constraint(const InterObjectConstraint& c) {
       st.transfer_id = tid;
       st.constraints = replicated_constraints_;
       st.epoch = epoch_;
-      const Bytes payload = wire::encode(st);
-      for (const net::Endpoint& peer : peers_) send_to(peer, payload);
+      xkernel::Message frame{wire::encode(st)};
+      for (const net::Endpoint& peer : peers_) send_to(peer, frame);
       if (!transfer_retry_.pending()) {
         transfer_retry_ = sim_.schedule_after(config_.ping_period * 2,
                                               [this] { retry_pending_registrations(); });
@@ -364,6 +366,17 @@ void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::J
       hub.record(span, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
                  "update-loss-injected", obj_tag(id, state.version));
     }
+  } else if (config_.batch_updates && !retransmission && targets == nullptr) {
+    // Stage for the open batch window instead of sending immediately.  The
+    // staged entry is just the object id — the flush reads the store, so a
+    // write landing inside the window rides out with its newest version.
+    if (std::find(staged_updates_.begin(), staged_updates_.end(), id) == staged_updates_.end()) {
+      staged_updates_.push_back(id);
+    }
+    if (!batch_flush_.pending()) {
+      batch_flush_ =
+          sim_.schedule_after(config_.update_batch_window, [this] { flush_staged_updates(); });
+    }
   } else {
     wire::Update u;
     u.object = id;
@@ -372,12 +385,57 @@ void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::J
     u.retransmission = retransmission;
     u.value = state.value;
     u.epoch = epoch_;
-    const Bytes payload = wire::encode(u);
+    ++update_frames_sent_;
+    // Encode once; each peer's copy shares the body buffer.
+    xkernel::Message frame{wire::encode(u)};
     const std::vector<net::Endpoint>& dst = targets != nullptr ? *targets : peers_;
-    for (const net::Endpoint& peer : dst) send_to(peer, payload);
+    for (const net::Endpoint& peer : dst) send_to(peer, frame);
   }
 
   if (config_.ack_every_update && !retransmission) arm_ack_timeout(id, state.version);
+}
+
+void ReplicaServer::flush_staged_updates() {
+  if (crashed_ || role_ != Role::kPrimary || peers_.empty()) {
+    staged_updates_.clear();
+    return;
+  }
+  wire::UpdateBatch batch;
+  batch.entries.reserve(staged_updates_.size());
+  for (ObjectId id : staged_updates_) {
+    if (!store_.contains(id)) continue;  // deregistered inside the window
+    const ObjectState& state = store_.get(id);
+    if (state.version == 0) continue;
+    wire::UpdateBatchEntry entry;
+    entry.object = id;
+    entry.version = state.version;
+    entry.timestamp = state.origin_timestamp;
+    entry.value = state.value;
+    batch.entries.push_back(std::move(entry));
+  }
+  staged_updates_.clear();
+  if (batch.entries.empty()) return;
+  batch.epoch = epoch_;
+  ++update_frames_sent_;
+  updates_batched_ += batch.entries.size();
+  telemetry::Hub& hub = sim_.telemetry();
+  // The frame carries several updates but a stack event attaches to one
+  // span: the first coalesced update stands in for the frame (its span
+  // threads write → udp-push → net-deliver → apply; siblings still get
+  // their own apply events at the backup).
+  const telemetry::SpanId span =
+      hub.enabled() ? hub.span_for(batch.entries.front().object, batch.entries.front().version)
+                    : telemetry::kNoSpan;
+  telemetry::ScopedSpan span_scope(hub, span);
+  if (hub.enabled()) {
+    hub.registry().counter("core.primary.batch_frames").add();
+    hub.registry().histogram("core.primary.batch_entries").record_ms(
+        static_cast<double>(batch.entries.size()));
+    hub.record(span, node(), telemetry::EventKind::kInstant, rtpb_track(node()), "batch-send",
+               std::to_string(batch.entries.size()) + " entries");
+  }
+  xkernel::Message frame{wire::encode(batch)};
+  for (const net::Endpoint& peer : peers_) send_to(peer, frame);
 }
 
 void ReplicaServer::arm_ack_timeout(ObjectId id, std::uint64_t version) {
@@ -442,8 +500,8 @@ void ReplicaServer::replicate_registration(ObjectId id) {
   st.constraints = replicated_constraints_;
   st.epoch = epoch_;
 
-  const Bytes payload = wire::encode(st);
-  for (const net::Endpoint& peer : peers_) send_to(peer, payload);
+  xkernel::Message frame{wire::encode(st)};
+  for (const net::Endpoint& peer : peers_) send_to(peer, frame);
   if (!transfer_retry_.pending()) {
     transfer_retry_ =
         sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
@@ -468,10 +526,10 @@ void ReplicaServer::retry_pending_registrations() {
     }
     st.constraints = replicated_constraints_;
     st.epoch = epoch_;
-    const Bytes payload = wire::encode(st);
+    xkernel::Message frame{wire::encode(st)};
     // Only peers that have not acknowledged yet need the retry.
     for (const net::Endpoint& peer : peers_) {
-      if (pending.awaiting.contains(peer.node)) send_to(peer, payload);
+      if (pending.awaiting.contains(peer.node)) send_to(peer, frame);
     }
   }
   transfer_retry_ =
@@ -563,6 +621,8 @@ void ReplicaServer::step_down(std::uint64_t new_epoch) {
   for (auto& [id, a] : ack_state_) a.timeout.cancel();
   ack_state_.clear();
   transfer_retry_.cancel();
+  batch_flush_.cancel();
+  staged_updates_.clear();
   pending_transfers_.clear();
   clear_peers();
   if (hooks_.on_deposed) hooks_.on_deposed();
@@ -616,21 +676,25 @@ void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
 // ---------------------------------------------------------------------------
 
 void ReplicaServer::send_to(net::Endpoint to, Bytes payload) {
+  send_to(to, xkernel::Message{std::move(payload)});
+}
+
+void ReplicaServer::send_to(net::Endpoint to, xkernel::Message msg) {
   if (crashed_) return;
   if (frag_) {
-    xkernel::Message msg{std::move(payload)};
     xkernel::MsgAttrs attrs;
     attrs.src = endpoint();
     attrs.dst = to;
     frag_->push(msg, attrs);
   } else {
-    stack_.send_datagram(kRtpbPort, to, std::move(payload));
+    stack_.send_message(kRtpbPort, to, std::move(msg));
   }
 }
 
 void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttrs& attrs) {
   if (crashed_) return;
-  const auto decoded = wire::decode(msg.contents());
+  // Non-const: batch entry values are moved out during apply.
+  auto decoded = wire::decode(msg.contents());
   if (!decoded) {
     RTPB_WARN("rtpb", "undecodable RTPB message from node%u; dropped", attrs.src.node);
     return;
@@ -683,6 +747,9 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
   switch (decoded->type) {
     case wire::MsgType::kUpdate:
       handle_update(*decoded->update, from);
+      break;
+    case wire::MsgType::kUpdateBatch:
+      handle_update_batch(*decoded->update_batch, from);
       break;
     case wire::MsgType::kUpdateAck:
       handle_update_ack(*decoded->update_ack, from);
@@ -765,6 +832,22 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
   if (config_.ack_every_update) {
     ++acks_sent_;
     send_to(from, wire::encode(wire::UpdateAck{u.object, u.version, epoch_}));
+  }
+}
+
+void ReplicaServer::handle_update_batch(wire::UpdateBatch& b, net::Endpoint from) {
+  // Entries apply strictly in batch order, each through the single-update
+  // path so role guards, staleness accounting, watchdogs and (in ack mode)
+  // per-object acks behave exactly as for kUpdate frames.
+  for (wire::UpdateBatchEntry& entry : b.entries) {
+    wire::Update u;
+    u.object = entry.object;
+    u.version = entry.version;
+    u.timestamp = entry.timestamp;
+    u.retransmission = false;
+    u.value = std::move(entry.value);
+    u.epoch = b.epoch;
+    handle_update(u, from);
   }
 }
 

@@ -152,6 +152,11 @@ class ReplicaServer {
 
   // ---- introspection / stats ----
   [[nodiscard]] std::uint64_t updates_sent() const { return updates_sent_; }
+  /// Wire frames carrying update payloads (kUpdate + kUpdateBatch).  With
+  /// batching on this lags updates_sent(): many updates ride one frame.
+  [[nodiscard]] std::uint64_t update_frames_sent() const { return update_frames_sent_; }
+  /// Updates that went out inside a kUpdateBatch frame.
+  [[nodiscard]] std::uint64_t updates_batched() const { return updates_batched_; }
   [[nodiscard]] std::uint64_t updates_loss_injected() const { return updates_loss_injected_; }
   [[nodiscard]] std::uint64_t updates_applied() const { return updates_applied_; }
   [[nodiscard]] std::uint64_t stale_updates() const { return stale_updates_; }
@@ -201,6 +206,9 @@ class ReplicaServer {
 
   void handle_message(xkernel::Message& msg, const xkernel::MsgAttrs& attrs);
   void handle_update(const wire::Update& u, net::Endpoint from);
+  /// Applies the coalesced entries strictly in order.  Non-const: entry
+  /// values are moved out rather than copied.
+  void handle_update_batch(wire::UpdateBatch& b, net::Endpoint from);
   void handle_update_ack(const wire::UpdateAck& a, net::Endpoint from);
   void handle_retransmit_request(const wire::RetransmitRequest& r, net::Endpoint from);
   void handle_ping(const wire::Ping& p, net::Endpoint from);
@@ -209,6 +217,13 @@ class ReplicaServer {
   void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
 
   void send_to(net::Endpoint to, Bytes payload);
+  /// Fan-out building block: the message is taken by value, so sending one
+  /// encoded frame to N peers passes N copies that all share the same body
+  /// buffer — only the per-peer protocol headers are materialised.
+  void send_to(net::Endpoint to, xkernel::Message msg);
+  /// Encode the staged object updates into one kUpdateBatch frame and fan
+  /// it out to every peer (encode-once; bodies shared across peers).
+  void flush_staged_updates();
   /// `job`, when given, is the transmission job that triggered this send;
   /// its release/start times are attached to the update's telemetry span.
   /// `targets`, when given, restricts the send to those peers (targeted
@@ -265,6 +280,12 @@ class ReplicaServer {
   std::vector<InterObjectConstraint> replicated_constraints_;
   std::map<ObjectId, UpdateTaskState> update_tasks_;
   std::map<ObjectId, AckState> ack_state_;
+  /// Objects whose update transmissions fell due inside the open batch
+  /// window, in staging order (dedup'd: a second send of the same object
+  /// before the flush collapses onto the staged entry, which reads the
+  /// store at flush time and so carries the newest version anyway).
+  std::vector<ObjectId> staged_updates_;
+  sim::EventHandle batch_flush_;
   std::map<ObjectId, WatchdogState> watchdogs_;
   /// Highest transfer id applied per sender: a reordered older transfer
   /// must not clobber newer constraint tables / watchdog periods.
@@ -294,6 +315,8 @@ class ReplicaServer {
 
   Rng rng_{0};
   std::uint64_t updates_sent_ = 0;
+  std::uint64_t update_frames_sent_ = 0;
+  std::uint64_t updates_batched_ = 0;
   std::uint64_t updates_loss_injected_ = 0;
   std::uint64_t updates_applied_ = 0;
   std::uint64_t stale_updates_ = 0;

@@ -13,11 +13,29 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kStateTransferAck: return "STATE_TRANSFER_ACK";
     case MsgType::kActivePrepare: return "ACTIVE_PREPARE";
     case MsgType::kActiveAck: return "ACTIVE_ACK";
+    case MsgType::kUpdateBatch: return "UPDATE_BATCH";
   }
   return "?";
 }
 
 namespace {
+
+// Field-size building blocks for the exact-reserve computations.
+constexpr std::size_t kTag = 1;
+constexpr std::size_t kU8 = 1;
+constexpr std::size_t kU32 = 4;
+constexpr std::size_t kU64 = 8;
+constexpr std::size_t kLenPrefix = 4;  ///< u32 length prefix of bytes()/string()
+
+std::size_t encoded_size(const ObjectSpec& s) {
+  // id + name (prefixed) + size_bytes + 5 durations.
+  return kU32 + (kLenPrefix + s.name.size()) + kU32 + 5 * kU64;
+}
+
+std::size_t encoded_size(const StateEntry& e) {
+  return encoded_size(e.spec) + kU64 /*period*/ + kU64 /*version*/ + kU64 /*timestamp*/ +
+         (kLenPrefix + e.value.size());
+}
 
 void encode_spec(ByteWriter& w, const ObjectSpec& s) {
   w.u32(s.id);
@@ -45,8 +63,35 @@ ObjectSpec decode_spec(ByteReader& r) {
 
 }  // namespace
 
+std::size_t encoded_size(const Update& m) {
+  return kTag + kU32 /*object*/ + kU64 /*version*/ + kU64 /*timestamp*/ + kU8 /*retx*/ +
+         (kLenPrefix + m.value.size()) + kU64 /*epoch*/;
+}
+
+std::size_t encoded_size(const UpdateBatch& m) {
+  std::size_t total = kTag + kU32 /*entry count*/ + kU64 /*epoch*/;
+  for (const auto& e : m.entries) {
+    total += kU32 /*object*/ + kU64 /*version*/ + kU64 /*timestamp*/ +
+             (kLenPrefix + e.value.size());
+  }
+  return total;
+}
+
+std::size_t encoded_size(const StateTransfer& m) {
+  std::size_t total = kTag + kU64 /*transfer id*/ + kU32 /*entry count*/ +
+                      kU32 /*constraint count*/ + kU64 /*epoch*/;
+  for (const auto& e : m.entries) total += encoded_size(e);
+  total += m.constraints.size() * (kU32 + kU32 + kU64);
+  return total;
+}
+
+std::size_t encoded_size(const ActivePrepare& m) {
+  return kTag + kU64 /*sequence*/ + kU32 /*object*/ + kU64 /*timestamp*/ +
+         (kLenPrefix + m.value.size());
+}
+
 Bytes encode(const Update& m) {
-  ByteWriter w(64 + m.value.size());
+  ByteWriter w(encoded_size(m));
   w.u8(static_cast<std::uint8_t>(MsgType::kUpdate));
   w.u32(m.object);
   w.u64(m.version);
@@ -57,8 +102,22 @@ Bytes encode(const Update& m) {
   return std::move(w).take();
 }
 
+Bytes encode(const UpdateBatch& m) {
+  ByteWriter w(encoded_size(m));
+  w.u8(static_cast<std::uint8_t>(MsgType::kUpdateBatch));
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    w.u32(e.object);
+    w.u64(e.version);
+    w.timepoint(e.timestamp);
+    w.bytes(e.value);
+  }
+  w.u64(m.epoch);
+  return std::move(w).take();
+}
+
 Bytes encode(const UpdateAck& m) {
-  ByteWriter w(24);
+  ByteWriter w(kTag + kU32 + kU64 + kU64);
   w.u8(static_cast<std::uint8_t>(MsgType::kUpdateAck));
   w.u32(m.object);
   w.u64(m.version);
@@ -67,7 +126,7 @@ Bytes encode(const UpdateAck& m) {
 }
 
 Bytes encode(const RetransmitRequest& m) {
-  ByteWriter w(24);
+  ByteWriter w(kTag + kU32 + kU64 + kU64);
   w.u8(static_cast<std::uint8_t>(MsgType::kRetransmitRequest));
   w.u32(m.object);
   w.u64(m.have_version);
@@ -76,7 +135,7 @@ Bytes encode(const RetransmitRequest& m) {
 }
 
 Bytes encode(const Ping& m) {
-  ByteWriter w(24);
+  ByteWriter w(kTag + kU64 + kU64);
   w.u8(static_cast<std::uint8_t>(MsgType::kPing));
   w.u64(m.seq);
   w.u64(m.epoch);
@@ -84,7 +143,7 @@ Bytes encode(const Ping& m) {
 }
 
 Bytes encode(const PingAck& m) {
-  ByteWriter w(24);
+  ByteWriter w(kTag + kU64 + kU64);
   w.u8(static_cast<std::uint8_t>(MsgType::kPingAck));
   w.u64(m.seq);
   w.u64(m.epoch);
@@ -92,7 +151,7 @@ Bytes encode(const PingAck& m) {
 }
 
 Bytes encode(const StateTransfer& m) {
-  ByteWriter w(256);
+  ByteWriter w(encoded_size(m));
   w.u8(static_cast<std::uint8_t>(MsgType::kStateTransfer));
   w.u64(m.transfer_id);
   w.u32(static_cast<std::uint32_t>(m.entries.size()));
@@ -114,7 +173,7 @@ Bytes encode(const StateTransfer& m) {
 }
 
 Bytes encode(const StateTransferAck& m) {
-  ByteWriter w(24);
+  ByteWriter w(kTag + kU64 + kU64);
   w.u8(static_cast<std::uint8_t>(MsgType::kStateTransferAck));
   w.u64(m.transfer_id);
   w.u64(m.epoch);
@@ -122,7 +181,7 @@ Bytes encode(const StateTransferAck& m) {
 }
 
 Bytes encode(const ActivePrepare& m) {
-  ByteWriter w(48 + m.value.size());
+  ByteWriter w(encoded_size(m));
   w.u8(static_cast<std::uint8_t>(MsgType::kActivePrepare));
   w.u64(m.sequence);
   w.u32(m.object);
@@ -132,7 +191,7 @@ Bytes encode(const ActivePrepare& m) {
 }
 
 Bytes encode(const ActiveAck& m) {
-  ByteWriter w(16);
+  ByteWriter w(kTag + kU64);
   w.u8(static_cast<std::uint8_t>(MsgType::kActiveAck));
   w.u64(m.sequence);
   return std::move(w).take();
@@ -155,6 +214,32 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       m.epoch = r.u64();
       if (!r.ok() || !r.at_end()) return std::nullopt;
       out.update = std::move(m);
+      return out;
+    }
+    case MsgType::kUpdateBatch: {
+      UpdateBatch m;
+      const std::uint32_t n = r.u32();
+      // Every entry takes at least 24 bytes (object + version + timestamp
+      // + empty value prefix); a count that cannot fit the remaining
+      // buffer is malformed — reject before reserving anything.
+      constexpr std::size_t kMinEntry = kU32 + kU64 + kU64 + kLenPrefix;
+      if (!r.ok() || static_cast<std::size_t>(n) * kMinEntry > r.remaining()) {
+        return std::nullopt;
+      }
+      m.entries.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        UpdateBatchEntry e;
+        e.object = r.u32();
+        e.version = r.u64();
+        e.timestamp = r.timepoint();
+        e.value = r.bytes();
+        m.entries.push_back(std::move(e));
+      }
+      m.epoch = r.u64();
+      // A truncated entry list, an entry count that disagrees with the
+      // payload, or trailing bytes all fail here.
+      if (!r.ok() || !r.at_end() || m.entries.size() != n) return std::nullopt;
+      out.update_batch = std::move(m);
       return out;
     }
     case MsgType::kUpdateAck: {
@@ -247,14 +332,19 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
 }
 
 std::uint64_t epoch_of(const AnyMessage& m) {
+  // Every per-type optional is checked before the dereference: a
+  // hand-constructed or partially-populated AnyMessage (sabotage and fuzz
+  // tests build these) must yield the epoch-0 bootstrap wildcard, not UB.
   switch (m.type) {
-    case MsgType::kUpdate: return m.update->epoch;
-    case MsgType::kUpdateAck: return m.update_ack->epoch;
-    case MsgType::kRetransmitRequest: return m.retransmit->epoch;
-    case MsgType::kPing: return m.ping->epoch;
-    case MsgType::kPingAck: return m.ping_ack->epoch;
-    case MsgType::kStateTransfer: return m.state_transfer->epoch;
-    case MsgType::kStateTransferAck: return m.state_transfer_ack->epoch;
+    case MsgType::kUpdate: return m.update ? m.update->epoch : 0;
+    case MsgType::kUpdateBatch: return m.update_batch ? m.update_batch->epoch : 0;
+    case MsgType::kUpdateAck: return m.update_ack ? m.update_ack->epoch : 0;
+    case MsgType::kRetransmitRequest: return m.retransmit ? m.retransmit->epoch : 0;
+    case MsgType::kPing: return m.ping ? m.ping->epoch : 0;
+    case MsgType::kPingAck: return m.ping_ack ? m.ping_ack->epoch : 0;
+    case MsgType::kStateTransfer: return m.state_transfer ? m.state_transfer->epoch : 0;
+    case MsgType::kStateTransferAck:
+      return m.state_transfer_ack ? m.state_transfer_ack->epoch : 0;
     case MsgType::kActivePrepare:
     case MsgType::kActiveAck: return 0;
   }

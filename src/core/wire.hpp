@@ -27,6 +27,7 @@ enum class MsgType : std::uint8_t {
   // Active-replication baseline (§6.1 comparison):
   kActivePrepare = 8,    ///< leader → replicas: sequenced write
   kActiveAck = 9,        ///< replica → leader: write applied
+  kUpdateBatch = 10,     ///< primary → backup: coalesced object updates
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
@@ -57,6 +58,25 @@ struct UpdateAck {
 struct RetransmitRequest {
   ObjectId object = kInvalidObject;
   std::uint64_t have_version = 0;  ///< newest version the backup holds
+  std::uint64_t epoch = 0;
+};
+
+/// One object's update inside a kUpdateBatch frame.  Batched entries are
+/// never retransmissions (retransmissions go out as targeted kUpdate
+/// singles), so the per-update retransmission flag is omitted.
+struct UpdateBatchEntry {
+  ObjectId object = kInvalidObject;
+  std::uint64_t version = 0;
+  TimePoint timestamp{};
+  Bytes value;
+};
+
+/// All object updates due in the same transmission window, coalesced into
+/// one frame per peer: the 1-byte tag, UDPLITE checksum, per-frame sim
+/// event and epoch field are paid once per frame instead of once per
+/// object.  The receiver applies entries strictly in order.
+struct UpdateBatch {
+  std::vector<UpdateBatchEntry> entries;
   std::uint64_t epoch = 0;
 };
 
@@ -106,8 +126,11 @@ struct ActiveAck {
   std::uint64_t sequence = 0;
 };
 
-// Encoding: 1-byte type tag followed by the body.
+// Encoding: 1-byte type tag followed by the body.  Every encoder reserves
+// the exact frame size up front (see encoded_size overloads), so encoding
+// a frame costs exactly one allocation.
 [[nodiscard]] Bytes encode(const Update& m);
+[[nodiscard]] Bytes encode(const UpdateBatch& m);
 [[nodiscard]] Bytes encode(const UpdateAck& m);
 [[nodiscard]] Bytes encode(const RetransmitRequest& m);
 [[nodiscard]] Bytes encode(const Ping& m);
@@ -119,9 +142,17 @@ struct ActiveAck {
 
 /// Decoded message (one alternative set).  decode() returns nullopt on a
 /// malformed buffer — the caller drops it, as UDP consumers must.
+/// Exact on-the-wire size of each message — the ByteWriter reserve used by
+/// the corresponding encode(), asserted by the allocation-counting bench.
+[[nodiscard]] std::size_t encoded_size(const Update& m);
+[[nodiscard]] std::size_t encoded_size(const UpdateBatch& m);
+[[nodiscard]] std::size_t encoded_size(const StateTransfer& m);
+[[nodiscard]] std::size_t encoded_size(const ActivePrepare& m);
+
 struct AnyMessage {
   MsgType type{};
   std::optional<Update> update;
+  std::optional<UpdateBatch> update_batch;
   std::optional<UpdateAck> update_ack;
   std::optional<RetransmitRequest> retransmit;
   std::optional<Ping> ping;

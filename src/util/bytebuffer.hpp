@@ -56,9 +56,13 @@ class ByteWriter {
  private:
   template <typename T>
   void append_be(T v) {
-    for (int shift = static_cast<int>(sizeof(T)) * 8 - 8; shift >= 0; shift -= 8) {
-      buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+    // One bulk insert instead of per-byte push_back: a frame encoded into
+    // an exactly-reserved writer costs a single allocation.
+    std::uint8_t be[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      be[i] = static_cast<std::uint8_t>((v >> (8 * (sizeof(T) - 1 - i))) & 0xFF);
     }
+    buf_.insert(buf_.end(), be, be + sizeof(T));
   }
   Bytes buf_;
 };

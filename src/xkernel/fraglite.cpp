@@ -19,23 +19,28 @@ FragLite::FragLite(sim::Simulator& sim, std::size_t max_fragment_payload,
 
 void FragLite::push(Message& msg, const MsgAttrs& attrs) {
   RTPB_EXPECTS(down() != nullptr);
-  const Bytes whole = msg.to_bytes();
+  // Fragment over the message's shared body: each fragment is an
+  // offset/length view into the SAME ref-counted buffer, so a 10-fragment
+  // message (or one update fanned out to N backups) costs zero payload
+  // copies here — only the per-fragment headers are owned storage.
+  const Message::SharedView whole = msg.shared_contents();
   const std::uint32_t msg_id = next_msg_id_++;
-  const auto total = static_cast<std::uint32_t>(whole.size());
-  const std::size_t count = std::max<std::size_t>(1, (whole.size() + max_payload_ - 1) / max_payload_);
+  const auto total = static_cast<std::uint32_t>(whole.length);
+  const std::size_t count = std::max<std::size_t>(1, (whole.length + max_payload_ - 1) / max_payload_);
   RTPB_EXPECTS(count <= 0xFFFF);
 
   ++messages_sent_;
   if (tele_enabled()) {
     tele_hub()->registry().counter("xkernel.fraglite.messages_sent").add();
     tele_record("frag-push", std::to_string(count) + " fragment(s), " +
-                                 std::to_string(whole.size()) + "B");
+                                 std::to_string(whole.length) + "B");
   }
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t begin = i * max_payload_;
-    const std::size_t end = std::min(whole.size(), begin + max_payload_);
-    Message fragment{Bytes(whole.begin() + static_cast<std::ptrdiff_t>(begin),
-                           whole.begin() + static_cast<std::ptrdiff_t>(end))};
+    const std::size_t end = std::min<std::size_t>(whole.length, begin + max_payload_);
+    Message fragment =
+        whole.buf ? Message::from_shared(whole.buf, whole.offset + begin, end - begin)
+                  : Message{};
     ByteWriter header(kHeaderSize);
     header.u32(msg_id);
     header.u16(static_cast<std::uint16_t>(i));
@@ -57,7 +62,12 @@ void FragLite::demux(Message& msg, MsgAttrs& attrs) {
   const std::uint16_t index = r.u16();
   const std::uint16_t count = r.u16();
   const std::uint32_t total = r.u32();
-  if (!r.ok() || count == 0 || index >= count) {
+  // Header sanity: a fragment index outside [0, count) or a total length
+  // no fragment split could produce (each fragment's payload rides in a
+  // UDPLITE datagram whose length field is 16 bits) is corruption — it
+  // must never size or index the fragment table.
+  if (!r.ok() || count == 0 || index >= count ||
+      total > static_cast<std::uint64_t>(count) * kMaxFragmentSize) {
     ++bad_fragments_;
     return;
   }
@@ -81,7 +91,6 @@ void FragLite::demux(Message& msg, MsgAttrs& attrs) {
   Reassembly& re = reassembly_[key];
   if (re.fragments.empty()) {
     re.fragments.resize(count);
-    re.present.assign(count, false);
     re.total_length = total;
     re.gc = sim_.schedule_after(timeout_, [this, key] { expire(key); });
   }
@@ -92,22 +101,43 @@ void FragLite::demux(Message& msg, MsgAttrs& attrs) {
     reassembly_.erase(key);
     return;
   }
-  if (re.present[index]) return;  // duplicate
-  re.fragments[index] = msg.to_bytes();
-  re.present[index] = true;
+  if (re.fragments[index].buf != nullptr) {
+    // Replayed or duplicated fragment: the slot is taken; it must neither
+    // overwrite the stored payload nor count toward completion again.
+    ++duplicate_fragments_;
+    return;
+  }
+  const Message::SharedView payload = msg.shared_contents();
+  if (re.bytes_received + payload.length > re.total_length) {
+    // An over-long (corrupted) fragment would push the reassembled size
+    // past the declared total; reject the fragment, keep the reassembly.
+    ++bad_fragments_;
+    return;
+  }
+  // Store a zero-copy view of the arriving wire buffer; bytes are gathered
+  // exactly once, at completion.  An empty fragment still takes its slot
+  // (shared empty buffer) so `buf != nullptr` doubles as the presence bit.
+  re.fragments[index] =
+      payload.buf ? payload : Message::SharedView{std::make_shared<const Bytes>(), 0, 0};
+  re.bytes_received += payload.length;
   ++re.received;
   if (re.received < count) return;
 
   // Complete: stitch and deliver.
-  Bytes whole;
-  whole.reserve(total);
-  for (auto& frag : re.fragments) whole.insert(whole.end(), frag.begin(), frag.end());
-  re.gc.cancel();
-  reassembly_.erase(key);
-  if (whole.size() != total) {
+  if (re.bytes_received != re.total_length) {
     ++bad_fragments_;
+    re.gc.cancel();
+    reassembly_.erase(key);
     return;
   }
+  Bytes whole;
+  whole.reserve(re.bytes_received);
+  for (const auto& frag : re.fragments) {
+    const auto s = frag.span();
+    whole.insert(whole.end(), s.begin(), s.end());
+  }
+  re.gc.cancel();
+  reassembly_.erase(key);
   ++messages_reassembled_;
   if (tele_enabled()) {
     tele_hub()->registry().counter("xkernel.fraglite.messages_reassembled").add();

@@ -38,19 +38,28 @@ class FragLite final : public Protocol {
   [[nodiscard]] std::uint64_t messages_reassembled() const { return messages_reassembled_; }
   [[nodiscard]] std::uint64_t reassembly_timeouts() const { return reassembly_timeouts_; }
   [[nodiscard]] std::uint64_t bad_fragments() const { return bad_fragments_; }
+  /// Replayed/duplicated fragments ignored (slot already filled).
+  [[nodiscard]] std::uint64_t duplicate_fragments() const { return duplicate_fragments_; }
   [[nodiscard]] std::size_t pending_reassemblies() const { return reassembly_.size(); }
 
   /// Header: msg id (u32), fragment index (u16), fragment count (u16),
   /// total length (u32).
   static constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 4;
 
+  /// Upper bound on one fragment's payload as carried by UDPLITE (16-bit
+  /// length field) — used to reject absurd `total` claims before they size
+  /// the reassembly table.
+  static constexpr std::size_t kMaxFragmentSize = 0xFFFF;
+
  private:
   using Key = std::tuple<net::NodeId, net::Port, std::uint32_t>;  // src node, src port, msg id
 
   struct Reassembly {
-    std::vector<Bytes> fragments;   ///< indexed by fragment number
-    std::vector<bool> present;      ///< which indices have arrived
+    /// Zero-copy views into the arriving wire buffers, indexed by fragment
+    /// number; a null buf marks a missing fragment.
+    std::vector<Message::SharedView> fragments;
     std::size_t received = 0;
+    std::size_t bytes_received = 0;
     std::uint32_t total_length = 0;
     sim::EventHandle gc;
   };
@@ -69,6 +78,7 @@ class FragLite final : public Protocol {
   std::uint64_t messages_reassembled_ = 0;
   std::uint64_t reassembly_timeouts_ = 0;
   std::uint64_t bad_fragments_ = 0;
+  std::uint64_t duplicate_fragments_ = 0;
 };
 
 }  // namespace rtpb::xkernel

@@ -45,7 +45,10 @@ HostStack::HostStack(net::Network& network, const std::string& graph_spec)
 }
 
 void HostStack::send_datagram(net::Port local_port, net::Endpoint remote, Bytes payload) {
-  Message msg{std::move(payload)};
+  send_message(local_port, remote, Message{std::move(payload)});
+}
+
+void HostStack::send_message(net::Port local_port, net::Endpoint remote, Message msg) {
   MsgAttrs attrs;
   attrs.src = {node(), local_port};
   attrs.dst = remote;

@@ -34,6 +34,10 @@ class HostStack {
   /// Convenience: send an application payload to a remote endpoint from a
   /// local port.
   void send_datagram(net::Port local_port, net::Endpoint remote, Bytes payload);
+  /// Same, for a pre-built message.  Taken by value: callers fanning one
+  /// encoded payload out to N peers pass copies that share the body
+  /// buffer, so only per-peer headers are materialised.
+  void send_message(net::Port local_port, net::Endpoint remote, Message msg);
 
   /// The protocol names in bottom-up order, as configured.
   [[nodiscard]] const std::vector<std::string>& graph() const { return graph_; }

@@ -14,10 +14,19 @@ void UdpLite::bind(net::Port port, Handler handler) {
 void UdpLite::unbind(net::Port port) { bindings_.erase(port); }
 
 std::uint16_t UdpLite::checksum(std::span<const std::uint8_t> data) {
+  return checksum(data, {});
+}
+
+std::uint16_t UdpLite::checksum(std::span<const std::uint8_t> a,
+                                std::span<const std::uint8_t> b) {
+  // Ones'-complement sum over the virtual concatenation a‖b, identical
+  // byte-for-byte to summing a gathered copy.
   std::uint32_t sum = 0;
-  for (std::size_t i = 0; i < data.size(); i += 2) {
-    std::uint16_t word = static_cast<std::uint16_t>(data[i] << 8);
-    if (i + 1 < data.size()) word = static_cast<std::uint16_t>(word | data[i + 1]);
+  const std::size_t total = a.size() + b.size();
+  const auto at = [&](std::size_t i) { return i < a.size() ? a[i] : b[i - a.size()]; };
+  for (std::size_t i = 0; i < total; i += 2) {
+    std::uint16_t word = static_cast<std::uint16_t>(at(i) << 8);
+    if (i + 1 < total) word = static_cast<std::uint16_t>(word | at(i + 1));
     sum += word;
     sum = (sum & 0xFFFF) + (sum >> 16);
   }
@@ -31,7 +40,7 @@ void UdpLite::push(Message& msg, const MsgAttrs& attrs) {
     tele_record("udp-push", "port " + std::to_string(attrs.src.port) + "->" +
                                 std::to_string(attrs.dst.port));
   }
-  const std::uint16_t csum = checksum(msg.contents());
+  const std::uint16_t csum = checksum(msg.header_segment(), msg.body_segment());
   ByteWriter w(kHeaderSize);
   w.u16(attrs.src.port);
   w.u16(attrs.dst.port);

@@ -39,6 +39,11 @@ class UdpLite final : public Protocol {
 
   /// Internet-style ones'-complement sum over the datagram body.
   [[nodiscard]] static std::uint16_t checksum(std::span<const std::uint8_t> data);
+  /// Same sum over the concatenation of two segments — lets the push path
+  /// checksum a message's (header, shared body) pair without gathering it
+  /// into a contiguous copy first.
+  [[nodiscard]] static std::uint16_t checksum(std::span<const std::uint8_t> a,
+                                              std::span<const std::uint8_t> b);
 
  private:
   std::map<net::Port, Handler> bindings_;

@@ -1,0 +1,75 @@
+// Update batching under chaos: the kUpdateBatch coalescing path must
+// satisfy exactly the same temporal-consistency oracles as the unbatched
+// kUpdate path, and both modes must stay seed-reproducible.  (The two
+// modes produce DIFFERENT byte streams — and so different trace digests —
+// by design; see README's digest-stability note.)
+#include <gtest/gtest.h>
+
+#include "chaos/harness.hpp"
+
+namespace rtpb::chaos {
+namespace {
+
+ChaosOptions batch_opts(bool batch) {
+  ChaosOptions opts;
+  opts.duration = millis(4000);
+  opts.objects = 3;
+  opts.config.batch_updates = batch;
+  return opts;
+}
+
+TEST(ChaosBatch, BatchedAndUnbatchedBothSatisfyOracles) {
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    const SeedReport batched = run_seed(seed, batch_opts(true));
+    const SeedReport unbatched = run_seed(seed, batch_opts(false));
+    EXPECT_EQ(batched.violation_count, 0u)
+        << "batched seed " << seed << "\n" << batched.reproducer;
+    EXPECT_EQ(unbatched.violation_count, 0u)
+        << "unbatched seed " << seed << "\n" << unbatched.reproducer;
+    // Same workload either way: identical admission decisions and writes.
+    EXPECT_EQ(batched.objects_admitted, unbatched.objects_admitted) << seed;
+    EXPECT_EQ(batched.client_writes, unbatched.client_writes) << seed;
+    // Both modes must actually replicate.
+    EXPECT_GT(batched.updates_applied, 0u) << seed;
+    EXPECT_GT(unbatched.updates_applied, 0u) << seed;
+  }
+}
+
+TEST(ChaosBatch, EachModeIsSeedReproducible) {
+  for (std::uint64_t seed = 310; seed < 313; ++seed) {
+    const SeedReport b1 = run_seed(seed, batch_opts(true));
+    const SeedReport b2 = run_seed(seed, batch_opts(true));
+    EXPECT_EQ(b1.trace_digest, b2.trace_digest) << "batched seed " << seed;
+    EXPECT_EQ(b1.sim_events, b2.sim_events) << "batched seed " << seed;
+    EXPECT_EQ(b1.updates_applied, b2.updates_applied) << "batched seed " << seed;
+
+    const SeedReport u1 = run_seed(seed, batch_opts(false));
+    const SeedReport u2 = run_seed(seed, batch_opts(false));
+    EXPECT_EQ(u1.trace_digest, u2.trace_digest) << "unbatched seed " << seed;
+    EXPECT_EQ(u1.sim_events, u2.sim_events) << "unbatched seed " << seed;
+  }
+}
+
+TEST(ChaosBatch, BatchingCoalescesFramesUnderCleanNetwork) {
+  // With faults off, batching must visibly reduce wire frames while the
+  // backup still converges (updates applied on every object).
+  ChaosOptions opts = batch_opts(true);
+  opts.enable_loss_storms = false;
+  opts.enable_link_faults = false;
+  opts.enable_crashes = false;
+  const SeedReport batched = run_seed(42, opts);
+  opts.config.batch_updates = false;
+  const SeedReport unbatched = run_seed(42, opts);
+  EXPECT_EQ(batched.violation_count, 0u);
+  EXPECT_EQ(unbatched.violation_count, 0u);
+  EXPECT_GT(batched.updates_applied, 0u);
+  // Coalescing must not change what the backup ends up applying by more
+  // than the in-flight tail (the last open window at shutdown).
+  const auto lo = std::min(batched.updates_applied, unbatched.updates_applied);
+  const auto hi = std::max(batched.updates_applied, unbatched.updates_applied);
+  EXPECT_LE(hi - lo, hi / 10 + 8) << "batched=" << batched.updates_applied
+                                  << " unbatched=" << unbatched.updates_applied;
+}
+
+}  // namespace
+}  // namespace rtpb::chaos

@@ -121,6 +121,124 @@ TEST(Wire, TrailingGarbageRejected) {
 TEST(Wire, MsgTypeNames) {
   EXPECT_STREQ(msg_type_name(MsgType::kUpdate), "UPDATE");
   EXPECT_STREQ(msg_type_name(MsgType::kStateTransfer), "STATE_TRANSFER");
+  EXPECT_STREQ(msg_type_name(MsgType::kUpdateBatch), "UPDATE_BATCH");
+}
+
+// ---------------------------------------------------------------------------
+// kUpdateBatch
+// ---------------------------------------------------------------------------
+
+UpdateBatch sample_batch() {
+  UpdateBatch b;
+  b.entries.push_back(UpdateBatchEntry{10, 3, TimePoint{1000}, Bytes{1, 2, 3}});
+  b.entries.push_back(UpdateBatchEntry{11, 7, TimePoint{2000}, Bytes{}});
+  b.entries.push_back(UpdateBatchEntry{12, 1, TimePoint{3000}, Bytes(64, 0xAB)});
+  b.epoch = 5;
+  return b;
+}
+
+TEST(Wire, UpdateBatchRoundTrip) {
+  const UpdateBatch b = sample_batch();
+  const auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded && decoded->update_batch);
+  const UpdateBatch& d = *decoded->update_batch;
+  EXPECT_EQ(d.epoch, 5u);
+  ASSERT_EQ(d.entries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(d.entries[i].object, b.entries[i].object) << i;
+    EXPECT_EQ(d.entries[i].version, b.entries[i].version) << i;
+    EXPECT_EQ(d.entries[i].timestamp, b.entries[i].timestamp) << i;
+    EXPECT_EQ(d.entries[i].value, b.entries[i].value) << i;
+  }
+}
+
+TEST(Wire, EmptyUpdateBatchRoundTrip) {
+  UpdateBatch b;
+  b.epoch = 9;
+  const auto decoded = decode(encode(b));
+  ASSERT_TRUE(decoded && decoded->update_batch);
+  EXPECT_TRUE(decoded->update_batch->entries.empty());
+  EXPECT_EQ(decoded->update_batch->epoch, 9u);
+}
+
+TEST(Wire, TruncatedUpdateBatchRejected) {
+  const Bytes full = encode(sample_batch());
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, UpdateBatchCountMismatchRejected) {
+  // Inflate the entry count past the entries actually present: the decoder
+  // must notice the list is short, not read the epoch field as an entry.
+  Bytes frame = encode(sample_batch());
+  // count is big-endian u32 at offset 1.  4 entries still fit the minimum
+  // entry-size pre-check, so the decoder walks into the epoch field and
+  // must fail the entry parse, not misattribute it.
+  frame[4] = 4;
+  EXPECT_FALSE(decode(frame).has_value());
+  // An absurd count must be rejected up front, before any allocation.
+  frame[1] = frame[2] = frame[3] = frame[4] = 0xFF;
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Wire, UpdateBatchUndercountRejected) {
+  // Shrink the count: the leftover entries become trailing bytes.
+  Bytes frame = encode(sample_batch());
+  frame[4] = 1;
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Wire, UpdateBatchTrailingBytesRejected) {
+  Bytes frame = encode(sample_batch());
+  frame.push_back(0x00);
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// encoded_size() is the exact wire size (the one-allocation reserve).
+// ---------------------------------------------------------------------------
+
+TEST(Wire, EncodedSizeMatchesWireSize) {
+  Update u{17, 42, TimePoint{7}, false, Bytes(33, 1), 3};
+  EXPECT_EQ(encode(u).size(), encoded_size(u));
+
+  EXPECT_EQ(encode(sample_batch()).size(), encoded_size(sample_batch()));
+
+  StateTransfer st;
+  st.transfer_id = 2;
+  StateEntry e;
+  e.spec.id = 4;
+  e.spec.name = "altitude";
+  e.value = Bytes(17, 9);
+  st.entries.push_back(e);
+  st.constraints.push_back(InterObjectConstraint{4, 5, millis(30)});
+  EXPECT_EQ(encode(st).size(), encoded_size(st));
+
+  ActivePrepare ap{1, 2, TimePoint{3}, Bytes(5, 4)};
+  EXPECT_EQ(encode(ap).size(), encoded_size(ap));
+}
+
+// ---------------------------------------------------------------------------
+// epoch_of() regression: a partially-populated AnyMessage (the per-type
+// optional empty) must yield the bootstrap wildcard 0, not dereference.
+// ---------------------------------------------------------------------------
+
+TEST(Wire, EpochOfEmptyOptionalsIsZero) {
+  for (std::uint8_t t = 1; t <= 10; ++t) {
+    AnyMessage m;
+    m.type = static_cast<MsgType>(t);
+    EXPECT_EQ(epoch_of(m), 0u) << "type=" << msg_type_name(m.type);
+  }
+}
+
+TEST(Wire, EpochOfDecodedMessages) {
+  auto batch = sample_batch();
+  EXPECT_EQ(epoch_of(*decode(encode(batch))), 5u);
+  EXPECT_EQ(epoch_of(*decode(encode(Update{1, 2, TimePoint{3}, false, {}, 77}))), 77u);
+  EXPECT_EQ(epoch_of(*decode(encode(Ping{1, 8}))), 8u);
+  EXPECT_EQ(epoch_of(*decode(encode(ActiveAck{4}))), 0u);
 }
 
 }  // namespace

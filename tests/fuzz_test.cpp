@@ -28,7 +28,7 @@ TEST(WireFuzz, RandomBytesNeverCrashDecoder) {
       // If it decoded, the tag must be a known one.
       const auto t = static_cast<std::uint8_t>(decoded->type);
       EXPECT_GE(t, 1);
-      EXPECT_LE(t, 7);
+      EXPECT_LE(t, 10);
     }
   }
 }
@@ -64,6 +64,36 @@ TEST(WireFuzz, SingleByteMutationsEitherFailOrKeepType) {
     // never crash or misattribute the payload length.
     if (decoded && pos != 0) {
       EXPECT_EQ(decoded->type, core::wire::MsgType::kUpdate);
+    }
+  }
+}
+
+TEST(WireFuzz, UpdateBatchMutationsNeverCrashOrMisparse) {
+  core::wire::UpdateBatch batch;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    batch.entries.push_back(core::wire::UpdateBatchEntry{
+        i + 1, i * 10 + 1, TimePoint{static_cast<std::int64_t>(i) * 1000},
+        Bytes(8 + i * 4, static_cast<std::uint8_t>(i))});
+  }
+  batch.epoch = 12;
+  const Bytes original = core::wire::encode(batch);
+  Rng rng(0xD00F);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes mutated = original;
+    // 1-3 random byte mutations per trial: hits the count field, the
+    // per-entry length prefixes and the epoch tail.
+    const int flips = static_cast<int>(rng.uniform(1, 3));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    }
+    const auto decoded = core::wire::decode(mutated);
+    if (decoded && decoded->type == core::wire::MsgType::kUpdateBatch) {
+      // If it still parsed as a batch, the entry list must be internally
+      // consistent — the decoder never hands back a half-read frame.
+      ASSERT_TRUE(decoded->update_batch.has_value());
+      EXPECT_LE(decoded->update_batch->entries.size(), mutated.size() / 24 + 1);
     }
   }
 }

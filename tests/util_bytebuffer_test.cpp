@@ -33,6 +33,41 @@ TEST(ByteBuffer, BigEndianLayout) {
   EXPECT_EQ(w.data()[3], 0x04);
 }
 
+TEST(ByteBuffer, ExactReserveNeverReallocates) {
+  // Multi-byte appends go in as one bulk insert, so a writer reserved at
+  // the exact frame size encodes without growing — the one-allocation
+  // frame-encode invariant the wirepath bench asserts with a real
+  // allocation counter.
+  const std::size_t frame = 1 + 2 + 4 + 8 + 8 + (4 + 16);
+  ByteWriter w(frame);
+  const std::size_t cap = w.data().capacity();
+  ASSERT_GE(cap, frame);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.bytes(Bytes(16, 0x77));
+  EXPECT_EQ(w.size(), frame);
+  EXPECT_EQ(w.data().capacity(), cap);
+}
+
+TEST(ByteBuffer, AppendedScalarsDecodeAfterBulkInsert) {
+  // The bulk big-endian path must keep byte order: round-trip mixed widths
+  // back to back with no padding.
+  ByteWriter w;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    w.u16(static_cast<std::uint16_t>(i * 257));
+    w.u64(static_cast<std::uint64_t>(i) * 0x0101010101010101ULL);
+  }
+  ByteReader r(w.data());
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(i * 257));
+    EXPECT_EQ(r.u64(), static_cast<std::uint64_t>(i) * 0x0101010101010101ULL);
+  }
+  EXPECT_TRUE(r.ok() && r.at_end());
+}
+
 TEST(ByteBuffer, RoundTripTimeTypes) {
   ByteWriter w;
   w.duration(millis(17));

@@ -124,6 +124,109 @@ TEST(FragLite, RuntFragmentCounted) {
   EXPECT_TRUE(env.received.empty());
 }
 
+// Hand-built fragment frame, for injecting malformed wire bytes.
+Bytes frag_frame(std::uint32_t msg_id, std::uint16_t index, std::uint16_t count,
+                 std::uint32_t total, const Bytes& payload) {
+  ByteWriter w(FragLite::kHeaderSize + payload.size());
+  w.u32(msg_id);
+  w.u16(index);
+  w.u16(count);
+  w.u32(total);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+TEST(FragLite, OutOfRangeFragmentIndexRejected) {
+  FragPair env;
+  // index == count and beyond: would index past the fragment table.
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(7, 3, 3, 300, pattern(100)));
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(7, 0xFFFF, 3, 300, pattern(100)));
+  env.sim.run();
+  EXPECT_EQ(env.frag_b.bad_fragments(), 2u);
+  EXPECT_EQ(env.frag_b.pending_reassemblies(), 0u);
+  EXPECT_TRUE(env.received.empty());
+}
+
+TEST(FragLite, ZeroFragmentCountRejected) {
+  FragPair env;
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(8, 0, 0, 100, pattern(50)));
+  env.sim.run();
+  EXPECT_EQ(env.frag_b.bad_fragments(), 1u);
+  EXPECT_TRUE(env.received.empty());
+}
+
+TEST(FragLite, AbsurdTotalLengthRejected) {
+  FragPair env;
+  // No 2-fragment split can exceed 2 * 0xFFFF bytes; a total claiming more
+  // is corruption and must not size the reassembly table.
+  env.a.send_datagram(50, {env.b.node(), 50},
+                      frag_frame(9, 0, 2, 2 * 0xFFFF + 1, pattern(50)));
+  env.sim.run();
+  EXPECT_EQ(env.frag_b.bad_fragments(), 1u);
+  EXPECT_EQ(env.frag_b.pending_reassemblies(), 0u);
+}
+
+TEST(FragLite, DuplicateFragmentDoesNotDoubleCount) {
+  FragPair env;
+  // 2-fragment message; fragment 0 arrives twice (replay), then fragment 1.
+  // The duplicate must not overwrite the slot nor count toward completion —
+  // pre-hardening, two copies of fragment 0 "completed" the message.
+  const Bytes whole = pattern(150);
+  const Bytes part0(whole.begin(), whole.begin() + 100);
+  const Bytes part1(whole.begin() + 100, whole.end());
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(10, 0, 2, 150, part0));
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(10, 0, 2, 150, part0));
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(10, 1, 2, 150, part1));
+  env.sim.run();
+  EXPECT_EQ(env.frag_b.duplicate_fragments(), 1u);
+  ASSERT_EQ(env.received.size(), 1u);
+  EXPECT_EQ(env.received[0], pattern(150));
+}
+
+TEST(FragLite, OverlongFragmentRejectedReassemblyKept) {
+  FragPair env;
+  // Fragment 1 claims 150 payload bytes against a declared total of 150 —
+  // together with fragment 0's 100 bytes that overflows the total.  The
+  // corrupt fragment is dropped; the good retransmission still completes.
+  const Bytes whole = pattern(150);
+  const Bytes part0(whole.begin(), whole.begin() + 100);
+  const Bytes part1(whole.begin() + 100, whole.end());
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(11, 0, 2, 150, part0));
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(11, 1, 2, 150, pattern(150)));
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(11, 1, 2, 150, part1));
+  env.sim.run();
+  EXPECT_EQ(env.frag_b.bad_fragments(), 1u);
+  ASSERT_EQ(env.received.size(), 1u);
+  EXPECT_EQ(env.received[0], pattern(150));
+}
+
+TEST(FragLite, ConflictingMetadataDropsReassembly) {
+  FragPair env;
+  // Same (src, msg id) but a different count: the whole reassembly is
+  // poisoned and dropped.
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(12, 0, 3, 250, pattern(100)));
+  // Bounded run: a full run() would fire the reassembly GC timeout and
+  // erase the half-built state before the conflicting fragment lands.
+  env.sim.run_until(env.sim.now() + millis(10));
+  EXPECT_EQ(env.frag_b.pending_reassemblies(), 1u);
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(12, 1, 4, 250, pattern(100)));
+  env.sim.run_until(env.sim.now() + millis(10));
+  EXPECT_EQ(env.frag_b.bad_fragments(), 1u);
+  EXPECT_EQ(env.frag_b.pending_reassemblies(), 0u);
+  EXPECT_TRUE(env.received.empty());
+}
+
+TEST(FragLite, SumMismatchOnCompletionDropsMessage) {
+  FragPair env;
+  // All fragments present but their sizes sum short of the declared total.
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(13, 0, 2, 300, pattern(100)));
+  env.a.send_datagram(50, {env.b.node(), 50}, frag_frame(13, 1, 2, 300, pattern(100)));
+  env.sim.run();
+  EXPECT_EQ(env.frag_b.bad_fragments(), 1u);
+  EXPECT_EQ(env.frag_b.pending_reassemblies(), 0u);
+  EXPECT_TRUE(env.received.empty());
+}
+
 TEST(FragLite, SourceAttributionPreserved) {
   FragPair env;
   env.send(pattern(300));

@@ -47,6 +47,81 @@ TEST(Message, FromWireHasNoHeadroomButPops) {
   EXPECT_EQ(m.to_bytes(), (Bytes{3, 4}));
 }
 
+// ---------------------------------------------------------------------------
+// Shared-payload semantics: copies and from_shared views must share one
+// underlying buffer (the encode-once fan-out contract).
+// ---------------------------------------------------------------------------
+
+TEST(Message, CopiesShareThePayloadBuffer) {
+  auto body = std::make_shared<const Bytes>(Bytes(256, 0x5A));
+  Message a = Message::from_shared(body, 0, body->size());
+  Message b = a;
+  Message c = a;
+  // Original + view in a + b + c — and zero new payload allocations.
+  EXPECT_EQ(body.use_count(), 4);
+  EXPECT_EQ(b.to_bytes(), *body);
+  EXPECT_EQ(c.to_bytes(), *body);
+}
+
+TEST(Message, PushOnCopyLeavesSiblingsUntouched) {
+  Message original{Bytes{1, 2, 3, 4}};
+  Message copy = original;
+  copy.push(Bytes{0xAA, 0xBB});
+  EXPECT_EQ(copy.size(), 6u);
+  EXPECT_EQ(original.size(), 4u);
+  EXPECT_EQ(original.to_bytes(), (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(copy.to_bytes(), (Bytes{0xAA, 0xBB, 1, 2, 3, 4}));
+}
+
+TEST(Message, FromSharedViewsSliceWithoutCopying) {
+  auto body = std::make_shared<const Bytes>(Bytes{0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Message mid = Message::from_shared(body, 3, 4);
+  EXPECT_EQ(mid.size(), 4u);
+  EXPECT_EQ(mid.to_bytes(), (Bytes{3, 4, 5, 6}));
+  // Pops advance the view in place; no reallocation of the shared buffer.
+  (void)mid.pop(2);
+  EXPECT_EQ(mid.to_bytes(), (Bytes{5, 6}));
+  EXPECT_EQ(body.use_count(), 2);
+}
+
+TEST(Message, SharedContentsIsZeroCopyWithoutHeaders) {
+  auto body = std::make_shared<const Bytes>(Bytes(64, 0x11));
+  Message m = Message::from_shared(body, 8, 32);
+  const Message::SharedView v = m.shared_contents();
+  EXPECT_EQ(v.buf.get(), body.get());  // same buffer, not a copy
+  EXPECT_EQ(v.offset, 8u);
+  EXPECT_EQ(v.length, 32u);
+}
+
+TEST(Message, SharedContentsLinearisesWhenHeadersPresent) {
+  Message m{Bytes{9, 9, 9}};
+  m.push(Bytes{1, 2});
+  const Message::SharedView v = m.shared_contents();
+  ASSERT_NE(v.buf, nullptr);
+  const auto s = v.span();
+  EXPECT_EQ(Bytes(s.begin(), s.end()), (Bytes{1, 2, 9, 9, 9}));
+  // After linearising, the message itself still pops correctly.
+  EXPECT_EQ(m.pop(2).size(), 2u);
+  EXPECT_EQ(m.to_bytes(), (Bytes{9, 9, 9}));
+}
+
+TEST(Message, PopStraddlingHeaderAndBody) {
+  Message m{Bytes{5, 6, 7}};
+  m.push(Bytes{1, 2});
+  const auto popped = m.pop(4);  // 2 header + 2 body bytes
+  EXPECT_EQ(Bytes(popped.begin(), popped.end()), (Bytes{1, 2, 5, 6}));
+  EXPECT_EQ(m.to_bytes(), Bytes{7});
+}
+
+TEST(Message, HeaderAndBodySegmentsGatherToContents) {
+  Message m{Bytes{3, 4}};
+  m.push(Bytes{1, 2});
+  const auto h = m.header_segment();
+  const auto b = m.body_segment();
+  EXPECT_EQ(Bytes(h.begin(), h.end()), (Bytes{1, 2}));
+  EXPECT_EQ(Bytes(b.begin(), b.end()), (Bytes{3, 4}));
+}
+
 TEST(UdpChecksum, DetectsCorruption) {
   Bytes data{1, 2, 3, 4, 5};
   const auto good = UdpLite::checksum(data);
@@ -57,6 +132,20 @@ TEST(UdpChecksum, DetectsCorruption) {
 TEST(UdpChecksum, OddLengthHandled) {
   Bytes data{1, 2, 3};
   EXPECT_EQ(UdpLite::checksum(data), UdpLite::checksum(data));
+}
+
+TEST(UdpChecksum, TwoSegmentGatherMatchesFlat) {
+  // The push path checksums (header, body) without linearising; the sum
+  // must equal the flat checksum for every split point, including splits
+  // that break a 16-bit word across the segments.
+  Bytes data(37, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  const auto flat = UdpLite::checksum(data);
+  const std::span<const std::uint8_t> all(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    EXPECT_EQ(UdpLite::checksum(all.subspan(0, split), all.subspan(split)), flat)
+        << "split=" << split;
+  }
 }
 
 TEST(GraphSpec, Parsing) {

@@ -40,6 +40,8 @@ void usage(const char* argv0) {
             << "  --objects N        objects offered per seed (default 4)\n"
             << "  --backups N        backups in the replication chain (default 1)\n"
             << "  --no-crashes       disable crash/recruit scenarios\n"
+            << "  --no-batch         send one kUpdate frame per object instead of\n"
+            << "                     coalescing into kUpdateBatch (different digests)\n"
             << "  --partition        partition primary from successor instead of\n"
             << "                     crashing (needs --backups >= 2; replaces crashes)\n"
             << "  --sabotage MODE    none | no-failover | slow-updates | split-brain\n"
@@ -90,6 +92,8 @@ int main(int argc, char** argv) {
       opts.backups = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-crashes") {
       opts.enable_crashes = false;
+    } else if (arg == "--no-batch") {
+      opts.config.batch_updates = false;
     } else if (arg == "--partition") {
       opts.enable_partition = true;
     } else if (arg == "--sabotage") {
