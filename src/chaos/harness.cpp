@@ -73,6 +73,10 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
     report.updates_applied += r.updates_applied();
     report.epoch_rejections += r.epoch_rejections();
     report.cross_epoch_applies += r.cross_epoch_applies();
+    report.updates_shed += r.updates_shed();
+    report.qos_downgrades += r.qos_downgrades_sent();
+    report.qos_restores += r.qos_restores_sent();
+    report.transfer_give_ups += r.transfer_give_ups();
   });
   report.avg_max_distance_ms = service.metrics().average_max_distance_ms();
   report.total_inconsistency_ms = service.metrics().total_inconsistency().millis();

@@ -41,6 +41,12 @@ struct SeedReport {
   double total_inconsistency_ms = 0.0;
   std::uint64_t inconsistency_intervals = 0;
 
+  // Graceful-degradation activity, summed over replicas.
+  std::uint64_t updates_shed = 0;        ///< staged updates dropped by slack shedding
+  std::uint64_t qos_downgrades = 0;      ///< ConstraintDowngrade notices sent
+  std::uint64_t qos_restores = 0;        ///< ConstraintRestore notices sent
+  std::uint64_t transfer_give_ups = 0;   ///< state-transfer retry caps hit
+
   // Telemetry (zero / empty unless ChaosOptions::telemetry).
   std::uint64_t spans_started = 0;
   std::uint64_t spans_violated = 0;

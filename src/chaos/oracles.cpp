@@ -23,6 +23,20 @@ bool OracleMonitor::in_fault_epoch(TimePoint t) const {
   return false;
 }
 
+namespace {
+bool is_overload_kind(FaultKind k) {
+  return k == FaultKind::kCpuSpike || k == FaultKind::kThrottleBandwidth ||
+         k == FaultKind::kInflateLatency;
+}
+}  // namespace
+
+bool OracleMonitor::in_disruptive_epoch(TimePoint t) const {
+  for (const FaultEpoch& e : epochs_) {
+    if (t >= e.from && t <= e.until && !is_overload_kind(e.cause)) return true;
+  }
+  return false;
+}
+
 void OracleMonitor::report(TimePoint now, const char* oracle, std::string detail,
                            telemetry::SpanId span) {
   ++violation_count_;
@@ -93,6 +107,31 @@ void OracleMonitor::check() {
       }
     } else if (!violating) {
       stale_reported_[id] = false;
+    }
+
+    // no-silent-violation: overload never excuses an *unannounced* window
+    // violation.  While no message-breaking epoch is open, a violating
+    // object must either be actively downgraded or have received a QoS
+    // notice recently.  Silent samples accumulate — violations under
+    // overload flap with every applied update, and many short silent
+    // excursions are as damning as one long one — until a notice resets
+    // the budget or it runs out and the oracle reports.
+    if (violating && primary_up && !in_disruptive_epoch(now)) {
+      core::ReplicaServer& primary = service_.acting_primary();
+      const TimePoint notice = primary.qos_last_notice_at(id);
+      const bool announced =
+          primary.qos_downgrade_active(id) ||
+          (notice > TimePoint::zero() && now - notice <= kNoticeGrace);
+      if (announced) {
+        silent_samples_[id] = 0;
+      } else if (++silent_samples_[id] >= kSilentSampleBudget && !silent_reported_[id]) {
+        silent_reported_[id] = true;
+        report(now, "no-silent-violation",
+               "object " + std::to_string(id) +
+                   " violated its window with no downgrade notice (distance " +
+                   std::to_string(service_.metrics().max_distance(id).millis()) + " ms)",
+               guilty);
+      }
     }
   }
 

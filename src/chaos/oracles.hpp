@@ -19,6 +19,15 @@
 //                        older epoch than one it has already accepted —
 //                        epoch fencing's core guarantee.  Unconditional:
 //                        not even a declared fault epoch excuses it.
+//   no-silent-violation  graceful degradation's contract: when overload
+//                        (not message loss or a crash) pushes an object out
+//                        of its window, the primary must have renegotiated
+//                        — the object is currently downgraded, or a QoS
+//                        notice preceded the violation.  Judged whenever no
+//                        crash/loss epoch is open (overload epochs do NOT
+//                        excuse it: they starve messages rather than break
+//                        them, and shedding + renegotiation exist precisely
+//                        to keep the resulting violations announced).
 //
 // The monitor is passive: it draws no randomness and only reads state, so
 // attaching it cannot change what the simulation does (trace records it
@@ -63,9 +72,23 @@ class OracleMonitor {
   [[nodiscard]] bool ok() const { return violation_count_ == 0; }
 
   [[nodiscard]] bool in_fault_epoch(TimePoint t) const;
+  /// True when an epoch caused by message-breaking faults (loss, crash,
+  /// partition, …) is open at `t`.  Overload epochs are excluded: they are
+  /// the no-silent-violation oracle's jurisdiction, not an excuse.
+  [[nodiscard]] bool in_disruptive_epoch(TimePoint t) const;
 
  private:
   static constexpr std::size_t kMaxStored = 64;
+  /// Unannounced violating samples an object may accumulate before the
+  /// no-silent-violation oracle reports.  Cumulative, not consecutive:
+  /// overload violations flap with every applied update (open a few ms,
+  /// close, reopen), and a run of short silent excursions is exactly as
+  /// silent as one long one.  The budget gives the 10 ms QoS tick a few
+  /// rounds to catch a between-samples window crossing; a notice resets it.
+  static constexpr std::uint32_t kSilentSampleBudget = 5;
+  /// How recent a downgrade/restore notice counts as "preceding" a
+  /// violation once the object is no longer actively downgraded.
+  static constexpr Duration kNoticeGrace = millis(500);
 
   void check();
   /// Record a violation.  `span` (when not kNoSpan and telemetry is on)
@@ -87,6 +110,10 @@ class OracleMonitor {
   std::map<std::pair<std::size_t, core::ObjectId>, std::uint64_t> last_version_;
   /// Objects already reported stale (one report per excursion, not per sample).
   std::map<core::ObjectId, bool> stale_reported_;
+  /// Unannounced violating samples accumulated per object
+  /// (no-silent-violation pending state; reset by a QoS notice).
+  std::map<core::ObjectId, std::uint32_t> silent_samples_;
+  std::map<core::ObjectId, bool> silent_reported_;
   /// Last sampled violation state per object (edge detection).
   std::map<core::ObjectId, bool> was_violating_;
   bool primary_count_reported_ = false;

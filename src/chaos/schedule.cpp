@@ -40,6 +40,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kCrashBackup: return "crash-backup";
     case FaultKind::kAddStandby: return "add-standby";
     case FaultKind::kPartitionPrimary: return "partition-primary";
+    case FaultKind::kCpuSpike: return "cpu-spike";
+    case FaultKind::kThrottleBandwidth: return "throttle-bandwidth";
+    case FaultKind::kInflateLatency: return "inflate-latency";
   }
   return "?";
 }
@@ -130,6 +133,38 @@ ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosOptions& opts) {
     }
   }
 
+  if (opts.enable_overload && fault_ceil > fault_floor + 500) {
+    Rng rng{derive_stream_seed(seed, kStreamOverload)};
+    const std::int64_t n = scale_count(rng.uniform(1, 3), opts.intensity);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t from = rng.uniform(fault_floor, fault_ceil);
+      const std::int64_t len = rng.uniform(1000, 3000);
+      ChaosEvent e;
+      e.at = at_ms(from);
+      e.until = at_ms(std::min(from + len, dur_ms));
+      switch (rng.uniform(0, 2)) {
+        case 0:
+          // Steal 30–70% of the primary's CPU.
+          e.kind = FaultKind::kCpuSpike;
+          e.probability = percent(rng, 30, 70);
+          break;
+        case 1:
+          // Crush the link to 2–10% of its bandwidth: transmission delay
+          // balloons 10–50× and the FIFO floor turns it into queueing.
+          e.kind = FaultKind::kThrottleBandwidth;
+          e.probability = percent(rng, 2, 10);
+          break;
+        default:
+          // Add 20–120 ms of base propagation: RTT inflation far past the
+          // fixed ack timeout — only adaptive timeouts ride it out.
+          e.kind = FaultKind::kInflateLatency;
+          e.extra = millis(rng.uniform(20, 120));
+          break;
+      }
+      s.events.push_back(e);
+    }
+  }
+
   // Partition scenario: isolate the primary from its successor so both
   // keep running (split brain) — epoch fencing's job to resolve.  It uses
   // the same failover machinery as a crash, so when active it replaces the
@@ -194,6 +229,15 @@ void apply(const ChaosSchedule& schedule, core::FaultPlan& plan) {
         break;
       case FaultKind::kPartitionPrimary:
         plan.partition_primary(e.at);
+        break;
+      case FaultKind::kCpuSpike:
+        plan.cpu_spike(e.at, e.until, e.probability);
+        break;
+      case FaultKind::kThrottleBandwidth:
+        plan.throttle_bandwidth(e.at, e.until, e.probability);
+        break;
+      case FaultKind::kInflateLatency:
+        plan.inflate_latency(e.at, e.until, e.extra);
         break;
     }
   }
@@ -339,6 +383,23 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
       case FaultKind::kPartitionPrimary:
         std::snprintf(line, sizeof line, "plan.partition_primary(at_ms(%lld));\n",
                       static_cast<long long>(ms(e.at)));
+        break;
+      case FaultKind::kCpuSpike:
+        std::snprintf(line, sizeof line, "plan.cpu_spike(at_ms(%lld), at_ms(%lld), %.2f);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability);
+        break;
+      case FaultKind::kThrottleBandwidth:
+        std::snprintf(line, sizeof line,
+                      "plan.throttle_bandwidth(at_ms(%lld), at_ms(%lld), %.2f);\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      e.probability);
+        break;
+      case FaultKind::kInflateLatency:
+        std::snprintf(line, sizeof line,
+                      "plan.inflate_latency(at_ms(%lld), at_ms(%lld), millis(%lld));\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
+                      static_cast<long long>(e.extra.nanos() / 1'000'000));
         break;
     }
     out += line;

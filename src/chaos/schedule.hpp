@@ -36,6 +36,9 @@ enum class FaultKind : std::uint8_t {
   kCrashBackup,
   kAddStandby,
   kPartitionPrimary,  ///< isolate primary from its successor (split brain)
+  kCpuSpike,           ///< steal a CPU fraction on the acting primary
+  kThrottleBandwidth,  ///< shrink link bandwidth to a fraction (queueing)
+  kInflateLatency,     ///< add base propagation delay (RTT inflation)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -44,8 +47,8 @@ struct ChaosEvent {
   FaultKind kind{};
   TimePoint at{};                  ///< start (the instant, for crash/standby)
   TimePoint until{};               ///< end of interval faults; == at otherwise
-  double probability = 0.0;        ///< loss/dup/reorder/corrupt/burst-enter
-  Duration extra{};                ///< reorder extra delay
+  double probability = 0.0;        ///< loss/dup/…; also cpu/bandwidth fraction
+  Duration extra{};                ///< reorder extra delay / latency inflation
   std::uint32_t burst_length = 0;  ///< burst-loss run length
 };
 
@@ -72,6 +75,11 @@ struct ChaosOptions {
   bool enable_loss_storms = true;   ///< update-stream loss (detector-safe)
   bool enable_link_faults = true;   ///< degradation/dup/reorder/burst/corrupt
   bool enable_crashes = true;       ///< crash + failover + recruitment
+  /// Overload family (off by default): cpu_spike / throttle_bandwidth /
+  /// inflate_latency.  These do not break messages, they starve them —
+  /// the graceful-degradation machinery (shedding, QoS renegotiation,
+  /// adaptive timeouts) is what keeps the resulting violations announced.
+  bool enable_overload = false;
   double crash_probability = 0.6;   ///< chance a run includes a crash
   double crash_backup_bias = 0.3;   ///< of crashes, fraction hitting the backup
 
@@ -127,6 +135,7 @@ enum ChaosStream : std::uint64_t {
   kStreamLink = 4,      ///< link-level fault bursts
   kStreamCrash = 5,      ///< crash / recruitment scenario
   kStreamPartition = 6,  ///< split-brain partition scenario
+  kStreamOverload = 7,   ///< cpu/bandwidth/latency overload bursts
 };
 
 /// Generate the fault schedule for `seed`.  Pure function of (seed, opts).

@@ -1,0 +1,91 @@
+#include "core/degradation.hpp"
+
+#include <algorithm>
+
+namespace rtpb::core {
+
+void RttEstimator::sample(Duration rtt) {
+  if (rtt < Duration::zero()) return;
+  if (samples_ == 0) {
+    // RFC 6298 §2.2: first sample initialises both estimators.
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+  } else {
+    // RTTVAR before SRTT so the deviation is measured against the old
+    // smoothed value (the standard ordering).
+    const Duration err = (srtt_ - rtt).abs();
+    rttvar_ = rttvar_ - rttvar_ / 4 + err / 4;        // β = 1/4
+    srtt_ = srtt_ - srtt_ / 8 + rtt / 8;              // α = 1/8
+  }
+  ++samples_;
+}
+
+void RttEstimator::reset() {
+  srtt_ = Duration::zero();
+  rttvar_ = Duration::zero();
+  samples_ = 0;
+}
+
+Duration RttEstimator::rto() const {
+  if (samples_ == 0) return Duration::zero();
+  return srtt_ + rttvar_ * 4;
+}
+
+Duration BackoffPolicy::next(Rng& rng) {
+  const std::uint32_t shift = std::min(level_, 16u);
+  if (level_ < 16u) ++level_;
+  Duration delay = params_.base * (std::int64_t{1} << shift);
+  if (params_.cap > Duration::zero()) delay = std::min(delay, params_.cap);
+  // Quantised jitter factor (0.01 steps) so reproducer renderings of any
+  // derived schedule stay exact.
+  const double j = std::clamp(params_.jitter, 0.0, 0.99);
+  const double lo = 1.0 - j;
+  const double hi = 1.0 + j;
+  const double factor =
+      static_cast<double>(rng.uniform(static_cast<std::int64_t>(lo * 100),
+                                      static_cast<std::int64_t>(hi * 100))) /
+      100.0;
+  return delay.scaled(factor);
+}
+
+void DegradationController::on_rtt_sample(TimePoint now, Duration rtt) {
+  rtt_.sample(rtt);
+  if (params_.rtt_baseline > Duration::zero() &&
+      rtt_.srtt() > params_.rtt_baseline.scaled(params_.rtt_factor)) {
+    trigger(now);
+  }
+}
+
+void DegradationController::on_queue_depth(TimePoint now, std::size_t depth) {
+  if (depth > params_.queue_depth) trigger(now);
+}
+
+void DegradationController::on_missed_window(TimePoint now) {
+  ++missed_windows_;
+  trigger(now);
+}
+
+void DegradationController::trigger(TimePoint now) {
+  triggered_ever_ = true;
+  last_trigger_ = std::max(last_trigger_, now);
+  ++triggers_;
+}
+
+bool DegradationController::overloaded(TimePoint now) const {
+  return triggered_ever_ && now - last_trigger_ <= params_.overload_hold;
+}
+
+Duration DegradationController::calm_for(TimePoint now) const {
+  if (!triggered_ever_) return Duration::max();
+  return std::max(Duration::zero(), now - last_trigger_);
+}
+
+void DegradationController::reset() {
+  rtt_.reset();
+  triggered_ever_ = false;
+  last_trigger_ = TimePoint{};
+  triggers_ = 0;
+  missed_windows_ = 0;
+}
+
+}  // namespace rtpb::core

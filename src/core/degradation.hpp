@@ -1,0 +1,127 @@
+// Graceful degradation under overload.
+//
+// The paper's admission control (§4.2) guarantees temporal consistency
+// only for the load it admitted; once the environment degrades — latency
+// inflated past ℓ, bandwidth throttled, CPU stolen — the original
+// guarantees are unkeepable.  This module gives the primary the machinery
+// to degrade *predictably* instead of failing silently:
+//
+//  - RttEstimator: Jacobson-style smoothed RTT + variance over ping acks,
+//    driving failure-detector timeouts and update-ack deadlines so
+//    timeouts track the network the service actually has.
+//  - BackoffPolicy: exponential backoff with seeded jitter and a retry
+//    cap, for state-transfer / registration retries.
+//  - DegradationController: overload detection from ack-lag EWMAs,
+//    send-queue depth and missed transmission windows, with hysteresis on
+//    the way out so QoS restores never flap.
+//
+// Shedding and QoS renegotiation themselves live in ReplicaServer (they
+// need the store, the admission controller and the wire); this module is
+// the measurement + policy core, unit-testable without a server.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::core {
+
+/// Jacobson/Karn RTT estimation (RFC 6298 flavour): SRTT and RTTVAR
+/// EWMAs with the classic gains α = 1/8, β = 1/4, and RTO = SRTT +
+/// 4·RTTVAR.  Callers enforce Karn's rule by only feeding samples from
+/// unambiguous (non-retransmitted) exchanges.
+class RttEstimator {
+ public:
+  void sample(Duration rtt);
+  void reset();
+
+  [[nodiscard]] bool has_sample() const { return samples_ > 0; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] Duration srtt() const { return srtt_; }
+  [[nodiscard]] Duration rttvar() const { return rttvar_; }
+  /// SRTT + 4·RTTVAR; zero until the first sample.
+  [[nodiscard]] Duration rto() const;
+
+ private:
+  Duration srtt_{};
+  Duration rttvar_{};
+  std::uint64_t samples_ = 0;
+};
+
+/// Exponential backoff with seeded jitter: delay k is
+/// base × 2^min(k, 16), multiplied by a uniform factor in
+/// [1 − jitter, 1 + jitter] drawn from the caller's Rng (so backoff
+/// stays inside the experiment's deterministic draw stream), and capped.
+class BackoffPolicy {
+ public:
+  struct Params {
+    Duration base{};
+    Duration cap{};
+    double jitter = 0.25;
+  };
+
+  explicit BackoffPolicy(Params p) : params_(p) {}
+
+  /// The delay before the next attempt; advances the backoff level.
+  [[nodiscard]] Duration next(Rng& rng);
+  void reset() { level_ = 0; }
+  [[nodiscard]] std::uint32_t level() const { return level_; }
+
+ private:
+  Params params_;
+  std::uint32_t level_ = 0;
+};
+
+/// Detects overload from three independent signals and exposes a
+/// hysteresis-filtered state:
+///
+///  - ack-lag EWMA: the smoothed ping RTT exceeds `rtt_factor` times the
+///    link's no-queueing baseline (2ℓ) — queueing is building up;
+///  - send-queue depth: the staged update queue exceeds `queue_depth`;
+///  - missed transmission windows: an update's slack expired before it
+///    could be shipped.
+///
+/// Any trigger enters the overloaded state; the state is left only after
+/// `overload_hold` without a trigger, and QoS restore additionally waits
+/// for `calm_for()` ≥ the caller's restore hold.
+class DegradationController {
+ public:
+  struct Params {
+    Duration rtt_baseline{};        ///< 2ℓ: round trip with empty queues
+    double rtt_factor = 4.0;
+    std::size_t queue_depth = 16;
+    Duration overload_hold = millis(200);
+  };
+
+  explicit DegradationController(Params p) : params_(p) {}
+
+  /// Feed a ping-ack RTT sample (Karn-filtered by the caller).
+  void on_rtt_sample(TimePoint now, Duration rtt);
+  /// Feed the staged send-queue depth at a batch flush.
+  void on_queue_depth(TimePoint now, std::size_t depth);
+  /// A transmission window was missed (slack expired before shipping).
+  void on_missed_window(TimePoint now);
+
+  [[nodiscard]] bool overloaded(TimePoint now) const;
+  /// Time since the last overload trigger (Duration::max() if none ever).
+  [[nodiscard]] Duration calm_for(TimePoint now) const;
+
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
+  [[nodiscard]] std::uint64_t missed_windows() const { return missed_windows_; }
+
+  void reset();
+
+ private:
+  void trigger(TimePoint now);
+
+  Params params_;
+  RttEstimator rtt_;
+  bool triggered_ever_ = false;
+  TimePoint last_trigger_{};
+  std::uint64_t triggers_ = 0;
+  std::uint64_t missed_windows_ = 0;
+};
+
+}  // namespace rtpb::core

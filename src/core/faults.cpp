@@ -93,6 +93,67 @@ FaultPlan& FaultPlan::corruption_burst(TimePoint from, TimePoint until, double p
   return *this;
 }
 
+FaultPlan& FaultPlan::cpu_spike(TimePoint from, TimePoint until, double fraction) {
+  RTPB_EXPECTS(fraction > 0.0 && fraction < 1.0);
+  // The hog task id travels start→end through a shared slot; the end
+  // action must tolerate the primary having crashed (its CPU dies with
+  // it) or never having started the spike.
+  auto task = std::make_shared<sched::TaskId>(sched::kInvalidTask);
+  at(from, "cpu-spike-start", [this, task, fraction] {
+    ReplicaServer& primary = service_.acting_primary();
+    if (primary.crashed()) return;
+    const Duration period = millis(5);
+    sched::TaskSpec spec;
+    spec.name = "chaos-cpu-hog";
+    spec.period = period;
+    spec.wcet = period.scaled(fraction);
+    *task = primary.cpu().add_task(spec, [](const sched::JobInfo&) {});
+  });
+  at(until, "cpu-spike-end", [this, task] {
+    ReplicaServer& primary = service_.acting_primary();
+    if (*task == sched::kInvalidTask || !primary.cpu().has_task(*task)) return;
+    primary.cpu().remove_task(*task);
+    *task = sched::kInvalidTask;
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::throttle_bandwidth(TimePoint from, TimePoint until, double fraction) {
+  RTPB_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  auto original = std::make_shared<double>(0.0);
+  at(from, "throttle-bandwidth-start", [this, a, b, fraction, original] {
+    const auto params = service_.network().link_params(a, b);
+    if (!params) return;
+    *original = params->bandwidth_bps;
+    // An infinite link (<=0) has nothing to throttle against a fraction.
+    if (*original <= 0.0) return;
+    service_.network().set_bandwidth(a, b, *original * fraction);
+  });
+  at(until, "throttle-bandwidth-end", [this, a, b, original] {
+    if (*original <= 0.0) return;
+    service_.network().set_bandwidth(a, b, *original);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::inflate_latency(TimePoint from, TimePoint until, Duration extra) {
+  RTPB_EXPECTS(extra > Duration::zero());
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  auto original = std::make_shared<Duration>();
+  at(from, "inflate-latency-start", [this, a, b, extra, original] {
+    const auto params = service_.network().link_params(a, b);
+    if (!params) return;
+    *original = params->propagation;
+    service_.network().set_propagation(a, b, *original + extra);
+  });
+  at(until, "inflate-latency-end",
+     [this, a, b, original] { service_.network().set_propagation(a, b, *original); });
+  return *this;
+}
+
 FaultPlan& FaultPlan::partition_primary(TimePoint when) {
   const net::NodeId a = service_.primary().node();
   const net::NodeId b = service_.backup().node();

@@ -44,6 +44,23 @@ class FaultPlan {
   /// catch these; to the service they look like loss).
   FaultPlan& corruption_burst(TimePoint from, TimePoint until, double probability);
 
+  /// Steal `fraction` of the acting primary's CPU between `from` and
+  /// `until` with a short-period hog task (5 ms period, wcet =
+  /// fraction × period).  Under RM the hog outranks every admitted update
+  /// task, so their releases slip — the overload DegradationController
+  /// must absorb.
+  FaultPlan& cpu_spike(TimePoint from, TimePoint until, double fraction);
+
+  /// Throttle the primary↔backup link to `fraction` of its configured
+  /// bandwidth between `from` and `until` (queueing delay growth; the
+  /// shedding + renegotiation path must keep violations announced).
+  FaultPlan& throttle_bandwidth(TimePoint from, TimePoint until, double fraction);
+
+  /// Add `extra` to the link's base propagation delay between `from` and
+  /// `until` (RTT inflation; adaptive timeouts must widen instead of
+  /// spuriously declaring the peer dead).
+  FaultPlan& inflate_latency(TimePoint from, TimePoint until, Duration extra);
+
   /// Partition the original primary from the designated-successor backup
   /// at `at` (loss 1.0, both directions, permanently).  The successor
   /// declares the primary dead and promotes while the old primary keeps

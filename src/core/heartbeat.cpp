@@ -1,5 +1,7 @@
 #include "core/heartbeat.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace rtpb::core {
@@ -35,6 +37,8 @@ void FailureDetector::send_ping() {
   if (sim_.telemetry().enabled()) sim_.telemetry().registry().counter("core.heartbeat.pings").add();
   send_ping_(seq);
   const TimePoint sent_at = sim_.now();
+  outstanding_seq_ = seq;
+  outstanding_sent_at_ = sent_at;
   timeout_event_.cancel();
   timeout_event_ =
       sim_.schedule_after(params_.ack_timeout, [this, seq, sent_at] { on_timeout(seq, sent_at); });
@@ -83,6 +87,17 @@ void FailureDetector::on_ping_ack(std::uint64_t seq) {
   last_acked_seq_ = seq;
   last_traffic_ = sim_.now();
   if (!peer_dead_) misses_ = 0;
+  // RTT is only measurable for the latest ping — its send time is the one
+  // we stored.  An ack for an older (already timed-out) seq is credited
+  // for liveness above but yields no sample.
+  if (seq == outstanding_seq_ && on_rtt_) {
+    on_rtt_(sim_.now() - outstanding_sent_at_);
+  }
+}
+
+void FailureDetector::set_ack_timeout(Duration t) {
+  if (t <= Duration::zero()) return;
+  params_.ack_timeout = std::min(t, params_.ping_period);
 }
 
 void FailureDetector::note_traffic() {

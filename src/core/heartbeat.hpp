@@ -24,9 +24,22 @@ class FailureDetector {
 
   using SendPingFn = std::function<void(std::uint64_t seq)>;
   using PeerDeadFn = std::function<void()>;
+  using RttSampleFn = std::function<void(Duration rtt)>;
 
   FailureDetector(sim::Simulator& sim, Params params, SendPingFn send_ping,
                   PeerDeadFn on_peer_dead);
+
+  /// Observe the RTT of every matched ack for the most recent outstanding
+  /// ping (Karn-unambiguous: pings are never retransmitted, and older
+  /// in-flight seqs have no stored send time).  Adaptive-timeout mode
+  /// feeds these into the Jacobson estimator.
+  void set_rtt_callback(RttSampleFn fn) { on_rtt_ = std::move(fn); }
+
+  /// Adjust the ack timeout at runtime (adaptive mode: SRTT + 4·RTTVAR).
+  /// Clamped to (0, ping_period] to preserve the one-outstanding-ping
+  /// invariant.
+  void set_ack_timeout(Duration t);
+  [[nodiscard]] Duration ack_timeout() const { return params_.ack_timeout; }
 
   void start();
   void stop();
@@ -52,9 +65,12 @@ class FailureDetector {
   Params params_;
   SendPingFn send_ping_;
   PeerDeadFn on_peer_dead_;
+  RttSampleFn on_rtt_;
   sim::PeriodicTimer timer_;
   sim::EventHandle timeout_event_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t outstanding_seq_ = 0;    ///< most recent ping, for RTT timing
+  TimePoint outstanding_sent_at_{};
   std::uint64_t last_acked_seq_ = 0;
   std::uint64_t pings_sent_ = 0;
   std::uint64_t stale_acks_ = 0;

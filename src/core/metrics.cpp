@@ -127,4 +127,18 @@ bool Metrics::in_violation(ObjectId id) const {
   return it->second.inconsistency.is_open();
 }
 
+Duration Metrics::current_distance(ObjectId id) const {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  const ObjectTrack& t = it->second;
+  if (!t.primary_written || !t.backup_applied) return Duration::zero();
+  return t.primary_ts - t.backup_origin_ts;
+}
+
+Duration Metrics::window_of(ObjectId id) const {
+  auto it = objects_.find(id);
+  RTPB_EXPECTS(it != objects_.end());
+  return it->second.window;
+}
+
 }  // namespace rtpb::core

@@ -75,6 +75,12 @@ class Metrics {
   /// Per-object introspection (tests).
   [[nodiscard]] Duration max_distance(ObjectId id) const;
   [[nodiscard]] bool in_violation(ObjectId id) const;
+  /// Instantaneous d_i = T_i^P − T_i^B (zero until both sites have
+  /// written) — the degradation controller's restore guard reads this to
+  /// make sure the backup is genuinely caught up before tightening.
+  [[nodiscard]] Duration current_distance(ObjectId id) const;
+  /// The window currently judged against (tracks QoS downgrades).
+  [[nodiscard]] Duration window_of(ObjectId id) const;
 
  private:
   struct ObjectTrack {

@@ -24,6 +24,14 @@ std::uint64_t ObjectStore::write(ObjectId id, Bytes value, TimePoint now) {
   return s.version;
 }
 
+bool ObjectStore::update_spec(ObjectId id, const ObjectSpec& spec) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  RTPB_EXPECTS(spec.id == id);
+  it->second.spec = spec;
+  return true;
+}
+
 bool ObjectStore::apply(ObjectId id, std::uint64_t version, TimePoint origin_ts, Bytes value,
                         TimePoint now) {
   auto it = objects_.find(id);

@@ -40,6 +40,12 @@ class ObjectStore {
   /// Returns the new version.
   std::uint64_t write(ObjectId id, Bytes value, TimePoint now);
 
+  /// Replace an object's spec in place (runtime QoS renegotiation keeps
+  /// the renegotiated constraint here so it survives failover — promote()
+  /// rebuilds admission from store specs).  Value/version/timestamps are
+  /// untouched.  Returns false if the object is unknown.
+  bool update_spec(ObjectId id, const ObjectSpec& spec);
+
   /// Apply a remote update (backup side).  Ignored (returns false) if
   /// `version` is not newer than what is held.
   bool apply(ObjectId id, std::uint64_t version, TimePoint origin_ts, Bytes value,

@@ -35,6 +35,8 @@ ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameSer
   // learn the cluster epoch from the first accepted message.  Epoch-0
   // traffic is never fenced, so a fresh standby can bootstrap.
   if (role_ == Role::kPrimary) epoch_ = 1;
+  transfer_backoff_.emplace(BackoffPolicy::Params{
+      config_.ping_period * 2, config_.ping_period * 32, 0.25});
   if (config_.enable_fragmentation) {
     frag_ = std::make_unique<xkernel::FragLite>(sim, config_.fragment_payload);
     frag_->set_telemetry(&sim.telemetry(), node());
@@ -79,9 +81,19 @@ void ReplicaServer::start() {
   }
   admission_ = std::make_unique<AdmissionController>(config_, ell);
 
+  // Overload detection baseline: a full-frame round trip with empty
+  // queues is 2ℓ; the smoothed ping RTT climbing past rtt_factor × that
+  // means queueing (throttled bandwidth, inflated latency) is building.
+  DegradationController::Params dp;
+  dp.rtt_baseline = ell > Duration::zero() ? ell * 2 : config_.ping_period / 4;
+  dp.rtt_factor = config_.overload_rtt_factor;
+  dp.queue_depth = config_.overload_queue_depth;
+  degrade_ = std::make_unique<DegradationController>(dp);
+
   cpu_.start(sim_.now());
   if (role_ == Role::kPrimary) {
     names_.publish(service_name_, endpoint());
+    arm_qos_tick();
   }
   if (!peers_.empty()) start_heartbeat();
 }
@@ -95,9 +107,15 @@ void ReplicaServer::ensure_detector(net::Endpoint peer) {
   PeerState& ps = peer_state_[peer.node];
   ps.endpoint = peer;
   if (ps.detector && ps.detector->running()) return;
+  // A replica recruited after start() may not have captured link
+  // parameters yet — fetch them now so the derived ack timeout (and the
+  // overload RTT baseline) see the real link instead of the fallback.
+  if (!link_params_) {
+    if (auto params = network_.link_params(node(), peer.node)) link_params_ = *params;
+  }
   FailureDetector::Params params;
   params.ping_period = config_.ping_period;
-  params.ack_timeout = config_.ping_ack_timeout;
+  params.ack_timeout = derived_ack_timeout();
   params.max_misses = config_.ping_max_misses;
   ps.detector = std::make_unique<FailureDetector>(
       sim_, params,
@@ -105,7 +123,38 @@ void ReplicaServer::ensure_detector(net::Endpoint peer) {
         send_to(peer, wire::encode(wire::Ping{seq, epoch_}));
       },
       [this, dead = peer.node] { on_peer_dead(dead); });
+  ps.detector->set_rtt_callback([this](Duration rtt) { on_rtt_sample(rtt); });
   ps.detector->start();
+}
+
+Duration ReplicaServer::derived_ack_timeout() const {
+  Duration t = config_.ping_ack_timeout;
+  if (t <= Duration::zero()) {
+    if (link_params_) {
+      t = link_params_->delay_bound(frame_budget_) * 4;
+    } else {
+      t = config_.ping_period / 2;
+    }
+    t = std::max(t, millis(5));
+  }
+  return std::min(t, config_.ping_period);
+}
+
+void ReplicaServer::on_rtt_sample(Duration rtt) {
+  if (!degrade_) return;
+  degrade_->on_rtt_sample(sim_.now(), rtt);
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().gauge("core.degrade.rtt_ms").set(degrade_->rtt().srtt().millis());
+    hub.registry().gauge("core.degrade.rto_ms").set(degrade_->rtt().rto().millis());
+  }
+  if (!config_.adaptive_timeouts) return;
+  const Duration rto = degrade_->rtt().rto();
+  if (rto <= Duration::zero()) return;
+  const Duration t = std::clamp(rto, millis(5), config_.ping_period);
+  for (auto& [n, ps] : peer_state_) {
+    if (ps.detector) ps.detector->set_ack_timeout(t);
+  }
 }
 
 void ReplicaServer::on_peer_dead(net::NodeId peer) {
@@ -149,7 +198,10 @@ void ReplicaServer::remove_peer(net::NodeId peer) {
       ++t;
     }
   }
-  if (pending_transfers_.empty()) transfer_retry_.cancel();
+  if (pending_transfers_.empty()) {
+    transfer_retry_.cancel();
+    if (transfer_backoff_) transfer_backoff_->reset();
+  }
   if (peers_.empty() && role_ == Role::kPrimary) {
     // §4.4: "If the backup is dead, the primary cancels the ping messages
     // as well as update events for each registered object."  With N peers
@@ -178,6 +230,7 @@ void ReplicaServer::crash() {
     if (ps.detector) ps.detector->stop();
   }
   transfer_retry_.cancel();
+  qos_tick_.cancel();
   batch_flush_.cancel();
   staged_updates_.clear();
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
@@ -246,10 +299,7 @@ AdmissionStatus ReplicaServer::add_constraint(const InterObjectConstraint& c) {
       st.epoch = epoch_;
       xkernel::Message frame{wire::encode(st)};
       for (const net::Endpoint& peer : peers_) send_to(peer, frame);
-      if (!transfer_retry_.pending()) {
-        transfer_retry_ = sim_.schedule_after(config_.ping_period * 2,
-                                              [this] { retry_pending_registrations(); });
-      }
+      arm_transfer_retry();
     }
   }
   return status;
@@ -400,6 +450,7 @@ void ReplicaServer::flush_staged_updates() {
     staged_updates_.clear();
     return;
   }
+  if (config_.degradation_enabled) shed_staged_updates();
   wire::UpdateBatch batch;
   batch.entries.reserve(staged_updates_.size());
   for (ObjectId id : staged_updates_) {
@@ -438,6 +489,51 @@ void ReplicaServer::flush_staged_updates() {
   for (const net::Endpoint& peer : peers_) send_to(peer, frame);
 }
 
+void ReplicaServer::shed_staged_updates() {
+  if (!degrade_ || staged_updates_.empty()) return;
+  const TimePoint now = sim_.now();
+  degrade_->on_queue_depth(now, staged_updates_.size());
+
+  // Slack = time until this object's (currently admitted) window is
+  // violated at the backup: window − d_i(now).  The shared Metrics holds
+  // both sites' timestamps, so the primary can read d_i directly.
+  std::vector<std::pair<Duration, ObjectId>> by_slack;
+  by_slack.reserve(staged_updates_.size());
+  for (ObjectId id : staged_updates_) {
+    if (!store_.contains(id)) continue;
+    const Duration window = store_.get(id).spec.window();
+    const Duration slack = window - metrics_.current_distance(id);
+    if (slack <= Duration::zero()) degrade_->on_missed_window(now);
+    by_slack.emplace_back(slack, id);
+  }
+  if (!degrade_->overloaded(now)) return;  // staging order stands
+
+  // Overloaded: ship in time-to-violation order and drop what a fresh
+  // client write will supersede before its slack expires (the write lands
+  // within one period, ships within another — 2 p_i of margin keeps the
+  // drop safe).  The most urgent update always ships.
+  std::stable_sort(by_slack.begin(), by_slack.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  telemetry::Hub& hub = sim_.telemetry();
+  std::vector<ObjectId> keep;
+  keep.reserve(by_slack.size());
+  for (const auto& [slack, id] : by_slack) {
+    const Duration period = store_.get(id).spec.client_period;
+    if (!keep.empty() && slack > period * 2) {
+      ++updates_shed_;
+      if (hub.enabled()) {
+        hub.registry().counter("core.degrade.shed").add();
+        hub.record(hub.latest_span(id), node(), telemetry::EventKind::kInstant,
+                   rtpb_track(node()), "update-shed",
+                   "obj" + std::to_string(id) + " slack " + slack.to_string());
+      }
+      continue;
+    }
+    keep.push_back(id);
+  }
+  staged_updates_ = std::move(keep);
+}
+
 void ReplicaServer::arm_ack_timeout(ObjectId id, std::uint64_t version) {
   auto task_it = update_tasks_.find(id);
   const Duration period =
@@ -449,7 +545,15 @@ void ReplicaServer::arm_ack_timeout(ObjectId id, std::uint64_t version) {
   // deadline checks the version it was armed with; the next send arms a
   // fresh one, so every version eventually faces its deadline.
   if (ack.timeout.pending()) return;
-  ack.timeout = sim_.schedule_after(period * config_.ack_timeout_periods, [this, id, version] {
+  // Fixed mode: the historical period × ack_timeout_periods.  Adaptive
+  // mode adds the current RTO on top of one period, so a throttled or
+  // latency-inflated link stretches the deadline instead of triggering a
+  // retransmission storm into an already-congested queue.
+  Duration deadline = period * config_.ack_timeout_periods;
+  if (config_.adaptive_timeouts && degrade_ && degrade_->rtt().has_sample()) {
+    deadline = std::max(deadline, period + degrade_->rtt().rto());
+  }
+  ack.timeout = sim_.schedule_after(deadline, [this, id, version] {
     // Retransmit only to the peers still behind: one fast backup's ack
     // must not cancel retransmission for a backup that never received the
     // update (the old shared acked_version slot did exactly that).
@@ -502,17 +606,46 @@ void ReplicaServer::replicate_registration(ObjectId id) {
 
   xkernel::Message frame{wire::encode(st)};
   for (const net::Endpoint& peer : peers_) send_to(peer, frame);
-  if (!transfer_retry_.pending()) {
-    transfer_retry_ =
-        sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
+  arm_transfer_retry();
+}
+
+Duration ReplicaServer::transfer_retry_delay() {
+  if (config_.degradation_enabled && transfer_backoff_) {
+    return transfer_backoff_->next(rng_);
   }
+  return config_.ping_period * 2;
+}
+
+void ReplicaServer::arm_transfer_retry() {
+  if (transfer_retry_.pending()) return;
+  transfer_retry_ =
+      sim_.schedule_after(transfer_retry_delay(), [this] { retry_pending_registrations(); });
 }
 
 void ReplicaServer::retry_pending_registrations() {
   if (crashed_ || peers_.empty() || pending_transfers_.empty()) return;
-  for (const auto& [tid, pending] : pending_transfers_) {
+  telemetry::Hub& hub = sim_.telemetry();
+  for (auto it = pending_transfers_.begin(); it != pending_transfers_.end();) {
+    PendingTransfer& pending = it->second;
+    ++pending.attempts;
+    if (config_.transfer_retry_limit > 0 &&
+        pending.attempts > config_.transfer_retry_limit) {
+      // The peer never acked across the whole backoff ladder: retrying
+      // forever would keep storming a link that is not delivering.  Give
+      // up and report the silent peer as suspected-down — the same path a
+      // heartbeat declaration takes (deferred remove_peer on a primary).
+      for (const net::NodeId n : pending.awaiting) {
+        ++transfer_give_ups_;
+        RTPB_WARN("rtpb", "transfer %llu to node%u unacked after %u attempts; suspecting peer",
+                  static_cast<unsigned long long>(it->first), n, pending.attempts - 1);
+        if (hub.enabled()) hub.registry().counter("core.degrade.transfer_give_ups").add();
+        on_peer_dead(n);
+      }
+      it = pending_transfers_.erase(it);
+      continue;
+    }
     wire::StateTransfer st;
-    st.transfer_id = tid;
+    st.transfer_id = it->first;
     for (ObjectId id : pending.ids) {
       if (!store_.contains(id)) continue;
       const ObjectState& state = store_.get(id);
@@ -531,9 +664,18 @@ void ReplicaServer::retry_pending_registrations() {
     for (const net::Endpoint& peer : peers_) {
       if (pending.awaiting.contains(peer.node)) send_to(peer, frame);
     }
+    ++it;
+  }
+  if (pending_transfers_.empty()) {
+    if (transfer_backoff_) transfer_backoff_->reset();
+    return;
   }
   transfer_retry_ =
-      sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
+      sim_.schedule_after(transfer_retry_delay(), [this] { retry_pending_registrations(); });
+  if (hub.enabled() && transfer_backoff_) {
+    hub.registry().gauge("core.degrade.backoff_level")
+        .set(static_cast<double>(transfer_backoff_->level()));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -588,6 +730,18 @@ void ReplicaServer::promote() {
   });
   for (const auto& c : replicated_constraints_) (void)admission_->add_constraint(c);
 
+  // QoS renegotiation state: specs in the store already reflect any
+  // downgrade this replica heard about (they were re-admitted above), so
+  // the loosened constraint survives the failover.  The original specs
+  // were only known to the dead primary — the downgraded QoS becomes the
+  // admitted one here.  Seed our seq counter above every seq we applied
+  // so our own future notices are never discarded as stale.
+  for (const auto& [id, seq] : qos_applied_seq_) {
+    next_qos_seq_ = std::max(next_qos_seq_, seq + 1);
+  }
+  downgrades_.clear();
+  arm_qos_tick();
+
   RTPB_INFO("rtpb", "backup promoted to primary at %s (epoch %llu)",
             sim_.now().to_string().c_str(), static_cast<unsigned long long>(epoch_));
   // Bring up the local (backup) client application via up-call.
@@ -621,6 +775,8 @@ void ReplicaServer::step_down(std::uint64_t new_epoch) {
   for (auto& [id, a] : ack_state_) a.timeout.cancel();
   ack_state_.clear();
   transfer_retry_.cancel();
+  qos_tick_.cancel();
+  downgrades_.clear();
   batch_flush_.cancel();
   staged_updates_.clear();
   pending_transfers_.clear();
@@ -635,6 +791,191 @@ void ReplicaServer::follow_new_primary(net::Endpoint new_primary) {
   add_peer(new_primary);
   start_heartbeat();
   RTPB_INFO("rtpb", "backup@node%u now follows primary at node%u", node(), new_primary.node);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime QoS renegotiation (graceful degradation).
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::arm_qos_tick() {
+  if (!config_.degradation_enabled) return;
+  if (crashed_ || role_ != Role::kPrimary) return;
+  if (qos_tick_.pending()) return;
+  qos_tick_ = sim_.schedule_after(millis(10), [this] { qos_tick(); });
+}
+
+void ReplicaServer::qos_tick() {
+  if (crashed_ || role_ != Role::kPrimary || !degrade_) return;
+  const TimePoint now = sim_.now();
+
+  if (!peers_.empty()) {
+    // Downgrade pass: an object more than half-way through its window
+    // while the system is overloaded — or nearly fully through it under
+    // any conditions — is about to violate.  Renegotiate BEFORE that
+    // happens so the violation-to-be is inside an announced window.
+    for (const ObjectId id : store_.ids()) {
+      if (downgrades_.contains(id)) continue;
+      const ObjectSpec& spec = store_.get(id).spec;
+      const Duration window = spec.window();
+      if (window <= Duration::zero()) continue;
+      const Duration dist = metrics_.current_distance(id);
+      const bool imminent = dist > window.scaled(0.75);
+      // An imminent violation is overload evidence in itself (the update
+      // stream fell behind the window) — feed the detector so shedding
+      // and hysteresis see it too.
+      if (imminent) degrade_->on_missed_window(now);
+      if ((degrade_->overloaded(now) && dist > window / 2) || imminent) {
+        downgrade_object(id);
+      }
+    }
+  }
+
+  // Restore pass: original QoS comes back only after the overload has
+  // been quiet for the hysteresis hold (floored at one failure-detection
+  // period so restore can never flap within one detector cycle) AND the
+  // backup has genuinely caught back up into the original window.
+  const Duration hold = std::max(config_.degrade_restore_hold, config_.ping_period);
+  for (auto it = downgrades_.begin(); it != downgrades_.end();) {
+    const ObjectId id = it->first;
+    const QosState& qos = it->second;
+    const bool calm = !degrade_->overloaded(now) && degrade_->calm_for(now) >= hold;
+    const bool aged = now - qos.since >= hold;
+    const bool caught_up =
+        store_.contains(id) &&
+        metrics_.current_distance(id) + qos.original.client_period < qos.original.window();
+    ++it;  // restore_object erases the entry
+    if (calm && aged && caught_up) restore_object(id);
+  }
+
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().gauge("core.degrade.active_downgrades")
+        .set(static_cast<double>(downgrades_.size()));
+    hub.registry().gauge("core.degrade.overloaded")
+        .set(degrade_->overloaded(now) ? 1.0 : 0.0);
+  }
+  arm_qos_tick();
+}
+
+bool ReplicaServer::downgrade_object(ObjectId id) {
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  if (!store_.contains(id) || downgrades_.contains(id) || !admission_) return false;
+  const ObjectSpec original = store_.get(id).spec;
+  const Duration original_period = admission_->update_period(id);
+
+  // Loosen δ_iB by degrade_window_factor windows, then run the result
+  // through admission (falling back to its §4.2 suggestion machinery if
+  // the straight relaxation is still infeasible).  The object must leave
+  // the admitted set first — suggest/admit evaluate against it.
+  ObjectSpec loosened = original;
+  loosened.delta_backup =
+      original.delta_primary + original.window() * config_.degrade_window_factor;
+  admission_->remove(id);
+  AdmissionResult result = admission_->admit(loosened);
+  if (!result.ok()) {
+    if (auto suggestion = admission_->suggest_alternative(loosened)) {
+      loosened = *suggestion;
+      result = admission_->admit(loosened);
+    }
+  }
+  if (!result.ok()) {
+    // No feasible relaxation: put the original back and keep limping.
+    (void)admission_->admit(original);
+    sync_update_tasks();
+    return false;
+  }
+
+  store_.update_spec(id, loosened);
+  metrics_.track_object(id, loosened.window(), loosened.client_period);
+  sync_update_tasks();
+
+  QosState qos;
+  qos.original = original;
+  qos.original_period = original_period;
+  qos.qos_seq = next_qos_seq_++;
+  qos.since = sim_.now();
+  downgrades_[id] = qos;
+  qos_applied_seq_[id] = qos.qos_seq;
+  qos_notice_at_[id] = sim_.now();
+  ++downgrades_sent_;
+
+  wire::ConstraintDowngrade d;
+  d.object = id;
+  d.delta_primary = loosened.delta_primary;
+  d.delta_backup = loosened.delta_backup;
+  d.update_period = admission_->update_period(id);
+  d.qos_seq = qos.qos_seq;
+  d.epoch = epoch_;
+  xkernel::Message frame{wire::encode(d)};
+  for (const net::Endpoint& peer : peers_) send_to(peer, frame);
+
+  RTPB_INFO("rtpb", "QoS downgrade: object %u window %s -> %s (r=%s, seq %llu)", id,
+            original.window().to_string().c_str(), loosened.window().to_string().c_str(),
+            d.update_period.to_string().c_str(),
+            static_cast<unsigned long long>(d.qos_seq));
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.degrade.downgrades").add();
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "qos-downgrade",
+               "obj" + std::to_string(id) + " window " + loosened.window().to_string());
+  }
+  if (hooks_.on_qos_changed) hooks_.on_qos_changed(id, loosened);
+  return true;
+}
+
+bool ReplicaServer::restore_object(ObjectId id) {
+  RTPB_EXPECTS(role_ == Role::kPrimary);
+  auto it = downgrades_.find(id);
+  if (it == downgrades_.end() || !store_.contains(id) || !admission_) return false;
+  const ObjectSpec original = it->second.original;
+
+  admission_->remove(id);
+  const AdmissionResult result = admission_->admit(original);
+  if (!result.ok()) {
+    // The original no longer fits (e.g. the admitted set grew while
+    // degraded): stay on the downgraded QoS rather than over-promise.
+    const ObjectSpec downgraded = store_.get(id).spec;
+    (void)admission_->admit(downgraded);
+    sync_update_tasks();
+    return false;
+  }
+
+  store_.update_spec(id, original);
+  metrics_.track_object(id, original.window(), original.client_period);
+  sync_update_tasks();
+
+  const std::uint64_t seq = next_qos_seq_++;
+  downgrades_.erase(it);
+  qos_applied_seq_[id] = seq;
+  qos_notice_at_[id] = sim_.now();
+  ++restores_sent_;
+
+  wire::ConstraintRestore rs;
+  rs.object = id;
+  rs.delta_backup = original.delta_backup;
+  rs.update_period = admission_->update_period(id);
+  rs.qos_seq = seq;
+  rs.epoch = epoch_;
+  xkernel::Message frame{wire::encode(rs)};
+  for (const net::Endpoint& peer : peers_) send_to(peer, frame);
+
+  RTPB_INFO("rtpb", "QoS restore: object %u window back to %s (r=%s, seq %llu)", id,
+            original.window().to_string().c_str(), rs.update_period.to_string().c_str(),
+            static_cast<unsigned long long>(seq));
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.degrade.restores").add();
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "qos-restore", "obj" + std::to_string(id));
+  }
+  if (hooks_.on_qos_changed) hooks_.on_qos_changed(id, original);
+  return true;
+}
+
+TimePoint ReplicaServer::qos_last_notice_at(ObjectId id) const {
+  auto it = qos_notice_at_.find(id);
+  return it != qos_notice_at_.end() ? it->second : TimePoint::zero();
 }
 
 void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
@@ -665,10 +1006,7 @@ void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
   st.constraints = replicated_constraints_;
   st.epoch = epoch_;
   send_to(new_backup, wire::encode(st));
-  if (!transfer_retry_.pending()) {
-    transfer_retry_ =
-        sim_.schedule_after(config_.ping_period * 2, [this] { retry_pending_registrations(); });
-  }
+  arm_transfer_retry();
 }
 
 // ---------------------------------------------------------------------------
@@ -768,6 +1106,12 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
       break;
     case wire::MsgType::kStateTransferAck:
       handle_state_transfer_ack(*decoded->state_transfer_ack, from);
+      break;
+    case wire::MsgType::kConstraintDowngrade:
+      handle_constraint_downgrade(*decoded->constraint_downgrade, from);
+      break;
+    case wire::MsgType::kConstraintRestore:
+      handle_constraint_restore(*decoded->constraint_restore, from);
       break;
     case wire::MsgType::kActivePrepare:
     case wire::MsgType::kActiveAck:
@@ -961,13 +1305,88 @@ void ReplicaServer::handle_state_transfer_ack(const wire::StateTransferAck& ack,
   it->second.awaiting.erase(from.node);
   const bool was_pending = it->second.awaiting.empty();
   if (was_pending) pending_transfers_.erase(it);
-  if (was_pending && pending_transfers_.empty()) transfer_retry_.cancel();
+  if (was_pending && pending_transfers_.empty()) {
+    transfer_retry_.cancel();
+    if (transfer_backoff_) transfer_backoff_->reset();
+  }
   if (was_pending && !peers_.empty()) {
     // Recruited backup (or fresh registration) confirmed: (re)start
     // replication machinery.
     sync_update_tasks();
     start_heartbeat();
     if (hooks_.on_backup_recruited) hooks_.on_backup_recruited();
+  }
+}
+
+void ReplicaServer::handle_constraint_downgrade(const wire::ConstraintDowngrade& d,
+                                                net::Endpoint from) {
+  (void)from;
+  telemetry::Hub& hub = sim_.telemetry();
+  if (role_ != Role::kBackup) {
+    ++role_rejections_;
+    if (hub.enabled()) hub.registry().counter("core.role_rejected").add();
+    return;
+  }
+  if (!store_.contains(d.object)) return;
+  // Reorder guard: per-object renegotiation seqs are monotone.  A delayed
+  // duplicate of an older downgrade (or a downgrade arriving after the
+  // restore that undid it) must not clobber the newer QoS.
+  std::uint64_t& applied = qos_applied_seq_[d.object];
+  if (d.qos_seq <= applied) return;
+  applied = d.qos_seq;
+  next_qos_seq_ = std::max(next_qos_seq_, d.qos_seq + 1);
+
+  ObjectSpec spec = store_.get(d.object).spec;
+  spec.delta_primary = d.delta_primary;
+  spec.delta_backup = d.delta_backup;
+  store_.update_spec(d.object, spec);
+  metrics_.track_object(d.object, spec.window(), spec.client_period);
+  WatchdogState& w = watchdogs_[d.object];
+  w.expected_period = d.update_period;
+  arm_watchdog(d.object);
+  qos_notice_at_[d.object] = sim_.now();
+  ++downgrades_received_;
+  RTPB_INFO("rtpb", "backup@node%u applied QoS downgrade: object %u window %s (seq %llu)", node(),
+            d.object, spec.window().to_string().c_str(),
+            static_cast<unsigned long long>(d.qos_seq));
+  if (hub.enabled()) {
+    hub.registry().counter("core.degrade.downgrades_received").add();
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "qos-downgrade-recv",
+               "obj" + std::to_string(d.object) + " window " + spec.window().to_string());
+  }
+}
+
+void ReplicaServer::handle_constraint_restore(const wire::ConstraintRestore& rs,
+                                              net::Endpoint from) {
+  (void)from;
+  telemetry::Hub& hub = sim_.telemetry();
+  if (role_ != Role::kBackup) {
+    ++role_rejections_;
+    if (hub.enabled()) hub.registry().counter("core.role_rejected").add();
+    return;
+  }
+  if (!store_.contains(rs.object)) return;
+  std::uint64_t& applied = qos_applied_seq_[rs.object];
+  if (rs.qos_seq <= applied) return;
+  applied = rs.qos_seq;
+  next_qos_seq_ = std::max(next_qos_seq_, rs.qos_seq + 1);
+
+  ObjectSpec spec = store_.get(rs.object).spec;
+  spec.delta_backup = rs.delta_backup;
+  store_.update_spec(rs.object, spec);
+  metrics_.track_object(rs.object, spec.window(), spec.client_period);
+  WatchdogState& w = watchdogs_[rs.object];
+  w.expected_period = rs.update_period;
+  arm_watchdog(rs.object);
+  qos_notice_at_[rs.object] = sim_.now();
+  RTPB_INFO("rtpb", "backup@node%u applied QoS restore: object %u window %s (seq %llu)", node(),
+            rs.object, spec.window().to_string().c_str(),
+            static_cast<unsigned long long>(rs.qos_seq));
+  if (hub.enabled()) {
+    hub.registry().counter("core.degrade.restores_received").add();
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "qos-restore-recv", "obj" + std::to_string(rs.object));
   }
 }
 

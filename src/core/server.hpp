@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/admission.hpp"
+#include "core/degradation.hpp"
 #include "core/heartbeat.hpp"
 #include "core/metrics.hpp"
 #include "core/name_service.hpp"
@@ -70,6 +71,10 @@ class ReplicaServer {
     /// stepped down (split-brain resolution): the hosting service should
     /// deactivate this replica's client application.
     std::function<void()> on_deposed;
+    /// Fired on the primary when it renegotiates an object's QoS at
+    /// runtime (downgrade or restore) — the paper's client notification;
+    /// the spec passed is the now-admitted one.
+    std::function<void(ObjectId, const ObjectSpec&)> on_qos_changed;
   };
 
   ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
@@ -132,6 +137,37 @@ class ReplicaServer {
   /// Backup (non-successor, after failover): forget the dead primary and
   /// follow `new_primary` instead; restarts the heartbeat.
   void follow_new_primary(net::Endpoint new_primary);
+
+  // ---- runtime QoS renegotiation (graceful degradation) ----
+  /// Primary: loosen `id`'s temporal constraint (δ_iB grows by
+  /// degrade_window_factor windows, passed through admission's suggestion
+  /// machinery) and notify backups + client with kConstraintDowngrade.
+  /// Normally driven by the DegradationController's overload detection;
+  /// exposed for drills and tests.  Returns false if the object is
+  /// unknown, already downgraded, or no feasible relaxation exists.
+  bool downgrade_object(ObjectId id);
+  /// Primary: re-admit `id`'s original (pre-downgrade) constraint and
+  /// notify with kConstraintRestore.  Callers gate on hysteresis; this
+  /// only checks feasibility.  Returns false if not downgraded.
+  bool restore_object(ObjectId id);
+  /// Whether `id` currently runs under a downgraded constraint issued by
+  /// THIS replica as primary.
+  [[nodiscard]] bool qos_downgrade_active(ObjectId id) const {
+    return downgrades_.contains(id);
+  }
+  /// When the last QoS notice (downgrade or restore) for `id` was sent
+  /// (primary) or received (backup); TimePoint::zero() if never.
+  [[nodiscard]] TimePoint qos_last_notice_at(ObjectId id) const;
+  [[nodiscard]] std::uint64_t qos_downgrades_sent() const { return downgrades_sent_; }
+  [[nodiscard]] std::uint64_t qos_restores_sent() const { return restores_sent_; }
+  [[nodiscard]] std::uint64_t qos_downgrades_received() const { return downgrades_received_; }
+  /// Updates dropped by slack-aware shedding while overloaded.
+  [[nodiscard]] std::uint64_t updates_shed() const { return updates_shed_; }
+  /// Transfers abandoned after transfer_retry_limit attempts (the silent
+  /// peer was reported suspected-down).
+  [[nodiscard]] std::uint64_t transfer_give_ups() const { return transfer_give_ups_; }
+  /// The overload detector (null until start()).
+  [[nodiscard]] const DegradationController* degradation() const { return degrade_.get(); }
 
   // ---- epoch fencing ----
   /// Current replication epoch (incarnation).  The first primary starts at
@@ -215,6 +251,8 @@ class ReplicaServer {
   void handle_ping_ack(const wire::PingAck& p, net::Endpoint from);
   void handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from);
   void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
+  void handle_constraint_downgrade(const wire::ConstraintDowngrade& d, net::Endpoint from);
+  void handle_constraint_restore(const wire::ConstraintRestore& rs, net::Endpoint from);
 
   void send_to(net::Endpoint to, Bytes payload);
   /// Fan-out building block: the message is taken by value, so sending one
@@ -244,6 +282,27 @@ class ReplicaServer {
   void start_heartbeat();
   /// Create + start the failure detector for `peer` unless already running.
   void ensure_detector(net::Endpoint peer);
+  /// The ack timeout detectors start with: config_.ping_ack_timeout if
+  /// non-zero, else derived from the link delay bound ℓ (clamp(4ℓ, 5 ms,
+  /// ping_period)); ping_period / 2 with no link model.
+  [[nodiscard]] Duration derived_ack_timeout() const;
+  /// A matched ping ack measured `rtt`: feed the overload detector and,
+  /// in adaptive mode, retune every detector's ack timeout to the RTO.
+  void on_rtt_sample(Duration rtt);
+  /// Delay before the next pending-transfer retry: exponential backoff
+  /// with seeded jitter when degradation is on, the fixed ping_period × 2
+  /// otherwise.
+  [[nodiscard]] Duration transfer_retry_delay();
+  void arm_transfer_retry();
+  /// Slack-aware shedding: under overload, reorder the staged updates by
+  /// time-to-window-violation and drop the ones a fresh client write will
+  /// supersede before their slack expires.  Runs inside the batch flush.
+  void shed_staged_updates();
+  /// Periodic (10 ms) primary-side QoS evaluation: downgrade objects whose
+  /// window is more than half consumed while overloaded (or nearly fully
+  /// consumed regardless), restore after calm hysteresis.
+  void qos_tick();
+  void arm_qos_tick();
   /// A per-peer detector declared `peer` dead.
   void on_peer_dead(net::NodeId peer);
   /// Drop `peer` from the replication set (detector, acks, transfers).
@@ -295,6 +354,7 @@ class ReplicaServer {
   struct PendingTransfer {
     std::vector<ObjectId> ids;
     std::set<net::NodeId> awaiting;
+    std::uint32_t attempts = 0;  ///< retries so far (capped by transfer_retry_limit)
   };
   std::map<std::uint64_t, PendingTransfer> pending_transfers_;
   std::uint64_t next_transfer_id_ = 1;
@@ -313,7 +373,34 @@ class ReplicaServer {
   std::size_t frame_budget_ = 1024;
   std::optional<net::LinkParams> link_params_;
 
+  // ---- graceful degradation state ----
+  /// Overload detector + RTT estimator (built at start()).
+  std::unique_ptr<DegradationController> degrade_;
+  /// Backoff for pending-transfer retries (seeded jitter drawn from rng_).
+  std::optional<BackoffPolicy> transfer_backoff_;
+  /// Primary-side record of each active downgrade: the original spec and
+  /// period to restore, and when the downgrade was issued.
+  struct QosState {
+    ObjectSpec original;
+    Duration original_period{};
+    std::uint64_t qos_seq = 0;
+    TimePoint since{};
+  };
+  std::map<ObjectId, QosState> downgrades_;
+  /// Per-object newest renegotiation seq applied (backup-side reorder
+  /// guard; carried into a promotion so a new primary's notices stay
+  /// seq-newer).
+  std::map<ObjectId, std::uint64_t> qos_applied_seq_;
+  std::map<ObjectId, TimePoint> qos_notice_at_;
+  std::uint64_t next_qos_seq_ = 1;
+  sim::EventHandle qos_tick_;
+
   Rng rng_{0};
+  std::uint64_t updates_shed_ = 0;
+  std::uint64_t downgrades_sent_ = 0;
+  std::uint64_t restores_sent_ = 0;
+  std::uint64_t downgrades_received_ = 0;
+  std::uint64_t transfer_give_ups_ = 0;
   std::uint64_t updates_sent_ = 0;
   std::uint64_t update_frames_sent_ = 0;
   std::uint64_t updates_batched_ = 0;

@@ -121,7 +121,11 @@ struct ServiceConfig {
 
   // Failure detection (§4.4).
   Duration ping_period = millis(100);
-  Duration ping_ack_timeout = millis(50);
+  /// Per-ping ack timeout.  Zero means "derive from the link": the server
+  /// uses clamp(4ℓ, 5 ms, ping_period), where ℓ is the link delay bound
+  /// for a full frame, so small-ℓ configs fail over faster and large-ℓ
+  /// configs stop false-suspecting.  A non-zero value pins the timeout.
+  Duration ping_ack_timeout{};
   std::uint32_t ping_max_misses = 3;
 
   /// Backup requests retransmission after watchdog_factor × r_i without an
@@ -138,6 +142,41 @@ struct ServiceConfig {
   /// the chaos `split-brain` sabotage self-test to prove the
   /// no-cross-epoch-apply oracle catches it.
   bool epoch_fencing = true;
+
+  // Graceful degradation under overload (PR 5).
+
+  /// Master switch for the DegradationController: overload detection from
+  /// ack-lag EWMAs / staged-queue depth / missed transmission windows,
+  /// slack-aware shedding of batched updates, and runtime QoS
+  /// renegotiation (kConstraintDowngrade / kConstraintRestore).  Turning
+  /// this off restores the pre-degradation "violate silently" behaviour —
+  /// the chaos `no-shedding` sabotage self-test relies on that to prove
+  /// the no-silent-violation oracle catches it.
+  bool degradation_enabled = true;
+  /// Drive FailureDetector ack timeouts and update-ack deadlines from a
+  /// Jacobson-style RTT estimator (SRTT + 4·RTTVAR) instead of the fixed
+  /// config values.  Estimates are clamped to [derived floor, ping_period].
+  bool adaptive_timeouts = true;
+  /// Overload trips when the smoothed ack RTT exceeds this multiple of the
+  /// link's no-queueing baseline (2ℓ), or when the staged send queue holds
+  /// more than `overload_queue_depth` updates, or when a transmission
+  /// window was missed.  Hysteresis: the controller must observe
+  /// `degrade_restore_hold` of calm before restoring original windows.
+  double overload_rtt_factor = 4.0;
+  std::size_t overload_queue_depth = 16;
+  /// Minimum calm time before a downgraded object's original window is
+  /// restored (also floored at one failure-detection period so restore can
+  /// never flap within a single detector cycle).
+  Duration degrade_restore_hold = millis(500);
+  /// Window multiplier used when the controller loosens an object's
+  /// constraint: new δ_iB = δ_iP + window × degrade_window_factor (then
+  /// passed through the admission controller's suggestion machinery).
+  std::int64_t degrade_window_factor = 2;
+  /// State-transfer / registration replication retries back off
+  /// exponentially (base ping_period × 2, doubled per attempt, seeded
+  /// jitter) and give up after this many attempts, reporting the silent
+  /// peer as suspected-down instead of retrying forever.
+  std::uint32_t transfer_retry_limit = 10;
 };
 
 }  // namespace rtpb::core

@@ -14,6 +14,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kActivePrepare: return "ACTIVE_PREPARE";
     case MsgType::kActiveAck: return "ACTIVE_ACK";
     case MsgType::kUpdateBatch: return "UPDATE_BATCH";
+    case MsgType::kConstraintDowngrade: return "CONSTRAINT_DOWNGRADE";
+    case MsgType::kConstraintRestore: return "CONSTRAINT_RESTORE";
   }
   return "?";
 }
@@ -180,6 +182,29 @@ Bytes encode(const StateTransferAck& m) {
   return std::move(w).take();
 }
 
+Bytes encode(const ConstraintDowngrade& m) {
+  ByteWriter w(kTag + kU32 + 3 * kU64 /*durations*/ + kU64 /*qos_seq*/ + kU64 /*epoch*/);
+  w.u8(static_cast<std::uint8_t>(MsgType::kConstraintDowngrade));
+  w.u32(m.object);
+  w.duration(m.delta_primary);
+  w.duration(m.delta_backup);
+  w.duration(m.update_period);
+  w.u64(m.qos_seq);
+  w.u64(m.epoch);
+  return std::move(w).take();
+}
+
+Bytes encode(const ConstraintRestore& m) {
+  ByteWriter w(kTag + kU32 + 2 * kU64 /*durations*/ + kU64 /*qos_seq*/ + kU64 /*epoch*/);
+  w.u8(static_cast<std::uint8_t>(MsgType::kConstraintRestore));
+  w.u32(m.object);
+  w.duration(m.delta_backup);
+  w.duration(m.update_period);
+  w.u64(m.qos_seq);
+  w.u64(m.epoch);
+  return std::move(w).take();
+}
+
 Bytes encode(const ActivePrepare& m) {
   ByteWriter w(encoded_size(m));
   w.u8(static_cast<std::uint8_t>(MsgType::kActivePrepare));
@@ -310,6 +335,29 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       out.state_transfer_ack = m;
       return out;
     }
+    case MsgType::kConstraintDowngrade: {
+      ConstraintDowngrade m;
+      m.object = r.u32();
+      m.delta_primary = r.duration();
+      m.delta_backup = r.duration();
+      m.update_period = r.duration();
+      m.qos_seq = r.u64();
+      m.epoch = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.constraint_downgrade = m;
+      return out;
+    }
+    case MsgType::kConstraintRestore: {
+      ConstraintRestore m;
+      m.object = r.u32();
+      m.delta_backup = r.duration();
+      m.update_period = r.duration();
+      m.qos_seq = r.u64();
+      m.epoch = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.constraint_restore = m;
+      return out;
+    }
     case MsgType::kActivePrepare: {
       ActivePrepare m;
       m.sequence = r.u64();
@@ -345,6 +393,10 @@ std::uint64_t epoch_of(const AnyMessage& m) {
     case MsgType::kStateTransfer: return m.state_transfer ? m.state_transfer->epoch : 0;
     case MsgType::kStateTransferAck:
       return m.state_transfer_ack ? m.state_transfer_ack->epoch : 0;
+    case MsgType::kConstraintDowngrade:
+      return m.constraint_downgrade ? m.constraint_downgrade->epoch : 0;
+    case MsgType::kConstraintRestore:
+      return m.constraint_restore ? m.constraint_restore->epoch : 0;
     case MsgType::kActivePrepare:
     case MsgType::kActiveAck: return 0;
   }

@@ -28,6 +28,9 @@ enum class MsgType : std::uint8_t {
   kActivePrepare = 8,    ///< leader → replicas: sequenced write
   kActiveAck = 9,        ///< replica → leader: write applied
   kUpdateBatch = 10,     ///< primary → backup: coalesced object updates
+  // Runtime QoS renegotiation (graceful degradation under overload):
+  kConstraintDowngrade = 11,  ///< primary → backups/client: loosened window
+  kConstraintRestore = 12,    ///< primary → backups/client: original window back
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
@@ -113,6 +116,33 @@ struct StateTransferAck {
   std::uint64_t epoch = 0;
 };
 
+/// Runtime QoS renegotiation: the primary loosened an admitted object's
+/// temporal constraint (δ_iB, and with it the window and the transmission
+/// period r_i) because overload would otherwise violate the original
+/// window silently.  Sent to every backup (and surfaced to the client)
+/// *before* the first out-of-original-window distance — the no-silent-
+/// violation oracle holds the service to exactly that.  `qos_seq` is a
+/// per-object monotone renegotiation counter: downgrades and restores can
+/// reorder on a lossy link, so receivers apply only seq-newer changes.
+struct ConstraintDowngrade {
+  ObjectId object = kInvalidObject;
+  Duration delta_primary{};   ///< unchanged δ_iP, echoed for the client
+  Duration delta_backup{};    ///< loosened δ_iB
+  Duration update_period{};   ///< new transmission period r_i
+  std::uint64_t qos_seq = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// The overload cleared (with hysteresis): the original constraint is
+/// re-admitted and replicas tighten back.
+struct ConstraintRestore {
+  ObjectId object = kInvalidObject;
+  Duration delta_backup{};    ///< original δ_iB, restored
+  Duration update_period{};   ///< restored transmission period r_i
+  std::uint64_t qos_seq = 0;
+  std::uint64_t epoch = 0;
+};
+
 /// Active baseline: a write stamped with a global sequence number; every
 /// replica applies writes in sequence order.
 struct ActivePrepare {
@@ -137,6 +167,8 @@ struct ActiveAck {
 [[nodiscard]] Bytes encode(const PingAck& m);
 [[nodiscard]] Bytes encode(const StateTransfer& m);
 [[nodiscard]] Bytes encode(const StateTransferAck& m);
+[[nodiscard]] Bytes encode(const ConstraintDowngrade& m);
+[[nodiscard]] Bytes encode(const ConstraintRestore& m);
 [[nodiscard]] Bytes encode(const ActivePrepare& m);
 [[nodiscard]] Bytes encode(const ActiveAck& m);
 
@@ -159,6 +191,8 @@ struct AnyMessage {
   std::optional<PingAck> ping_ack;
   std::optional<StateTransfer> state_transfer;
   std::optional<StateTransferAck> state_transfer_ack;
+  std::optional<ConstraintDowngrade> constraint_downgrade;
+  std::optional<ConstraintRestore> constraint_restore;
   std::optional<ActivePrepare> active_prepare;
   std::optional<ActiveAck> active_ack;
 };

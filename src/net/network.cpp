@@ -252,6 +252,17 @@ void Network::set_loss_probability(NodeId a, NodeId b, double p) {
   if (DirectedLink* l = find_link(b, a)) l->params.loss_probability = p;
 }
 
+void Network::set_bandwidth(NodeId a, NodeId b, double bps) {
+  if (DirectedLink* l = find_link(a, b)) l->params.bandwidth_bps = bps;
+  if (DirectedLink* l = find_link(b, a)) l->params.bandwidth_bps = bps;
+}
+
+void Network::set_propagation(NodeId a, NodeId b, Duration propagation) {
+  RTPB_EXPECTS(propagation >= Duration::zero());
+  if (DirectedLink* l = find_link(a, b)) l->params.propagation = propagation;
+  if (DirectedLink* l = find_link(b, a)) l->params.propagation = propagation;
+}
+
 void Network::set_faults(NodeId a, NodeId b, const LinkFaults& faults) {
   RTPB_EXPECTS(faults.duplicate_probability >= 0.0 && faults.duplicate_probability <= 1.0);
   RTPB_EXPECTS(faults.reorder_probability >= 0.0 && faults.reorder_probability <= 1.0);

@@ -94,6 +94,17 @@ class Network {
   /// Update loss probability mid-run (failure injection).
   void set_loss_probability(NodeId a, NodeId b, double p);
 
+  /// Update bandwidth mid-run, both directions (overload injection:
+  /// `throttle_bandwidth`).  <=0 → infinite, matching LinkParams.  Queued
+  /// deliveries keep their already-computed times; only frames sent after
+  /// the change see the new transmission delay.
+  void set_bandwidth(NodeId a, NodeId b, double bps);
+
+  /// Update base propagation delay mid-run, both directions (overload
+  /// injection: `inflate_latency`).  FIFO per direction is preserved — a
+  /// shrink cannot reorder behind the queued floor.
+  void set_propagation(NodeId a, NodeId b, Duration propagation);
+
   /// Replace the chaos knobs of the link, both directions (failure
   /// injection).  Delay/bandwidth parameters are untouched.
   void set_faults(NodeId a, NodeId b, const LinkFaults& faults);

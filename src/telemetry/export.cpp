@@ -159,6 +159,19 @@ void write_jsonl(const Hub& hub, std::ostream& os) {
     if (!e.detail.empty()) os << ",\"detail\":\"" << json_escape(e.detail) << "\"";
     os << "}\n";
   }
+  // End-of-run registry snapshot, one line per instrument, so downstream
+  // tools (trace_inspect) can read final counters without re-deriving them
+  // from the event stream.
+  for (const auto& [name, counter] : hub.registry().counters()) {
+    os << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+       << "\",\"value\":" << counter->value() << "}\n";
+  }
+  for (const auto& [name, gauge] : hub.registry().gauges()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", gauge->value());
+    os << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name) << "\",\"value\":" << buf
+       << "}\n";
+  }
 }
 
 }  // namespace rtpb::telemetry

@@ -40,6 +40,10 @@ TEST_P(FrontierSweep, SufficiencyHolds) {
   params.seed = 77;
   params.link.propagation = millis(1);
   params.link.jitter = micros(200);
+  // This validates the raw Theorem 5 frontier: graceful degradation would
+  // renegotiate the window before the over-frontier cases violate, hiding
+  // exactly the effect the necessity side asserts.
+  params.config.degradation_enabled = false;
 
   Duration ell;
   {

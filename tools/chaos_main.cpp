@@ -15,10 +15,13 @@
 // oracles catch real bugs: `no-failover` lobotomises the failure
 // detector so a primary crash is never failed over (exactly-one-primary
 // must fire), `slow-updates` forces an 800 ms transmission period that
-// dwarfs every negotiated window (staleness-window must fire), and
+// dwarfs every negotiated window (staleness-window must fire),
 // `split-brain` disables epoch fencing under a primary↔successor
 // partition so the deposed primary keeps feeding stale-epoch updates to
-// the surviving backup (cross-epoch-apply must fire).
+// the surviving backup (cross-epoch-apply must fire), and `no-shedding`
+// turns graceful degradation off under pure overload faults so windows
+// are violated with no renegotiation notice (no-silent-violation must
+// fire).
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -44,7 +47,10 @@ void usage(const char* argv0) {
             << "                     coalescing into kUpdateBatch (different digests)\n"
             << "  --partition        partition primary from successor instead of\n"
             << "                     crashing (needs --backups >= 2; replaces crashes)\n"
-            << "  --sabotage MODE    none | no-failover | slow-updates | split-brain\n"
+            << "  --overload         enable the overload fault family (cpu_spike,\n"
+            << "                     throttle_bandwidth, inflate_latency)\n"
+            << "  --sabotage MODE    none | no-failover | slow-updates | split-brain |\n"
+            << "                     no-shedding\n"
             << "  --log-warnings     keep service WARN lines (hidden by default)\n"
             << "  --telemetry        collect causal spans + metrics (per-seed summary)\n"
             << "  --trace-out FILE   write a Chrome trace (Perfetto-loadable) for the\n"
@@ -96,6 +102,8 @@ int main(int argc, char** argv) {
       opts.config.batch_updates = false;
     } else if (arg == "--partition") {
       opts.enable_partition = true;
+    } else if (arg == "--overload") {
+      opts.enable_overload = true;
     } else if (arg == "--sabotage") {
       sabotage = next();
     } else if (arg == "--log-warnings") {
@@ -147,6 +155,16 @@ int main(int argc, char** argv) {
     opts.backups = 2;
     opts.enable_partition = true;
     opts.enable_crashes = false;
+  } else if (sabotage == "no-shedding") {
+    // Graceful degradation off under pure overload: the primary silently
+    // violates windows it never renegotiated.  no-silent-violation must
+    // catch this.  Other fault families are disabled so their declared
+    // epochs cannot excuse (or cause) the violations being judged.
+    opts.config.degradation_enabled = false;
+    opts.enable_overload = true;
+    opts.enable_loss_storms = false;
+    opts.enable_link_faults = false;
+    opts.enable_crashes = false;
   } else if (sabotage != "none") {
     std::cerr << "unknown sabotage mode: " << sabotage << "\n";
     return 2;
@@ -193,6 +211,16 @@ int main(int argc, char** argv) {
       for (const rtpb::chaos::SeedReport& rep : result.failures) {
         for (const rtpb::chaos::OracleViolation& v : rep.violations) {
           if (v.oracle == "cross-epoch-apply") caught = true;
+        }
+      }
+    }
+    if (caught && sabotage == "no-shedding") {
+      // Same specificity rule: the silent violation must be caught AS a
+      // silent violation, not incidentally by another oracle.
+      caught = false;
+      for (const rtpb::chaos::SeedReport& rep : result.failures) {
+        for (const rtpb::chaos::OracleViolation& v : rep.violations) {
+          if (v.oracle == "no-silent-violation") caught = true;
         }
       }
     }

@@ -167,6 +167,8 @@ int main(int argc, char** argv) {
   std::uint64_t meta_dropped = 0;
   std::map<std::uint64_t, Span> spans;
   std::uint64_t unattributed = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
 
   std::string line;
   while (std::getline(in, line)) {
@@ -199,6 +201,18 @@ int main(int argc, char** argv) {
       get_string(line, "name", e.name);
       get_string(line, "detail", e.detail);
       spans[id].events.push_back(std::move(e));
+    } else if (type == "counter") {
+      std::string name;
+      std::uint64_t value = 0;
+      if (get_string(line, "name", name) && get_u64(line, "value", value)) {
+        counters[name] = value;
+      }
+    } else if (type == "gauge") {
+      std::string name;
+      double value = 0.0;
+      if (get_string(line, "name", name) && get_double(line, "value", value)) {
+        gauges[name] = value;
+      }
     }
   }
 
@@ -284,6 +298,27 @@ int main(int argc, char** argv) {
     std::printf("\ntop culprits (last event reached by lost updates, plus violations)\n");
     for (const auto& [where, n] : ranked) {
       std::printf("  %6zu  %s\n", n, where.c_str());
+    }
+  }
+
+  {
+    // Graceful-degradation activity: shedding, QoS renegotiation, adaptive
+    // timing.  Only instruments under core.degrade.* — present when the
+    // trace came from a telemetry-enabled overload run.
+    bool header = false;
+    const auto section = [&header] {
+      if (!header) std::printf("\ngraceful degradation (core.degrade.*)\n");
+      header = true;
+    };
+    for (const auto& [name, value] : counters) {
+      if (name.rfind("core.degrade.", 0) != 0) continue;
+      section();
+      std::printf("  %-44s %8llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, value] : gauges) {
+      if (name.rfind("core.degrade.", 0) != 0) continue;
+      section();
+      std::printf("  %-44s %8.3f  (final)\n", name.c_str(), value);
     }
   }
 
