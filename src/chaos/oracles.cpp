@@ -11,8 +11,11 @@ OracleMonitor::OracleMonitor(core::RtpbService& service,
 
 void OracleMonitor::start(Duration check_period) {
   RTPB_EXPECTS(timer_ == nullptr);
+  // Tagged as an observer: the monitor only reads state, so the explorer
+  // never branches on its order against same-instant protocol events.
   timer_ = std::make_unique<sim::PeriodicTimer>(service_.simulator(), check_period,
-                                                [this] { check(); });
+                                                [this] { check(); },
+                                                sim::EventTag{sim::kTagObserver, 0, 0});
   timer_->start();
 }
 

@@ -63,6 +63,11 @@ class OracleMonitor {
   /// Begin sampling every `check_period` of virtual time.
   void start(Duration check_period = millis(10));
 
+  /// Declare a fault epoch mid-run.  The explorer calls this when a fault
+  /// candidate it chose actually fires — unlike chaos runs, the set of
+  /// faults is not known before the trajectory executes.
+  void declare_epoch(const FaultEpoch& epoch) { epochs_.push_back(epoch); }
+
   [[nodiscard]] const std::vector<OracleViolation>& violations() const {
     return violations_;
   }

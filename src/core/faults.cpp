@@ -173,6 +173,48 @@ FaultPlan& FaultPlan::add_standby(TimePoint when) {
   return at(when, "add-standby", [this] { service_.add_standby(); });
 }
 
+namespace {
+bool candidate_fires(RtpbService& service, const char* label, double probability) {
+  sim::Simulator& sim = service.simulator();
+  return sim.decide_fault(sim::ChoiceContext{sim::ChoiceKind::kFault, probability, 0, 0, label},
+                          sim.rng());
+}
+}  // namespace
+
+FaultPlan& FaultPlan::maybe_crash_primary(TimePoint when, double probability) {
+  return at(when, "maybe-crash-primary", [this, probability] {
+    if (service_.primary().crashed()) return;
+    if (!candidate_fires(service_, "crash-primary", probability)) return;
+    service_.crash_primary();
+  });
+}
+
+FaultPlan& FaultPlan::maybe_crash_backup(TimePoint when, double probability) {
+  return at(when, "maybe-crash-backup", [this, probability] {
+    if (service_.backup().crashed()) return;
+    if (!candidate_fires(service_, "crash-backup", probability)) return;
+    service_.crash_backup();
+  });
+}
+
+FaultPlan& FaultPlan::maybe_add_standby(TimePoint when, double probability) {
+  return at(when, "maybe-add-standby", [this, probability] {
+    if (service_.standby() != nullptr) return;
+    if (!candidate_fires(service_, "add-standby", probability)) return;
+    service_.add_standby();
+  });
+}
+
+FaultPlan& FaultPlan::maybe_partition_primary(TimePoint when, double probability) {
+  const net::NodeId a = service_.primary().node();
+  const net::NodeId b = service_.backup().node();
+  return at(when, "maybe-partition-primary", [this, a, b, probability] {
+    if (service_.primary().crashed() || service_.backup().crashed()) return;
+    if (!candidate_fires(service_, "partition-primary", probability)) return;
+    service_.network().set_loss_probability(a, b, 1.0);
+  });
+}
+
 FaultPlan& FaultPlan::at(TimePoint when, std::string label, std::function<void()> action) {
   RTPB_EXPECTS(!armed_);
   RTPB_EXPECTS(action != nullptr);

@@ -74,6 +74,19 @@ class FaultPlan {
   /// Recruit a fresh standby at `at` (wired to whoever is primary then).
   FaultPlan& add_standby(TimePoint at);
 
+  /// Fault *candidates* for the bounded explorer: at `when` the action
+  /// consults the simulator's choice seam (ChoiceKind::kFault) and fires
+  /// only if the installed policy says so.  Under the default RNG strategy
+  /// the decision is bernoulli(probability), and the 0.0 default draws
+  /// nothing at all — arming candidates never perturbs chaos digests.
+  /// Each candidate guards itself against an impossible target (already
+  /// crashed, standby already recruited), so policies may say "yes"
+  /// liberally.
+  FaultPlan& maybe_crash_primary(TimePoint when, double probability = 0.0);
+  FaultPlan& maybe_crash_backup(TimePoint when, double probability = 0.0);
+  FaultPlan& maybe_add_standby(TimePoint when, double probability = 0.0);
+  FaultPlan& maybe_partition_primary(TimePoint when, double probability = 0.0);
+
   /// Arbitrary scripted action.
   FaultPlan& at(TimePoint when, std::string label, std::function<void()> action);
 

@@ -182,6 +182,9 @@ class ReplicaServer {
   /// epoch than its own — the split-brain hazard.  Always 0 with epoch
   /// fencing on; the chaos no-cross-epoch-apply oracle asserts it.
   [[nodiscard]] std::uint64_t cross_epoch_applies() const { return cross_epoch_applies_; }
+  /// In-flight state transfers this server is driving (input to the
+  /// explorer's canonical state hash).
+  [[nodiscard]] std::size_t pending_transfer_count() const { return pending_transfers_.size(); }
   /// Times this replica, as primary, stepped down after seeing a higher
   /// epoch (it had been deposed without noticing).
   [[nodiscard]] std::uint64_t step_downs() const { return step_downs_; }

@@ -1,0 +1,464 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+
+#include "core/faults.hpp"
+#include "core/service.hpp"
+#include "util/log.hpp"
+
+namespace rtpb::explore {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+/// Service config for exploration: a fast failure detector (3 misses at
+/// 20 ms pings ≈ 65 ms detection) keeps failover arcs short, so exhaustive
+/// horizons stay in the low seconds.  Safe here because the drop budget
+/// (≤2 frames) cannot fake ping_max_misses consecutive misses.
+core::ServiceConfig service_config(const ExploreConfig& cfg) {
+  core::ServiceConfig c;
+  c.ping_period = millis(20);
+  c.ping_max_misses = cfg.ping_max_misses;
+  c.variance_aware_admission = true;
+  c.epoch_fencing = cfg.epoch_fencing;
+  return c;
+}
+
+/// Fixed workload: client periods on the 20 ms grid, windows (120 ms) wide
+/// enough that losing drop_budget frames can never cause an out-of-model
+/// staleness violation — any violation the oracles report is a protocol
+/// bug, not a scenario artifact.
+std::vector<core::ObjectSpec> workload(const ExploreConfig& cfg) {
+  std::vector<core::ObjectSpec> specs;
+  for (std::size_t i = 0; i < cfg.objects; ++i) {
+    core::ObjectSpec s;
+    s.id = static_cast<core::ObjectId>(i + 1);
+    s.name = "explored-" + std::to_string(i + 1);
+    s.size_bytes = 64;
+    s.client_period = millis(20);
+    s.client_exec = micros(200);
+    s.update_exec = micros(500);
+    s.delta_primary = millis(30);
+    s.delta_backup = millis(150);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+/// Is "fire tied event j before events 0..j-1" an ordering the model
+/// explores?  Only frame deliveries are schedulable nondeterminism: local
+/// timers fire in deterministic scheduling (FIFO) order — that order is
+/// part of the simulated host, not a race — and observers never matter.
+/// Among deliveries, two frames on the same directed link must keep FIFO
+/// (part of the network model), while the real race is two senders'
+/// frames reaching one receiver in the same instant.  With `sleep_sets`
+/// on, deliveries to *different* receivers are also skipped: they commute
+/// (the sleep-set reduction, sound and reported).
+bool order_alternative_matters(const std::vector<sim::EventTag>& tags, std::size_t j,
+                               bool sleep_sets) {
+  if (tags[j].kind != sim::kTagNetDelivery) return false;
+  bool dependent = false;
+  for (std::size_t i = 0; i < j; ++i) {
+    if (tags[i].kind != sim::kTagNetDelivery) continue;
+    if (tags[i].node == tags[j].node && tags[i].peer == tags[j].peer) {
+      return false;  // would invert same-link frames: FIFO violation, out of model
+    }
+    if (!sleep_sets || tags[i].node == tags[j].node) dependent = true;
+  }
+  return dependent;
+}
+
+/// Identity of a choice point for the expansion-dedup set: the canonical
+/// state it was taken in, plus what was being decided.
+std::uint64_t expansion_key(std::uint64_t state_hash, const Choice& c) {
+  std::uint64_t h = state_hash;
+  fnv_mix(h, static_cast<std::uint64_t>(c.kind));
+  fnv_mix(h, c.options);
+  fnv_mix(h, c.a);
+  fnv_mix(h, c.b);
+  fnv_mix(h, c.frame);
+  for (char ch : c.label) fnv_mix(h, static_cast<unsigned char>(ch));
+  return h;
+}
+
+/// The per-trajectory strategy: replays a decision prefix, takes defaults
+/// beyond it, and records every choice point it encounters.
+class TrajectoryPolicy final : public sim::ChoicePolicy {
+ public:
+  TrajectoryPolicy(const ExploreConfig& cfg, core::RtpbService& service,
+                   chaos::OracleMonitor& monitor, std::vector<core::ObjectId> admitted,
+                   const std::vector<std::uint16_t>& trace)
+      : cfg_(cfg),
+        service_(service),
+        monitor_(monitor),
+        admitted_(std::move(admitted)),
+        trace_(trace) {}
+
+  bool decide(const sim::ChoiceContext& ctx, Rng& rng) override {
+    switch (ctx.kind) {
+      case sim::ChoiceKind::kFrameLoss: {
+        // A partitioned link (loss 1.0) is a forced drop, not a branch; a
+        // zero-loss link is a *potential* drop, budget and window allowing.
+        if (ctx.probability >= 1.0) return true;
+        if (ctx.probability > 0.0) return rng.bernoulli(ctx.probability);
+        const std::uint64_t ordinal = frame_ordinals_[{ctx.a, ctx.b}]++;
+        const TimePoint now = service_.simulator().now();
+        const ExploreBounds& b = cfg_.bounds;
+        if (bound_hit_ || drops_taken_ >= b.drop_budget) return false;
+        if (b.drop_until <= b.drop_from || now < b.drop_from || now > b.drop_until) {
+          return false;
+        }
+        Choice c;
+        c.kind = ctx.kind;
+        c.a = ctx.a;
+        c.b = ctx.b;
+        c.frame = ordinal;
+        c.at = now;
+        const bool drop = choose(std::move(c)) != 0;
+        if (drop) {
+          ++drops_taken_;
+          actions_.push_back({"drop-frame", now, ctx.a, ctx.b, ordinal});
+        }
+        return drop;
+      }
+      case sim::ChoiceKind::kFault: {
+        const TimePoint now = service_.simulator().now();
+        const std::string label = ctx.label == nullptr ? "" : ctx.label;
+        if (label == "add-standby") {
+          // Recovery, not a fault: fires deterministically iff a crash
+          // fired earlier (see ExploreConfig's candidate-instant doc).
+          if (!crash_fired_) return false;
+          actions_.push_back({label, now, 0, 0, 0});
+          monitor_.declare_epoch({now, now + cfg_.failover_grace, chaos::FaultKind::kAddStandby});
+          return true;
+        }
+        if (bound_hit_ || !fault_eligible(label)) return false;
+        Choice c;
+        c.kind = ctx.kind;
+        c.label = label;
+        c.at = now;
+        const bool fire = choose(std::move(c)) != 0;
+        if (fire) {
+          ++faults_taken_;
+          actions_.push_back({label, now, 0, 0, 0});
+          declare_fault_epoch(label, now);
+        }
+        return fire;
+      }
+      default:
+        // Burst/corrupt/reorder/duplicate knobs are zero in explorer
+        // scenarios; fall through to the RNG semantics regardless.
+        return rng.bernoulli(ctx.probability);
+    }
+  }
+
+  std::size_t pick_event(const std::vector<sim::EventTag>& tags) override {
+    if (tags.size() < 2 || bound_hit_) return 0;
+    bool any = false;
+    for (std::size_t j = 1; j < tags.size(); ++j) {
+      if (order_alternative_matters(tags, j, cfg_.sleep_sets)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return 0;  // every alternative is fixed or commutes: no choice point
+    Choice c;
+    c.kind = sim::ChoiceKind::kEventOrder;
+    c.options = static_cast<std::uint16_t>(std::min<std::size_t>(tags.size(), 0xffff));
+    c.at = service_.simulator().now();
+    c.tags = tags;
+    return choose(std::move(c));
+  }
+
+  TrajectoryResult take_result() {
+    TrajectoryResult r;
+    r.final_hash = hash_state();
+    r.choices = std::move(choices_);
+    r.state_hashes = std::move(hashes_);
+    r.actions = std::move(actions_);
+    r.choice_bound_hit = bound_hit_;
+    return r;
+  }
+
+ private:
+  std::uint16_t choose(Choice c) {
+    if (choices_.size() >= cfg_.bounds.max_choice_points) {
+      bound_hit_ = true;
+      return 0;
+    }
+    const std::size_t idx = choices_.size();
+    std::uint16_t pick = idx < trace_.size() ? trace_[idx] : 0;
+    if (pick >= c.options) pick = 0;
+    c.chosen = pick;
+    hashes_.push_back(hash_state());
+    choices_.push_back(std::move(c));
+    return pick;
+  }
+
+  bool fault_eligible(const std::string& name) const {
+    if (faults_taken_ >= cfg_.bounds.fault_budget) return false;
+    std::size_t live = 0;
+    service_.for_each_replica([&live](const core::ReplicaServer& r) {
+      if (!r.crashed()) ++live;
+    });
+    // Never offer crashing (or isolating) the last live replica: those
+    // trajectories only prove the cluster dies when everyone dies.
+    if (name == "crash-primary" || name == "crash-backup" || name == "partition-primary") {
+      return live >= 2;
+    }
+    return false;
+  }
+
+  void declare_fault_epoch(const std::string& label, TimePoint now) {
+    if (label == "partition-primary") {
+      // Matches the chaos schedule's split-brain arc: double grace, the
+      // fencing-driven step-down takes a detection round longer.
+      monitor_.declare_epoch({now, now + cfg_.failover_grace + cfg_.failover_grace,
+                              chaos::FaultKind::kPartitionPrimary});
+      return;
+    }
+    // A crash: the distance metric cannot recover until a standby has been
+    // recruited and caught up, so the whole crash→recruit→catch-up arc is
+    // one epoch (the exact shape the chaos schedule declares).  The
+    // recovery rule guarantees the next add-standby candidate fires.
+    crash_fired_ = true;
+    TimePoint recovered = now;
+    for (const Duration d : cfg_.add_standby_at) {
+      const TimePoint at = TimePoint::zero() + d;
+      if (at >= now && (recovered == now || at < recovered)) recovered = at;
+    }
+    const chaos::FaultKind kind = label == "crash-backup" ? chaos::FaultKind::kCrashBackup
+                                                         : chaos::FaultKind::kCrashPrimary;
+    monitor_.declare_epoch({now, recovered + cfg_.failover_grace, kind});
+  }
+
+  /// FNV-1a over the canonicalized protocol state: per replica (visit
+  /// order is deterministic) role / crashed / epoch / pending transfers /
+  /// per-object versions, plus virtual time and per-link in-flight frame
+  /// counts.  Monotone counters are deliberately excluded — they would
+  /// make every state unique and the pruning useless.
+  std::uint64_t hash_state() {
+    std::uint64_t h = kFnvOffset;
+    std::vector<net::NodeId> nodes;
+    service_.for_each_replica([&](const core::ReplicaServer& r) {
+      nodes.push_back(r.node());
+      fnv_mix(h, r.role() == core::Role::kPrimary ? 1 : 2);
+      fnv_mix(h, r.crashed() ? 1 : 0);
+      fnv_mix(h, r.epoch());
+      fnv_mix(h, r.pending_transfer_count());
+      for (const core::ObjectId id : admitted_) {
+        const auto state = r.read(id);
+        fnv_mix(h, id);
+        fnv_mix(h, state ? state->version : 0);
+      }
+    });
+    sim::Simulator& sim = service_.simulator();
+    fnv_mix(h, static_cast<std::uint64_t>(sim.now().nanos()));
+    fnv_mix(h, sim.pending_events());
+    net::Network& net = service_.network();
+    for (const net::NodeId a : nodes) {
+      for (const net::NodeId b : nodes) {
+        if (a == b || !net.link_params(a, b).has_value()) continue;
+        const net::LinkStats& s = net.stats(a, b);
+        const std::int64_t in_flight = static_cast<std::int64_t>(s.sent) -
+                                       static_cast<std::int64_t>(s.delivered) -
+                                       static_cast<std::int64_t>(s.dropped);
+        fnv_mix(h, static_cast<std::uint64_t>(in_flight));
+      }
+    }
+    return h;
+  }
+
+  const ExploreConfig& cfg_;
+  core::RtpbService& service_;
+  chaos::OracleMonitor& monitor_;
+  std::vector<core::ObjectId> admitted_;
+  const std::vector<std::uint16_t>& trace_;
+  std::vector<Choice> choices_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<FaultAction> actions_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> frame_ordinals_;
+  std::uint32_t faults_taken_ = 0;
+  std::uint32_t drops_taken_ = 0;
+  bool crash_fired_ = false;
+  bool bound_hit_ = false;
+};
+
+}  // namespace
+
+std::vector<std::uint16_t> TrajectoryResult::decisions() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(choices.size());
+  for (const Choice& c : choices) out.push_back(c.chosen);
+  return out;
+}
+
+TrajectoryResult run_trajectory(const ExploreConfig& cfg,
+                                const std::vector<std::uint16_t>& trace) {
+  core::ServiceParams params;
+  params.seed = cfg.service_seed;
+  params.config = service_config(cfg);
+  params.backup_count = cfg.backups;
+  params.service_name = "explore-service";
+  core::RtpbService service(params);
+  service.start();
+
+  std::vector<core::ObjectId> admitted;
+  for (const core::ObjectSpec& spec : workload(cfg)) {
+    if (service.register_object(spec).ok()) admitted.push_back(spec.id);
+  }
+
+  core::FaultPlan plan(service);
+  for (const Duration d : cfg.crash_primary_at) plan.maybe_crash_primary(TimePoint::zero() + d);
+  for (const Duration d : cfg.crash_backup_at) plan.maybe_crash_backup(TimePoint::zero() + d);
+  for (const Duration d : cfg.add_standby_at) plan.maybe_add_standby(TimePoint::zero() + d);
+  for (const Duration d : cfg.partition_at) plan.maybe_partition_primary(TimePoint::zero() + d);
+  plan.arm();
+
+  chaos::OracleMonitor monitor(service, admitted, {});
+  monitor.start();
+
+  TrajectoryPolicy policy(cfg, service, monitor, admitted, trace);
+  service.simulator().set_choice_policy(&policy);
+  service.run_for(cfg.bounds.horizon);
+  service.simulator().set_choice_policy(nullptr);
+  service.finish();
+
+  TrajectoryResult result = policy.take_result();
+  result.violations = monitor.violations();
+  return result;
+}
+
+bool reproduces(const TrajectoryResult& result, const std::string& oracle) {
+  for (const chaos::OracleViolation& v : result.violations) {
+    if (v.oracle == oracle) return true;
+  }
+  return false;
+}
+
+TrajectoryResult replay(const Counterexample& ce) { return run_trajectory(ce.config, ce.trace); }
+
+Counterexample minimize(const Counterexample& ce) {
+  Counterexample best = ce;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < best.trace.size(); ++i) {
+      if (best.trace[i] == 0) continue;
+      std::vector<std::uint16_t> candidate = best.trace;
+      candidate[i] = 0;
+      TrajectoryResult res = run_trajectory(best.config, candidate);
+      if (!reproduces(res, best.oracle)) continue;
+      best.trace = res.decisions();
+      best.actions = res.actions;
+      for (const chaos::OracleViolation& v : res.violations) {
+        if (v.oracle == best.oracle) {
+          best.detail = v.detail;
+          break;
+        }
+      }
+      progressed = true;
+      break;
+    }
+  }
+  while (!best.trace.empty() && best.trace.back() == 0) best.trace.pop_back();
+  return best;
+}
+
+ExploreReport explore(const ExploreConfig& cfg, std::ostream* progress) {
+  ExploreReport report;
+  std::vector<std::vector<std::uint16_t>> stack;
+  stack.emplace_back();
+  std::set<std::uint64_t> states;
+  std::set<std::pair<std::uint64_t, std::uint16_t>> expanded;
+
+  while (!stack.empty()) {
+    if (report.trajectories >= cfg.bounds.max_trajectories) {
+      report.hit_trajectory_cap = true;
+      break;
+    }
+    const std::vector<std::uint16_t> prefix = std::move(stack.back());
+    stack.pop_back();
+
+    TrajectoryResult res = run_trajectory(cfg, prefix);
+    ++report.trajectories;
+    report.choice_points += res.choices.size();
+    if (res.choice_bound_hit) ++report.truncated;
+    for (const std::uint64_t h : res.state_hashes) states.insert(h);
+    states.insert(res.final_hash);
+
+    if (!res.violations.empty()) {
+      Counterexample ce;
+      ce.config = cfg;
+      ce.trace = res.decisions();
+      ce.actions = res.actions;
+      ce.oracle = res.violations.front().oracle;
+      ce.detail = res.violations.front().detail;
+      if (progress != nullptr) {
+        *progress << "violation after " << report.trajectories << " trajectories: " << ce.oracle
+                  << " — minimizing\n";
+      }
+      report.counterexamples.push_back(minimize(ce));
+      break;
+    }
+
+    const std::vector<std::uint16_t> decisions = res.decisions();
+    for (std::size_t i = prefix.size(); i < res.choices.size(); ++i) {
+      const Choice& c = res.choices[i];
+      const std::uint64_t key = expansion_key(res.state_hashes[i], c);
+      for (std::uint16_t alt = 1; alt < c.options; ++alt) {
+        if (c.kind == sim::ChoiceKind::kEventOrder &&
+            !order_alternative_matters(c.tags, alt, cfg.sleep_sets)) {
+          ++report.pruned_sleep;
+          continue;
+        }
+        if (cfg.prune_visited && !expanded.insert({key, alt}).second) {
+          ++report.pruned_visited;
+          continue;
+        }
+        std::vector<std::uint16_t> next(decisions.begin(),
+                                        decisions.begin() + static_cast<std::ptrdiff_t>(i));
+        next.push_back(alt);
+        stack.push_back(std::move(next));
+      }
+    }
+    if (progress != nullptr && report.trajectories % 500 == 0) {
+      *progress << "  " << report.trajectories << " trajectories, " << states.size()
+                << " states, " << stack.size() << " pending prefixes\n";
+    }
+  }
+
+  report.states_visited = states.size();
+  return report;
+}
+
+std::string ExploreReport::summary() const {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%llu trajectories, %llu choice points, %llu states visited, "
+                "pruned %llu visited / %llu commuting, %llu truncated%s, %zu counterexample(s)",
+                static_cast<unsigned long long>(trajectories),
+                static_cast<unsigned long long>(choice_points),
+                static_cast<unsigned long long>(states_visited),
+                static_cast<unsigned long long>(pruned_visited),
+                static_cast<unsigned long long>(pruned_sleep),
+                static_cast<unsigned long long>(truncated),
+                hit_trajectory_cap ? " [TRAJECTORY CAP HIT]" : "", counterexamples.size());
+  return line;
+}
+
+}  // namespace rtpb::explore

@@ -1,0 +1,174 @@
+// Bounded model checking for the failover/epoch protocol.
+//
+// The deterministic simulator makes the nondeterminism of a run explicit:
+// which of several same-instant events fires first, which frames a link
+// drops, and which scripted fault candidates (crash / recruit / partition)
+// actually fire.  The explorer drives those decisions through the
+// simulator's ChoicePoint seam (sim/choice.hpp) and enumerates the
+// alternatives by stateless depth-first search: each trajectory is a fresh
+// RtpbService run replaying a recorded decision prefix and taking defaults
+// beyond it (CHESS-style trace replay).  Every trajectory is judged by the
+// same OracleMonitor the chaos harness uses.
+//
+// Reductions (both on by default, both reported in the ExploreReport so
+// nothing is silently capped):
+//
+//   sleep sets    only frame *deliveries* are schedulable nondeterminism —
+//                 local timers fire in deterministic scheduler order (part
+//                 of the simulated host, not a race) and two frames on one
+//                 directed link keep FIFO (part of the network model).
+//                 Among the remaining delivery orderings, those with
+//                 different receivers commute and are skipped.
+//   state hashing trajectories that reach a previously-expanded canonical
+//                 state (FNV-1a over per-replica role / crashed / epoch /
+//                 object versions / pending transfers, plus virtual time
+//                 and per-link in-flight counts) do not re-expand their
+//                 alternatives.  The hash does not capture in-flight frame
+//                 *contents*, so this pruning is a documented heuristic:
+//                 hash-equal states are treated as equivalent.  The seeded
+//                 chaos sweep remains the probabilistic backstop.
+//
+// On a violation the explorer greedily minimizes the decision trace (every
+// non-default choice is flipped back to default while the violation
+// persists) and emits a Counterexample: a self-contained text artifact
+// carrying the scenario, the chosen fault actions rendered as a FaultPlan
+// reproducer (the PR-1 format), and the exact choice trace.  chaos_main
+// --replay re-runs it and confirms the same oracle fires.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/oracles.hpp"
+#include "sim/choice.hpp"
+
+namespace rtpb::explore {
+
+struct ExploreBounds {
+  Duration horizon = millis(1500);           ///< virtual time per trajectory
+  std::size_t max_trajectories = 20000;      ///< DFS size cap (reported if hit)
+  std::size_t max_choice_points = 160;       ///< depth bound per trajectory
+  std::uint32_t fault_budget = 2;            ///< fault candidates taken per trajectory
+  std::uint32_t drop_budget = 1;             ///< frames dropped per trajectory
+  /// Frames are droppable only inside [drop_from, drop_until] of virtual
+  /// time; an empty window (until <= from) disables drop branching.
+  TimePoint drop_from{};
+  TimePoint drop_until{};
+};
+
+struct ExploreConfig {
+  std::size_t backups = 1;    ///< 1 → the paper's 2-node pair
+  std::size_t objects = 1;
+  std::uint64_t service_seed = 1;
+  bool epoch_fencing = true;  ///< false = the split-brain sabotage
+  /// Failure-detector misses before declaring (the no-failover sabotage
+  /// sets this absurdly high, exactly like the chaos mode).
+  std::uint32_t ping_max_misses = 3;
+  /// Oracle grace declared around a chosen fault candidate (partition
+  /// candidates declare twice this, matching the chaos schedule's
+  /// split-brain arc).
+  Duration failover_grace = millis(700);
+  /// Fault candidate instants.  Pick instants off the protocol's periodic
+  /// grids (e.g. 251 ms against 20 ms pings) so candidates do not tie with
+  /// unrelated timers.  crash/partition candidates are explored as binary
+  /// choices; add_standby candidates are *recovery* actions, not faults —
+  /// one fires deterministically when a crash fired earlier in the
+  /// trajectory (the service has no autonomous re-recruitment, so a
+  /// crash with no recruit ever is unrecoverable by construction: its
+  /// stale distances would be scenario artifacts, not protocol bugs —
+  /// exactly why the chaos generator always pairs a crash with a recruit).
+  /// A crash's declared epoch therefore runs to the next recovery
+  /// candidate + grace, the same arc the chaos schedule declares.
+  std::vector<Duration> crash_primary_at;
+  std::vector<Duration> crash_backup_at;
+  std::vector<Duration> add_standby_at;
+  std::vector<Duration> partition_at;
+  ExploreBounds bounds;
+  bool prune_visited = true;  ///< state-hash expansion pruning
+  bool sleep_sets = true;     ///< commuting-delivery reduction
+};
+
+/// One recorded decision of a trajectory.
+struct Choice {
+  sim::ChoiceKind kind{};
+  std::uint16_t options = 2;
+  std::uint16_t chosen = 0;
+  std::uint32_t a = 0;                ///< frame fates: directed link src
+  std::uint32_t b = 0;                ///< frame fates: directed link dst
+  std::uint64_t frame = 0;            ///< frame fates: per-link frame ordinal
+  std::string label;                  ///< fault candidates: which one
+  TimePoint at{};
+  std::vector<sim::EventTag> tags;    ///< event-order ties: the candidates
+};
+
+/// A fault the trajectory actually took (for the FaultPlan rendering).
+struct FaultAction {
+  std::string label;                  ///< crash-primary / … / drop-frame
+  TimePoint at{};
+  std::uint32_t a = 0;                ///< drop-frame: directed link src
+  std::uint32_t b = 0;                ///< drop-frame: directed link dst
+  std::uint64_t frame = 0;            ///< drop-frame: per-link frame ordinal
+};
+
+struct TrajectoryResult {
+  std::vector<Choice> choices;
+  /// Canonical state hash at each choice point (parallel to `choices`).
+  std::vector<std::uint64_t> state_hashes;
+  std::uint64_t final_hash = 0;
+  std::vector<chaos::OracleViolation> violations;
+  std::vector<FaultAction> actions;
+  bool choice_bound_hit = false;
+  /// The decision sequence actually taken (what to feed back as a trace).
+  [[nodiscard]] std::vector<std::uint16_t> decisions() const;
+};
+
+/// A minimized, replayable violation witness.
+struct Counterexample {
+  ExploreConfig config;
+  std::vector<std::uint16_t> trace;   ///< exact decision sequence
+  std::vector<FaultAction> actions;   ///< the faults that sequence takes
+  std::string oracle;                 ///< violated oracle, e.g. "cross-epoch-apply"
+  std::string detail;
+  /// Serialize to the replayable text artifact (parse_counterexample
+  /// round-trips it; the embedded FaultPlan snippet is for humans).
+  [[nodiscard]] std::string to_text() const;
+  /// Ready-to-paste C++ FaultPlan reproducer for the chosen actions.
+  [[nodiscard]] std::string fault_plan() const;
+};
+
+[[nodiscard]] std::optional<Counterexample> parse_counterexample(const std::string& text);
+
+struct ExploreReport {
+  std::uint64_t trajectories = 0;
+  std::uint64_t choice_points = 0;     ///< total decisions recorded
+  std::uint64_t states_visited = 0;    ///< distinct canonical state hashes
+  std::uint64_t pruned_visited = 0;    ///< expansions skipped: state already expanded
+  std::uint64_t pruned_sleep = 0;      ///< expansions skipped: commuting deliveries
+  std::uint64_t truncated = 0;         ///< trajectories cut by the choice bound
+  bool hit_trajectory_cap = false;
+  std::vector<Counterexample> counterexamples;  ///< minimized; empty on a clean sweep
+  [[nodiscard]] bool ok() const { return counterexamples.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run one trajectory: fresh service, replay `trace`, defaults beyond it.
+[[nodiscard]] TrajectoryResult run_trajectory(const ExploreConfig& cfg,
+                                              const std::vector<std::uint16_t>& trace);
+
+/// Exhaustive bounded sweep.  Stops at the first violation (after
+/// minimizing it) or when the choice tree is exhausted / capped.
+[[nodiscard]] ExploreReport explore(const ExploreConfig& cfg, std::ostream* progress = nullptr);
+
+/// Greedily flip non-default choices back to default while the violation
+/// persists, then drop trailing defaults.
+[[nodiscard]] Counterexample minimize(const Counterexample& ce);
+
+/// Re-run a counterexample.  The violation reproduced iff the result's
+/// violations contain ce.oracle.
+[[nodiscard]] TrajectoryResult replay(const Counterexample& ce);
+[[nodiscard]] bool reproduces(const TrajectoryResult& result, const std::string& oracle);
+
+}  // namespace rtpb::explore

@@ -87,6 +87,15 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
 
   const LinkFaults& faults = link->params.faults;
 
+  // Every frame-fate decision routes through the simulator's choice seam:
+  // with no policy installed, decide_fault() falls through to the same
+  // bernoulli() call on the same RNG stream as before, so seeded chaos
+  // digests are unchanged.  An explorer policy sees each frame on each
+  // directed link as a potential branch point instead.
+  const auto decide = [this, src, dst](sim::ChoiceKind kind, double p) {
+    return sim_.decide_fault(sim::ChoiceContext{kind, p, src, dst, nullptr}, rng_);
+  };
+
   // Burst loss: an open burst swallows frames until it is spent; a fresh
   // burst may open on any frame.  Models correlated loss (collision storms,
   // a switch buffer overrun) rather than independent Bernoulli drops.
@@ -95,7 +104,7 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     --link->burst_remaining;
     burst_kill = true;
   } else if (faults.burst_loss_probability > 0.0 &&
-             rng_.bernoulli(faults.burst_loss_probability)) {
+             decide(sim::ChoiceKind::kFrameBurst, faults.burst_loss_probability)) {
     link->burst_remaining = faults.burst_length > 0 ? faults.burst_length - 1 : 0;
     burst_kill = true;
   }
@@ -114,7 +123,7 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     return true;
   }
 
-  if (rng_.bernoulli(link->params.loss_probability)) {
+  if (decide(sim::ChoiceKind::kFrameLoss, link->params.loss_probability)) {
     ++link->stats.dropped;
     RTPB_TRACE("net", "drop pkt %llu node%u->node%u (loss)",
                static_cast<unsigned long long>(pkt.seq), src, dst);
@@ -132,7 +141,7 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
   // Corruption: flip one random bit and deliver anyway — detecting it is
   // the transport checksum's job.
   if (faults.corrupt_probability > 0.0 && !pkt.payload.empty() &&
-      rng_.bernoulli(faults.corrupt_probability)) {
+      decide(sim::ChoiceKind::kFrameCorrupt, faults.corrupt_probability)) {
     const std::size_t skip = std::min(faults.corrupt_skip, pkt.payload.size() - 1);
     const auto idx = static_cast<std::size_t>(
         rng_.uniform(static_cast<std::int64_t>(skip),
@@ -167,7 +176,7 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
 
   TimePoint deliver_at = sim_.now() + delay;
   const bool reordered = faults.reorder_probability > 0.0 &&
-                         rng_.bernoulli(faults.reorder_probability);
+                         decide(sim::ChoiceKind::kFrameReorder, faults.reorder_probability);
   if (reordered) {
     // Exempt the frame from the FIFO floor and hold it back a little, so
     // frames sent after it can (and usually do) overtake it.
@@ -189,7 +198,8 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
     hub.registry().histogram("net.link.delay_ms").record(deliver_at - sim_.now());
   }
 
-  if (faults.duplicate_probability > 0.0 && rng_.bernoulli(faults.duplicate_probability)) {
+  if (faults.duplicate_probability > 0.0 &&
+      decide(sim::ChoiceKind::kFrameDuplicate, faults.duplicate_probability)) {
     Duration dup_delay = link->params.propagation;
     if (link->params.jitter > Duration::zero()) {
       dup_delay += Duration{rng_.uniform(0, link->params.jitter.nanos() - 1)};
@@ -207,7 +217,8 @@ bool Network::send(NodeId src, NodeId dst, Bytes payload) {
 }
 
 void Network::schedule_delivery(Packet pkt, TimePoint at) {
-  sim_.schedule_at(at, [this, pkt = std::move(pkt)]() mutable {
+  const sim::EventTag tag{sim::kTagNetDelivery, pkt.dst, pkt.src};
+  sim_.schedule_at(at, tag, [this, pkt = std::move(pkt)]() mutable {
     telemetry::Hub& hub = sim_.telemetry();
     auto node_it = nodes_.find(pkt.dst);
     if (node_it == nodes_.end() || !node_it->second.up) {

@@ -23,11 +23,15 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
 Simulator::~Simulator() { Logger::instance().clear_clock(); }
 
 EventHandle Simulator::schedule_at(TimePoint at, std::function<void()> fn) {
+  return schedule_at(at, EventTag{}, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(TimePoint at, EventTag tag, std::function<void()> fn) {
   RTPB_EXPECTS(at >= now_);
   RTPB_EXPECTS(fn != nullptr);
   auto state = std::make_shared<EventHandle::State>();
   state->fn = std::move(fn);
-  queue_.push(QueueEntry{at, next_seq_++, state});
+  queue_.push(QueueEntry{at, next_seq_++, state, tag});
   ++live_events_;
   return EventHandle{std::move(state)};
 }
@@ -38,6 +42,7 @@ EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) 
 }
 
 bool Simulator::step() {
+  if (policy_ != nullptr) return step_with_policy();
   while (!queue_.empty()) {
     QueueEntry entry = queue_.top();
     queue_.pop();
@@ -52,6 +57,49 @@ bool Simulator::step() {
     return true;
   }
   return false;
+}
+
+bool Simulator::step_with_policy() {
+  // Skim cancelled entries, then collect every live event tied at the
+  // earliest instant and let the policy pick which fires.  The rest go
+  // back with their original sequence numbers, so a policy that always
+  // returns 0 reproduces the FIFO tie-break exactly.
+  while (!queue_.empty() && queue_.top().state->cancelled) {
+    queue_.pop();
+    --live_events_;
+  }
+  if (queue_.empty()) return false;
+  const TimePoint at = queue_.top().at;
+  std::vector<QueueEntry> ready;
+  while (!queue_.empty() && queue_.top().at == at) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.state->cancelled) {
+      --live_events_;
+      continue;
+    }
+    ready.push_back(std::move(entry));
+  }
+  std::size_t pick = 0;
+  if (ready.size() > 1) {
+    std::vector<EventTag> tags;
+    tags.reserve(ready.size());
+    for (const QueueEntry& e : ready) tags.push_back(e.tag);
+    pick = policy_->pick_event(tags);
+    if (pick >= ready.size()) pick = 0;
+  }
+  for (std::size_t i = 0; i < ready.size(); ++i) {
+    if (i != pick) queue_.push(ready[i]);
+  }
+  QueueEntry chosen = std::move(ready[pick]);
+  --live_events_;
+  RTPB_ASSERT(chosen.at >= now_);
+  now_ = chosen.at;
+  chosen.state->fired = true;
+  ++fired_events_;
+  auto fn = std::move(chosen.state->fn);
+  fn();
+  return true;
 }
 
 void Simulator::run_until(TimePoint deadline) {
@@ -75,8 +123,9 @@ void Simulator::run() {
   }
 }
 
-PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn)
-    : sim_(sim), period_(period), fn_(std::move(fn)) {
+PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn,
+                             EventTag tag)
+    : sim_(sim), period_(period), fn_(std::move(fn)), tag_(tag) {
   RTPB_EXPECTS(period_ > Duration::zero());
   RTPB_EXPECTS(fn_ != nullptr);
 }
@@ -93,7 +142,7 @@ void PeriodicTimer::stop() {
 }
 
 void PeriodicTimer::arm(TimePoint at) {
-  pending_ = sim_.schedule_at(at, [this, at] {
+  pending_ = sim_.schedule_at(at, tag_, [this, at] {
     if (!running_) return;
     // Re-arm first so fn_ may call stop()/set_period() and win.
     arm(at + period_);

@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/choice.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/assert.hpp"
@@ -57,6 +58,9 @@ class Simulator {
 
   /// Schedule fn at absolute virtual time `at` (must not be in the past).
   EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  /// Same, with an EventTag describing the event for the choice policy's
+  /// tie-breaking (untagged events are treated as dependent on everything).
+  EventHandle schedule_at(TimePoint at, EventTag tag, std::function<void()> fn);
   /// Schedule fn after `delay` (must be non-negative).
   EventHandle schedule_after(Duration delay, std::function<void()> fn);
 
@@ -76,6 +80,19 @@ class Simulator {
   /// Root RNG for the run; components should fork() their own streams.
   Rng& rng() { return rng_; }
 
+  /// Install (or clear, with nullptr) the choice strategy.  Not owned; the
+  /// policy must outlive its installation.  With no policy the simulator
+  /// is byte-identical to the pre-seam behaviour.
+  void set_choice_policy(ChoicePolicy* policy) { policy_ = policy; }
+  [[nodiscard]] ChoicePolicy* choice_policy() const { return policy_; }
+
+  /// Route a boolean fault decision through the installed policy, or fall
+  /// through to the same seeded Bernoulli draw the caller used before the
+  /// seam existed (`rng` is the *caller's* stream, so digests are stable).
+  bool decide_fault(const ChoiceContext& ctx, Rng& rng) {
+    return policy_ != nullptr ? policy_->decide(ctx, rng) : rng.bernoulli(ctx.probability);
+  }
+
   /// Execution tracing; off by default.  Components record via
   /// `if (sim.trace().enabled()) sim.trace().record(sim.now(), ...)`.
   TraceRecorder& trace() { return trace_; }
@@ -91,11 +108,16 @@ class Simulator {
     TimePoint at;
     std::uint64_t seq;
     std::shared_ptr<EventHandle::State> state;
+    EventTag tag;
     bool operator>(const QueueEntry& o) const {
       if (at != o.at) return at > o.at;
       return seq > o.seq;
     }
   };
+
+  /// step() with a policy installed: gather the tie set at the earliest
+  /// instant and let the policy pick which member fires.
+  bool step_with_policy();
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
@@ -103,6 +125,7 @@ class Simulator {
   std::size_t live_events_ = 0;
   bool stopped_ = false;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  ChoicePolicy* policy_ = nullptr;
   Rng rng_;
   TraceRecorder trace_;
   telemetry::Hub hub_;
@@ -113,7 +136,8 @@ class Simulator {
 /// jobs whose dispatch is *not* mediated by the CPU scheduler.
 class PeriodicTimer {
  public:
-  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn);
+  PeriodicTimer(Simulator& sim, Duration period, std::function<void()> fn,
+                EventTag tag = {});
   ~PeriodicTimer() { stop(); }
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -131,6 +155,7 @@ class PeriodicTimer {
   Simulator& sim_;
   Duration period_;
   std::function<void()> fn_;
+  EventTag tag_;
   EventHandle pending_;
   bool running_ = false;
 };

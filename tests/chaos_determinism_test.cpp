@@ -50,6 +50,81 @@ TEST(ChaosDeterminism, CrashSeedReplaysIdentically) {
   EXPECT_EQ(a.updates_applied, b.updates_applied);
 }
 
+TEST(ChaosDeterminism, TelemetryIsAPureObserver) {
+  // The full cross-check of the observer contract: turning telemetry on
+  // must not shift a single simulator event — byte-identical trace digest,
+  // same event counts, same end-state metrics.  Checked per mode, because
+  // each mode exercises different instrumentation sites.
+  for (const char* mode : {"default", "no-batch", "overload"}) {
+    ChaosOptions opts = quick_opts();
+    if (std::string(mode) == "no-batch") opts.config.batch_updates = false;
+    if (std::string(mode) == "overload") opts.enable_overload = true;
+    ChaosOptions with_telemetry = opts;
+    with_telemetry.telemetry = true;
+
+    const SeedReport off = run_seed(17, opts);
+    const SeedReport on = run_seed(17, with_telemetry);
+    EXPECT_EQ(off.trace_digest, on.trace_digest) << "mode=" << mode;
+    EXPECT_EQ(off.trace_events, on.trace_events) << "mode=" << mode;
+    EXPECT_EQ(off.sim_events, on.sim_events) << "mode=" << mode;
+    EXPECT_EQ(off.client_writes, on.client_writes) << "mode=" << mode;
+    EXPECT_EQ(off.updates_applied, on.updates_applied) << "mode=" << mode;
+    EXPECT_DOUBLE_EQ(off.avg_max_distance_ms, on.avg_max_distance_ms) << "mode=" << mode;
+    // Telemetry was genuinely on — spans were collected.
+    EXPECT_GT(on.spans_started, 0u) << "mode=" << mode;
+    EXPECT_EQ(off.spans_started, 0u) << "mode=" << mode;
+  }
+}
+
+TEST(ChaosDeterminism, DigestCrossMatrixStablePerModeDistinctAcrossModes) {
+  // Every supported mode must replay bit-identically — and the modes must
+  // actually diverge from each other (a shared digest across modes would
+  // mean a knob is dead).
+  struct Mode {
+    const char* name;
+    ChaosOptions opts;
+  };
+  std::vector<Mode> modes;
+  {
+    Mode m{"default", quick_opts()};
+    modes.push_back(m);
+  }
+  {
+    Mode m{"no-batch", quick_opts()};
+    m.opts.config.batch_updates = false;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"backups-2", quick_opts()};
+    m.opts.backups = 2;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"backups-3", quick_opts()};
+    m.opts.backups = 3;
+    modes.push_back(m);
+  }
+  {
+    Mode m{"overload", quick_opts()};
+    m.opts.enable_overload = true;
+    modes.push_back(m);
+  }
+
+  std::set<std::uint64_t> digests;
+  for (const Mode& m : modes) {
+    const SeedReport a = run_seed(29, m.opts);
+    const SeedReport b = run_seed(29, m.opts);
+    EXPECT_EQ(a.trace_digest, b.trace_digest) << "mode " << m.name << " is not stable";
+    EXPECT_EQ(a.fired, b.fired) << m.name;
+    EXPECT_EQ(a.updates_applied, b.updates_applied) << m.name;
+    EXPECT_EQ(a.violation_count, b.violation_count) << m.name;
+    EXPECT_GT(a.client_writes, 0u) << m.name;
+    digests.insert(a.trace_digest);
+  }
+  EXPECT_EQ(digests.size(), modes.size())
+      << "two modes share a digest: some option no longer affects the run";
+}
+
 TEST(ChaosDeterminism, DifferentSeedsDiverge) {
   const ChaosOptions opts = quick_opts();
   std::set<std::uint64_t> digests;

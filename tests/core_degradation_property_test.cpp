@@ -1,0 +1,234 @@
+// Property tests for the degradation measurement/policy core: randomized
+// sample streams checked against the algebraic invariants of RFC 6298
+// RTT estimation, capped-and-jittered exponential backoff, and the
+// overload controller's hysteresis.  Complements core_degradation_test's
+// example-based coverage — these run thousands of random streams and
+// assert properties that must hold for EVERY stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/degradation.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rtpb {
+namespace {
+
+Duration random_rtt(Rng& rng) {
+  // 50 µs .. 80 ms, log-ish spread: covers LAN and badly congested paths.
+  return micros(rng.uniform(50, 80'000));
+}
+
+TEST(RttEstimatorProperty, RtoIsAlwaysSrttPlusFourRttvar) {
+  Rng rng(0xE57);
+  for (int stream = 0; stream < 200; ++stream) {
+    core::RttEstimator est;
+    EXPECT_EQ(est.rto(), Duration::zero());  // no samples yet
+    const int n = static_cast<int>(rng.uniform(1, 40));
+    for (int i = 0; i < n; ++i) {
+      est.sample(random_rtt(rng));
+      // The defining identity, after every sample.
+      EXPECT_EQ(est.rto(), est.srtt() + est.rttvar() * 4);
+      // RTO can never undershoot the smoothed estimate: the 4·RTTVAR term
+      // is nonnegative because RTTVAR is a mean of absolute deviations.
+      EXPECT_GE(est.rttvar(), Duration::zero());
+      EXPECT_GE(est.rto(), est.srtt());
+    }
+  }
+}
+
+TEST(RttEstimatorProperty, FirstSampleSeedsPerRfc6298) {
+  Rng rng(0x6298);
+  for (int trial = 0; trial < 500; ++trial) {
+    core::RttEstimator est;
+    const Duration rtt = random_rtt(rng);
+    est.sample(rtt);
+    EXPECT_EQ(est.srtt(), rtt);
+    EXPECT_EQ(est.rttvar(), rtt / 2);
+    EXPECT_EQ(est.rto(), rtt + (rtt / 2) * 4);
+  }
+}
+
+TEST(RttEstimatorProperty, SrttStaysInsideSampleEnvelope) {
+  // SRTT is a convex combination of samples, so it can never leave the
+  // [min, max] envelope of what was fed in.  (RTTVAR can exceed individual
+  // deviations transiently, but SRTT escaping the envelope would mean the
+  // EWMA gains are wrong.)
+  Rng rng(0xEAE);
+  for (int stream = 0; stream < 200; ++stream) {
+    core::RttEstimator est;
+    Duration lo = Duration::max();
+    Duration hi = Duration::zero();
+    const int n = static_cast<int>(rng.uniform(1, 60));
+    for (int i = 0; i < n; ++i) {
+      const Duration rtt = random_rtt(rng);
+      lo = std::min(lo, rtt);
+      hi = std::max(hi, rtt);
+      est.sample(rtt);
+      EXPECT_GE(est.srtt(), lo - nanos(1));
+      EXPECT_LE(est.srtt(), hi + nanos(1));
+    }
+  }
+}
+
+TEST(RttEstimatorProperty, ConstantStreamConvergesToZeroVariance) {
+  // Feed a constant RTT long enough and RTTVAR must decay towards zero
+  // (Karn suppression of ambiguous samples means real streams ARE often
+  // constant-ish): RTO then converges to SRTT = the true RTT.
+  core::RttEstimator est;
+  const Duration rtt = micros(750);
+  for (int i = 0; i < 200; ++i) est.sample(rtt);
+  EXPECT_EQ(est.srtt(), rtt);
+  EXPECT_LT(est.rttvar(), micros(2));
+  EXPECT_LT(est.rto() - rtt, micros(8));
+}
+
+TEST(RttEstimatorProperty, ResetForgetsEverything) {
+  Rng rng(0xF0);
+  core::RttEstimator est;
+  for (int i = 0; i < 20; ++i) est.sample(random_rtt(rng));
+  est.reset();
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), Duration::zero());
+  const Duration rtt = micros(321);
+  est.sample(rtt);  // first-sample rule applies again after reset
+  EXPECT_EQ(est.srtt(), rtt);
+  EXPECT_EQ(est.rttvar(), rtt / 2);
+}
+
+TEST(BackoffPolicyProperty, DelaysStayInsideJitteredCappedLadder) {
+  Rng seeds(0xBAC0FF);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Duration base = micros(seeds.uniform(100, 20'000));
+    const Duration cap = base * seeds.uniform(4, 5000);
+    const double jitter = 0.25;
+    core::BackoffPolicy policy({base, cap, jitter});
+    Rng rng(static_cast<std::uint64_t>(seeds.uniform(1, 1 << 30)));
+    for (std::uint32_t k = 0; k < 40; ++k) {
+      EXPECT_EQ(policy.level(), std::min(k, 16u));
+      const Duration d = policy.next(rng);
+      // The ideal rung is base·2^min(k,16), capped BEFORE jitter: every
+      // drawn delay lives in [ideal·(1-j), ideal·(1+j)] with a little
+      // slack for the centi-precision jitter draw.
+      const int shift = static_cast<int>(std::min(k, 16u));
+      const Duration ideal = std::min(base * (std::int64_t{1} << shift), cap);
+      EXPECT_GE(d, ideal.scaled(1.0 - jitter - 0.011)) << "attempt " << k;
+      EXPECT_LE(d, ideal.scaled(1.0 + jitter + 0.011)) << "attempt " << k;
+    }
+  }
+}
+
+TEST(BackoffPolicyProperty, LevelCapMakesTailDelaysIdenticallyDistributed) {
+  // Past level 16 the ladder must flatten: with jitter disabled the delay
+  // is exactly min(base·2^16, cap) forever — no overflow, no runaway.
+  core::BackoffPolicy policy({micros(10), seconds(3600), 0.0});
+  Rng rng(1);
+  Duration last{};
+  for (int k = 0; k < 80; ++k) last = policy.next(rng);
+  EXPECT_EQ(policy.level(), 16u);
+  EXPECT_EQ(last, micros(10) * (std::int64_t{1} << 16));
+  EXPECT_EQ(policy.next(rng), last);
+}
+
+TEST(BackoffPolicyProperty, DeterministicGivenSameRngSeed) {
+  const core::BackoffPolicy::Params params{millis(1), seconds(10), 0.25};
+  std::vector<Duration> a;
+  std::vector<Duration> b;
+  for (auto* out : {&a, &b}) {
+    core::BackoffPolicy policy(params);
+    Rng rng(0x5EED);
+    for (int k = 0; k < 30; ++k) out->push_back(policy.next(rng));
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackoffPolicyProperty, ResetRestartsTheLadder) {
+  core::BackoffPolicy policy({millis(2), seconds(10), 0.0});
+  Rng rng(7);
+  (void)policy.next(rng);
+  (void)policy.next(rng);
+  (void)policy.next(rng);
+  EXPECT_EQ(policy.level(), 3u);
+  policy.reset();
+  EXPECT_EQ(policy.level(), 0u);
+  EXPECT_EQ(policy.next(rng), millis(2));  // back to the first rung
+}
+
+TEST(DegradationControllerProperty, OverloadLatchesForExactlyTheHoldWindow) {
+  // For any trigger kind and any trigger time: overloaded() holds through
+  // [t, t + hold] and clears strictly after, provided no further trigger.
+  const Duration hold = millis(200);
+  Rng rng(0xD36);
+  for (int trial = 0; trial < 200; ++trial) {
+    core::DegradationController ctl({micros(400), 4.0, 8, hold});
+    const TimePoint t0{rng.uniform(0, 1'000'000'000)};
+    EXPECT_FALSE(ctl.overloaded(t0));
+    EXPECT_EQ(ctl.calm_for(t0), Duration::max());  // never triggered
+    switch (rng.uniform(0, 2)) {
+      case 0: ctl.on_missed_window(t0); break;
+      case 1: ctl.on_queue_depth(t0, 9); break;  // depth 9 > 8
+      default:
+        // One huge RTT sample: first sample seeds SRTT directly, far above
+        // rtt_factor × baseline.
+        ctl.on_rtt_sample(t0, millis(50));
+        break;
+    }
+    EXPECT_TRUE(ctl.overloaded(t0));
+    EXPECT_TRUE(ctl.overloaded(t0 + hold));
+    EXPECT_FALSE(ctl.overloaded(t0 + hold + nanos(1)));
+    EXPECT_EQ(ctl.calm_for(t0 + hold + millis(5)), hold + millis(5));
+  }
+}
+
+TEST(DegradationControllerProperty, BenignSignalsNeverTrigger) {
+  // Below-threshold queue depths and baseline RTTs must never enter
+  // overload, no matter how many arrive or in what order.
+  Rng rng(0xBE9);
+  core::DegradationController ctl({micros(400), 4.0, 8, millis(200)});
+  TimePoint now{};
+  for (int i = 0; i < 2000; ++i) {
+    now += micros(rng.uniform(1, 500));
+    if (rng.bernoulli(0.5)) {
+      ctl.on_queue_depth(now, static_cast<std::size_t>(rng.uniform(0, 8)));
+    } else {
+      // Samples at or below the no-queueing baseline keep SRTT ≤ baseline
+      // < factor × baseline.
+      ctl.on_rtt_sample(now, micros(rng.uniform(50, 400)));
+    }
+    ASSERT_FALSE(ctl.overloaded(now)) << "step " << i;
+  }
+  EXPECT_EQ(ctl.triggers(), 0u);
+  EXPECT_EQ(ctl.calm_for(now), Duration::max());
+}
+
+TEST(DegradationControllerProperty, RetriggerExtendsTheHold) {
+  const Duration hold = millis(100);
+  core::DegradationController ctl({micros(400), 4.0, 8, hold});
+  const TimePoint t0{1'000'000};
+  ctl.on_missed_window(t0);
+  const TimePoint t1 = t0 + millis(80);  // still inside the first hold
+  ctl.on_missed_window(t1);
+  EXPECT_TRUE(ctl.overloaded(t1 + millis(90)));   // t0's hold alone would have cleared
+  EXPECT_FALSE(ctl.overloaded(t1 + hold + nanos(1)));
+  EXPECT_EQ(ctl.triggers(), 2u);
+}
+
+TEST(DegradationControllerProperty, ResetClearsStateAndHistory) {
+  core::DegradationController ctl({micros(400), 4.0, 8, millis(200)});
+  const TimePoint t0{5'000'000};
+  ctl.on_missed_window(t0);
+  ctl.on_rtt_sample(t0, millis(20));
+  EXPECT_TRUE(ctl.overloaded(t0));
+  ctl.reset();
+  EXPECT_FALSE(ctl.overloaded(t0));
+  EXPECT_EQ(ctl.calm_for(t0), Duration::max());
+  EXPECT_EQ(ctl.triggers(), 0u);
+  EXPECT_EQ(ctl.missed_windows(), 0u);
+  EXPECT_FALSE(ctl.rtt().has_sample());
+}
+
+}  // namespace
+}  // namespace rtpb

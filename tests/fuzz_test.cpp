@@ -25,10 +25,11 @@ TEST(WireFuzz, RandomBytesNeverCrashDecoder) {
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
     const auto decoded = core::wire::decode(junk);
     if (decoded) {
-      // If it decoded, the tag must be a known one.
+      // If it decoded, the tag must be a known one (1..12: kUpdate through
+      // kConstraintRestore).
       const auto t = static_cast<std::uint8_t>(decoded->type);
       EXPECT_GE(t, 1);
-      EXPECT_LE(t, 10);
+      EXPECT_LE(t, 12);
     }
   }
 }
@@ -94,6 +95,146 @@ TEST(WireFuzz, UpdateBatchMutationsNeverCrashOrMisparse) {
       // consistent — the decoder never hands back a half-read frame.
       ASSERT_TRUE(decoded->update_batch.has_value());
       EXPECT_LE(decoded->update_batch->entries.size(), mutated.size() / 24 + 1);
+    }
+  }
+}
+
+TEST(WireFuzz, UpdateBatchTruncationsNeverDecode) {
+  core::wire::UpdateBatch batch;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    batch.entries.push_back(core::wire::UpdateBatchEntry{
+        i + 1, 100 + i, TimePoint{static_cast<std::int64_t>(i) * 500},
+        Bytes(5 + i, static_cast<std::uint8_t>(0xB0 + i))});
+  }
+  batch.epoch = 7;
+  const Bytes full = core::wire::encode(batch);
+  // Every strict prefix must be rejected: the entry count pins the list
+  // length and the trailing epoch pins the total, so no cut can silently
+  // decode as a shorter batch.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(core::wire::decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(WireFuzz, UpdateBatchAdversarialEntryCountsRejectedWithoutAllocating) {
+  core::wire::UpdateBatch batch;
+  batch.entries.push_back(core::wire::UpdateBatchEntry{1, 1, TimePoint{1}, Bytes(8, 0xAA)});
+  batch.epoch = 3;
+  const Bytes original = core::wire::encode(batch);
+  // Forge the u32 entry count (bytes 1..4, little-endian) to every kind of
+  // lie: zero, off-by-one, huge, and all-ones.  The decoder must reject
+  // each before reserving storage for the claimed count — a crash or an
+  // out-of-memory here means the count was trusted.
+  for (const std::uint32_t forged :
+       {0u, 2u, 3u, 0x0000ffffu, 0x00ffffffu, 0x7fffffffu, 0xffffffffu}) {
+    Bytes lied = original;
+    lied[1] = static_cast<std::uint8_t>(forged & 0xff);
+    lied[2] = static_cast<std::uint8_t>((forged >> 8) & 0xff);
+    lied[3] = static_cast<std::uint8_t>((forged >> 16) & 0xff);
+    lied[4] = static_cast<std::uint8_t>((forged >> 24) & 0xff);
+    EXPECT_FALSE(core::wire::decode(lied).has_value()) << "count=" << forged;
+  }
+}
+
+TEST(WireFuzz, UpdateBatchRoundTripPreservesEveryField) {
+  core::wire::UpdateBatch batch;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    batch.entries.push_back(core::wire::UpdateBatchEntry{
+        i * 7 + 1, (i + 1) * 1000, TimePoint{static_cast<std::int64_t>(i) * 12345},
+        Bytes(i * 3, static_cast<std::uint8_t>(i))});
+  }
+  batch.epoch = 0xDEADBEEFULL;
+  const auto decoded = core::wire::decode(core::wire::encode(batch));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->type, core::wire::MsgType::kUpdateBatch);
+  ASSERT_TRUE(decoded->update_batch.has_value());
+  const auto& rt = *decoded->update_batch;
+  EXPECT_EQ(rt.epoch, batch.epoch);
+  ASSERT_EQ(rt.entries.size(), batch.entries.size());
+  for (std::size_t i = 0; i < rt.entries.size(); ++i) {
+    EXPECT_EQ(rt.entries[i].object, batch.entries[i].object);
+    EXPECT_EQ(rt.entries[i].version, batch.entries[i].version);
+    EXPECT_EQ(rt.entries[i].timestamp, batch.entries[i].timestamp);
+    EXPECT_EQ(rt.entries[i].value, batch.entries[i].value);
+  }
+}
+
+TEST(WireFuzz, ConstraintFramesRoundTripPreservesEveryField) {
+  core::wire::ConstraintDowngrade down;
+  down.object = 9;
+  down.delta_primary = millis(30);
+  down.delta_backup = millis(480);
+  down.update_period = millis(55);
+  down.qos_seq = 17;
+  down.epoch = 4;
+  const auto d = core::wire::decode(core::wire::encode(down));
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->type, core::wire::MsgType::kConstraintDowngrade);
+  ASSERT_TRUE(d->constraint_downgrade.has_value());
+  EXPECT_EQ(d->constraint_downgrade->object, down.object);
+  EXPECT_EQ(d->constraint_downgrade->delta_primary, down.delta_primary);
+  EXPECT_EQ(d->constraint_downgrade->delta_backup, down.delta_backup);
+  EXPECT_EQ(d->constraint_downgrade->update_period, down.update_period);
+  EXPECT_EQ(d->constraint_downgrade->qos_seq, down.qos_seq);
+  EXPECT_EQ(d->constraint_downgrade->epoch, down.epoch);
+
+  core::wire::ConstraintRestore rest;
+  rest.object = 9;
+  rest.delta_backup = millis(160);
+  rest.update_period = millis(20);
+  rest.qos_seq = 18;
+  rest.epoch = 4;
+  const auto r = core::wire::decode(core::wire::encode(rest));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->type, core::wire::MsgType::kConstraintRestore);
+  ASSERT_TRUE(r->constraint_restore.has_value());
+  EXPECT_EQ(r->constraint_restore->object, rest.object);
+  EXPECT_EQ(r->constraint_restore->delta_backup, rest.delta_backup);
+  EXPECT_EQ(r->constraint_restore->update_period, rest.update_period);
+  EXPECT_EQ(r->constraint_restore->qos_seq, rest.qos_seq);
+  EXPECT_EQ(r->constraint_restore->epoch, rest.epoch);
+}
+
+TEST(WireFuzz, ConstraintTruncationsNeverDecode) {
+  core::wire::ConstraintDowngrade down;
+  down.object = 2;
+  down.delta_backup = millis(320);
+  down.qos_seq = 5;
+  core::wire::ConstraintRestore rest;
+  rest.object = 2;
+  rest.delta_backup = millis(160);
+  rest.qos_seq = 6;
+  for (const Bytes& full : {core::wire::encode(down), core::wire::encode(rest)}) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_FALSE(core::wire::decode(truncated).has_value()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(WireFuzz, ConstraintMutationsKeepTypeOrFail) {
+  // Both QoS frames are fixed-size with raw integer fields: every non-tag
+  // single-byte mutation is still a structurally valid frame, so it MUST
+  // decode, as the same type (a decode failure would mean the decoder is
+  // conflating field bytes with framing).  Tag mutations may turn the
+  // frame into anything or nothing — they only have to not crash.
+  const Bytes down = core::wire::encode(core::wire::ConstraintDowngrade{
+      4, millis(30), millis(480), millis(50), 21, 2});
+  const Bytes rest = core::wire::encode(core::wire::ConstraintRestore{
+      4, millis(160), millis(25), 22, 2});
+  Rng rng(0xFACE);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const bool use_down = rng.bernoulli(0.5);
+    Bytes mutated = use_down ? down : rest;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    const auto decoded = core::wire::decode(mutated);
+    if (pos != 0) {
+      ASSERT_TRUE(decoded.has_value()) << "pos=" << pos;
+      EXPECT_EQ(decoded->type, use_down ? core::wire::MsgType::kConstraintDowngrade
+                                        : core::wire::MsgType::kConstraintRestore);
     }
   }
 }

@@ -25,13 +25,46 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "chaos/harness.hpp"
+#include "explore/explorer.hpp"
 #include "util/log.hpp"
 
 namespace {
+
+/// Replay a counterexample artifact emitted by explore_main --emit.
+/// Exit 0 iff the recorded oracle violation reproduces.
+int replay_counterexample(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto ce = rtpb::explore::parse_counterexample(text.str());
+  if (!ce) {
+    std::cerr << path << ": not a parseable rtpb-explore counterexample\n";
+    return 2;
+  }
+  std::cout << "replaying counterexample (" << ce->trace.size() << " decisions, oracle "
+            << ce->oracle << ")\n";
+  const rtpb::explore::TrajectoryResult res = rtpb::explore::replay(*ce);
+  for (const rtpb::chaos::OracleViolation& v : res.violations) {
+    std::cout << "  [" << v.at.to_string() << "] " << v.oracle << ": " << v.detail << "\n";
+  }
+  if (!rtpb::explore::reproduces(res, ce->oracle)) {
+    std::cout << "counterexample did NOT reproduce '" << ce->oracle << "'\n";
+    return 1;
+  }
+  std::cout << "counterexample reproduced '" << ce->oracle << "'\n";
+  std::cout << "FaultPlan reproducer:\n" << ce->fault_plan();
+  return 0;
+}
 
 void usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " [options]\n"
@@ -56,7 +89,9 @@ void usage(const char* argv0) {
             << "  --trace-out FILE   write a Chrome trace (Perfetto-loadable) for the\n"
             << "                     last seed run; implies --telemetry\n"
             << "  --jsonl-out FILE   write the JSONL event stream for the last seed run\n"
-            << "                     (input of trace_inspect); implies --telemetry\n";
+            << "                     (input of trace_inspect); implies --telemetry\n"
+            << "  --replay FILE      replay an explore_main counterexample artifact;\n"
+            << "                     exit 0 iff its oracle violation reproduces\n";
 }
 
 }  // namespace
@@ -116,6 +151,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--jsonl-out") {
       opts.trace_jsonl_path = next();
       opts.telemetry = true;
+    } else if (arg == "--replay") {
+      return replay_counterexample(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
