@@ -143,7 +143,7 @@ struct E2eResult {
   double frames_per_update = 0; // < 1 when batching coalesces
 };
 
-E2eResult run_e2e(std::size_t backups, bool batched) {
+E2eResult run_e2e(std::size_t backups, bool batched, bool flight_recorder = false) {
   core::ServiceParams params;
   params.seed = 7;
   params.backup_count = backups;
@@ -152,6 +152,9 @@ E2eResult run_e2e(std::size_t backups, bool batched) {
   params.config.batch_updates = batched;
 
   core::RtpbService service(params);
+  // The flight recorder's ring is pre-allocated by enable(), before the
+  // alloc Scope opens: recording on the hot path must then be alloc-free.
+  if (flight_recorder) service.simulator().telemetry().flight_recorder().enable();
   service.start();
   for (core::ObjectId id = 1; id <= 5; ++id) {
     core::ObjectSpec object;
@@ -253,6 +256,26 @@ int main(int argc, char** argv) {
       metrics.add(key, r.allocs_per_update);
       std::snprintf(key, sizeof(key), "e2e_%s_frames_per_update_n%zu", mode, n);
       metrics.add(key, r.frames_per_update);
+    }
+  }
+
+  std::printf("\n[5] flight recorder on the wire path (observability must be free)\n");
+  {
+    // Same seed → identical virtual trajectory, so any allocation delta is
+    // the recorder's doing.  The ring is pre-sized in enable(); per-event
+    // record() must not allocate in steady state.
+    const E2eResult off = run_e2e(4, true);
+    const E2eResult on = run_e2e(4, true, /*flight_recorder=*/true);
+    std::printf("  recorder off  %14.2f allocs/update\n", off.allocs_per_update);
+    std::printf("  recorder on   %14.2f allocs/update\n", on.allocs_per_update);
+    metrics.add("e2e_recorder_off_allocs_per_update_n4", off.allocs_per_update);
+    metrics.add("e2e_recorder_on_allocs_per_update_n4", on.allocs_per_update);
+    if (on.allocs_per_update > off.allocs_per_update + 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: enabling the flight recorder cost %.2f -> %.2f allocs/update "
+                   "on the wire path (record() must be allocation-free)\n",
+                   off.allocs_per_update, on.allocs_per_update);
+      return 1;
     }
   }
 

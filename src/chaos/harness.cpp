@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <ostream>
 
 #include "core/faults.hpp"
+#include "core/health.hpp"
 #include "telemetry/export.hpp"
 #include "util/log.hpp"
 
@@ -34,7 +36,17 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
 
   core::RtpbService service(params);
   service.simulator().trace().enable();
-  if (opts.telemetry) service.simulator().telemetry().enable();
+  telemetry::Hub& hub = service.simulator().telemetry();
+  if (opts.telemetry) {
+    hub.enable();
+    hub.slo().enable();
+  }
+  if (opts.flight_recorder || !opts.postmortem_path.empty()) {
+    hub.flight_recorder().enable();
+    if (!opts.postmortem_path.empty()) {
+      hub.flight_recorder().set_dump_path(opts.postmortem_path);
+    }
+  }
   service.start();
 
   const Workload workload = generate_workload(seed, opts);
@@ -53,8 +65,29 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
   OracleMonitor monitor(service, admitted, declared_epochs(schedule, opts));
   monitor.start();
 
+  std::ofstream health_out;
+  std::unique_ptr<core::HealthFeed> health;
+  if (!opts.health_jsonl_path.empty()) {
+    health_out.open(opts.health_jsonl_path);
+    if (health_out) {
+      health = std::make_unique<core::HealthFeed>(service, health_out, admitted,
+                                                  opts.health_period);
+      health->start();
+    } else {
+      RTPB_WARN("chaos", "cannot open %s for health feed", opts.health_jsonl_path.c_str());
+    }
+  }
+
   service.run_for(opts.duration);
+  if (health != nullptr) health->stop();
   service.finish();
+
+  // A clean run never tripped the dump: ship the full ring anyway so the
+  // artifact path always yields something inspectable.
+  telemetry::FlightRecorder& recorder = hub.flight_recorder();
+  if (recorder.enabled() && !opts.postmortem_path.empty() && !recorder.dumped()) {
+    recorder.trigger_dump("end-of-run", service.simulator().now());
+  }
 
   SeedReport report;
   report.seed = seed;
@@ -83,11 +116,23 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
   report.inconsistency_intervals = service.metrics().inconsistency_intervals();
   if (!report.ok()) report.reproducer = render_reproducer(schedule, opts);
 
-  const telemetry::Hub& hub = service.simulator().telemetry();
+  report.flight_events = recorder.recorded();
+  report.postmortem_written = recorder.dumped();
+  report.postmortem_reason = recorder.dump_reason();
+  if (health != nullptr) report.health_snapshots = health->snapshots();
+
   if (opts.telemetry) {
     report.spans_started = hub.spans_started();
     report.spans_violated = hub.spans_violated();
     report.metrics_json = hub.registry().to_json();
+    if (!opts.metrics_json_path.empty()) {
+      std::ofstream out(opts.metrics_json_path);
+      if (out) {
+        out << report.metrics_json << "\n";
+      } else {
+        RTPB_WARN("chaos", "cannot open %s for metrics export", opts.metrics_json_path.c_str());
+      }
+    }
     // The service lives only inside this call, so exports happen here too.
     if (!opts.trace_json_path.empty()) {
       std::ofstream out(opts.trace_json_path);

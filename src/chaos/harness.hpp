@@ -52,6 +52,12 @@ struct SeedReport {
   std::uint64_t spans_violated = 0;
   std::string metrics_json;  ///< registry snapshot
 
+  // Flight recorder / health feed (zero / empty unless enabled).
+  std::uint64_t flight_events = 0;     ///< records captured by the ring
+  bool postmortem_written = false;     ///< a post-mortem artifact was dumped
+  std::string postmortem_reason;       ///< trigger that wrote it
+  std::uint64_t health_snapshots = 0;  ///< health JSONL lines emitted
+
   /// Ready-to-paste FaultPlan reproducer (filled when violations > 0).
   std::string reproducer;
 

@@ -51,6 +51,19 @@ void OracleMonitor::report(TimePoint now, const char* oracle, std::string detail
     sim.telemetry().registry().counter(std::string("chaos.violations.") + oracle).add();
     sim.telemetry().mark_violation(span, oracle, detail);
   }
+  // Flight-record the violation (with the guilty span) and trip the
+  // post-mortem dump: the recorder's last-N events ending in this record
+  // are exactly the context an operator wants first.
+  telemetry::FlightRecorder& fr = sim.telemetry().flight_recorder();
+  if (fr.enabled()) {
+    telemetry::FlightRecord rec;
+    rec.at = now;
+    rec.span = span == telemetry::kNoSpan ? 0 : span;
+    rec.kind = telemetry::FlightKind::kViolation;
+    rec.label = oracle;
+    fr.record(rec);
+    fr.trigger_dump(std::string("oracle:") + oracle, now);
+  }
   if (sim.trace().enabled()) {
     sim.trace().record(now, sim::TraceCategory::kUser,
                        std::string("oracle-violation:") + oracle, std::move(detail));
@@ -65,6 +78,24 @@ void OracleMonitor::check() {
   // Re-evaluate window violations at the sampling instant, not just at the
   // last write/apply.
   service_.metrics().poll(now);
+
+  telemetry::Hub& hub = service_.simulator().telemetry();
+  if (hub.flight_recorder().enabled()) {
+    telemetry::FlightRecord rec;
+    rec.at = now;
+    rec.arg = static_cast<std::int64_t>(violation_count_);
+    rec.kind = telemetry::FlightKind::kOracleCheck;
+    hub.flight_recorder().record(rec);
+  }
+  // Feed the SLO monitor at the sampling instant too: the apply path only
+  // observes staleness when an update arrives, so a *lost* update's growing
+  // staleness would otherwise never be sampled.
+  if (hub.slo().enabled()) {
+    for (const core::ObjectId id : admitted_) {
+      hub.slo().observe(id, now, service_.metrics().current_distance(id),
+                        service_.metrics().window_of(id));
+    }
+  }
 
   // exactly-one-primary: outside epochs the cluster must have settled on a
   // single live primary.  Reported once per excursion.

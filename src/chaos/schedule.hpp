@@ -107,13 +107,28 @@ struct ChaosOptions {
   core::ServiceConfig config = hardened_config();
   net::LinkParams link = default_link();
 
-  /// Collect causal spans / metrics during the run.  Purely observational:
-  /// digests are byte-identical with it on or off.
+  /// Collect causal spans / metrics during the run (also enables the
+  /// temporal-slack SLO monitor, exported as core.slo.*).  Purely
+  /// observational: digests are byte-identical with it on or off.
   bool telemetry = false;
   /// When non-empty (and telemetry is on), run_seed writes a Chrome
   /// trace-event JSON / JSONL event stream for the seed there.
   std::string trace_json_path;
   std::string trace_jsonl_path;
+  /// Enable the flight recorder (implied by a non-empty postmortem_path).
+  /// Pure observer like telemetry: digests are byte-identical either way.
+  bool flight_recorder = false;
+  /// Post-mortem artifact path.  The first oracle violation or crash fault
+  /// dumps the recorder's last-N events there; if the run ends untriggered
+  /// the full ring is dumped with reason "end-of-run".
+  std::string postmortem_path;
+  /// When non-empty, a HealthFeed emits per-replica JSONL health snapshots
+  /// there every health_period (rendered by tools/rtpb_top).
+  std::string health_jsonl_path;
+  Duration health_period = millis(100);
+  /// When non-empty (and telemetry is on), write the final registry
+  /// snapshot JSON there (the --metrics-out flag).
+  std::string metrics_json_path;
 
   [[nodiscard]] static core::ServiceConfig hardened_config();
   [[nodiscard]] static net::LinkParams default_link();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/slo.hpp"
+
 namespace rtpb::core {
 
 void RttEstimator::sample(Duration rtt) {
@@ -52,23 +54,24 @@ void DegradationController::on_rtt_sample(TimePoint now, Duration rtt) {
   rtt_.sample(rtt);
   if (params_.rtt_baseline > Duration::zero() &&
       rtt_.srtt() > params_.rtt_baseline.scaled(params_.rtt_factor)) {
-    trigger(now);
+    trigger(now, "rtt-inflation");
   }
 }
 
 void DegradationController::on_queue_depth(TimePoint now, std::size_t depth) {
-  if (depth > params_.queue_depth) trigger(now);
+  if (depth > params_.queue_depth) trigger(now, "queue-depth");
 }
 
 void DegradationController::on_missed_window(TimePoint now) {
   ++missed_windows_;
-  trigger(now);
+  trigger(now, "missed-window");
 }
 
-void DegradationController::trigger(TimePoint now) {
+void DegradationController::trigger(TimePoint now, const char* kind) {
   triggered_ever_ = true;
   last_trigger_ = std::max(last_trigger_, now);
   ++triggers_;
+  if (slo_ != nullptr) slo_->on_degradation_signal(now, kind);
 }
 
 bool DegradationController::overloaded(TimePoint now) const {

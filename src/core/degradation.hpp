@@ -25,6 +25,10 @@
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
+namespace rtpb::telemetry {
+class SloMonitor;
+}  // namespace rtpb::telemetry
+
 namespace rtpb::core {
 
 /// Jacobson/Karn RTT estimation (RFC 6298 flavour): SRTT and RTTVAR
@@ -111,13 +115,18 @@ class DegradationController {
   [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
   [[nodiscard]] std::uint64_t missed_windows() const { return missed_windows_; }
 
+  /// Mirror every overload trigger into the temporal-slack SLO monitor as
+  /// a degradation signal (pure observer; may be null).
+  void set_slo(telemetry::SloMonitor* slo) { slo_ = slo; }
+
   void reset();
 
  private:
-  void trigger(TimePoint now);
+  void trigger(TimePoint now, const char* kind);
 
   Params params_;
   RttEstimator rtt_;
+  telemetry::SloMonitor* slo_ = nullptr;
   bool triggered_ever_ = false;
   TimePoint last_trigger_{};
   std::uint64_t triggers_ = 0;

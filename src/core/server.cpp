@@ -16,6 +16,26 @@ std::string obj_tag(ObjectId id, std::uint64_t version) {
 std::string peer_counter(net::NodeId peer, const char* what) {
   return "core.primary.peer.node" + std::to_string(peer) + "." + what;
 }
+
+/// Flight-recorder hook: one enabled-branch when the recorder is off, one
+/// O(1) ring write when on.  `label` must be a string literal.
+void flight(sim::Simulator& sim, telemetry::FlightKind kind, std::uint32_t node,
+            std::uint64_t object = 0, std::uint64_t version = 0, std::uint64_t epoch = 0,
+            std::uint64_t span = 0, std::int64_t arg = 0, const char* label = nullptr) {
+  telemetry::FlightRecorder& fr = sim.telemetry().flight_recorder();
+  if (!fr.enabled()) return;
+  telemetry::FlightRecord r;
+  r.at = sim.now();
+  r.span = span;
+  r.object = object;
+  r.version = version;
+  r.epoch = epoch;
+  r.arg = arg;
+  r.label = label;
+  r.node = node;
+  r.kind = kind;
+  fr.record(r);
+}
 }  // namespace
 
 ReplicaServer::ReplicaServer(sim::Simulator& sim, net::Network& network, NameService& names,
@@ -89,6 +109,9 @@ void ReplicaServer::start() {
   dp.rtt_factor = config_.overload_rtt_factor;
   dp.queue_depth = config_.overload_queue_depth;
   degrade_ = std::make_unique<DegradationController>(dp);
+  // Overload triggers double as SLO degradation signals (pure observer;
+  // the monitor no-ops unless someone enabled it on the hub).
+  degrade_->set_slo(&sim_.telemetry().slo());
 
   cpu_.start(sim_.now());
   if (role_ == Role::kPrimary) {
@@ -236,6 +259,11 @@ void ReplicaServer::crash() {
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
   for (auto& [id, a] : ack_state_) a.timeout.cancel();
   network_.set_node_up(node(), false);
+  flight(sim_, telemetry::FlightKind::kCrash, node(), 0, 0, epoch_);
+  // A crash fault is one of the post-mortem triggers: dump the ring so the
+  // artifact shows what led up to it (first trigger wins).
+  sim_.telemetry().flight_recorder().trigger_dump(
+      "crash:node" + std::to_string(node()), sim_.now());
   RTPB_INFO("rtpb", "%s@node%u crashed", role_name(role_), node());
 }
 
@@ -406,6 +434,8 @@ void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::J
     hub.record(span, node(), telemetry::EventKind::kInstant, track,
                retransmission ? "update-retx" : "update-send", obj_tag(id, state.version));
   }
+  flight(sim_, telemetry::FlightKind::kUpdateSend, node(), id, state.version, epoch_, span,
+         retransmission ? 1 : 0);
 
   // §5 methodology: loss injected on the update stream itself (the paper's
   // "probability of message loss from the primary to the backup").
@@ -485,6 +515,9 @@ void ReplicaServer::flush_staged_updates() {
     hub.record(span, node(), telemetry::EventKind::kInstant, rtpb_track(node()), "batch-send",
                std::to_string(batch.entries.size()) + " entries");
   }
+  flight(sim_, telemetry::FlightKind::kUpdateBatch, node(), batch.entries.front().object,
+         batch.entries.front().version, epoch_, span,
+         static_cast<std::int64_t>(batch.entries.size()));
   xkernel::Message frame{wire::encode(batch)};
   for (const net::Endpoint& peer : peers_) send_to(peer, frame);
 }
@@ -527,6 +560,8 @@ void ReplicaServer::shed_staged_updates() {
                    rtpb_track(node()), "update-shed",
                    "obj" + std::to_string(id) + " slack " + slack.to_string());
       }
+      flight(sim_, telemetry::FlightKind::kShed, node(), id, 0, epoch_, hub.latest_span(id),
+             slack.nanos() / 1'000'000);
       continue;
     }
     keep.push_back(id);
@@ -704,6 +739,9 @@ void ReplicaServer::promote() {
                  "promote", "epoch " + std::to_string(epoch_));
     }
   }
+  flight(sim_, telemetry::FlightKind::kRoleChange, node(), 0, 0, epoch_, 0, /*arg=*/1,
+         "promote");
+  flight(sim_, telemetry::FlightKind::kEpoch, node(), 0, 0, epoch_);
   clear_peers();  // the old primary is gone
   for (auto& [id, w] : watchdogs_) w.timer.cancel();
   watchdogs_.clear();
@@ -766,6 +804,9 @@ void ReplicaServer::step_down(std::uint64_t new_epoch) {
   }
   role_ = Role::kBackup;
   epoch_ = new_epoch;
+  flight(sim_, telemetry::FlightKind::kRoleChange, node(), 0, 0, epoch_, 0, /*arg=*/0,
+         "step-down");
+  flight(sim_, telemetry::FlightKind::kEpoch, node(), 0, 0, epoch_);
   // Tear down the primary-side machinery.  The deposed replica stays up
   // as an ORPHANED backup: its store may hold a divergent suffix the new
   // primary never saw, so it must not rejoin the chain until a state
@@ -920,6 +961,8 @@ bool ReplicaServer::downgrade_object(ObjectId id) {
                "qos-downgrade",
                "obj" + std::to_string(id) + " window " + loosened.window().to_string());
   }
+  flight(sim_, telemetry::FlightKind::kQosDowngrade, node(), id, 0, epoch_, 0,
+         loosened.window().nanos() / 1'000'000);
   if (hooks_.on_qos_changed) hooks_.on_qos_changed(id, loosened);
   return true;
 }
@@ -969,6 +1012,8 @@ bool ReplicaServer::restore_object(ObjectId id) {
     hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
                "qos-restore", "obj" + std::to_string(id));
   }
+  flight(sim_, telemetry::FlightKind::kQosRestore, node(), id, 0, epoch_, 0,
+         original.window().nanos() / 1'000'000);
   if (hooks_.on_qos_changed) hooks_.on_qos_changed(id, original);
   return true;
 }
@@ -1156,6 +1201,15 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
       if (hub.enabled()) hub.registry().counter("core.epoch.cross_epoch_applies").add();
     }
     metrics_.on_backup_apply(u.object, u.timestamp, sim_.now());
+    // Temporal-slack SLO sample: staleness at apply vs the negotiated
+    // window δ.  Fed inline (no timers) so it stays a pure observer.
+    telemetry::SloMonitor& slo = sim_.telemetry().slo();
+    if (slo.enabled()) {
+      slo.observe(u.object, sim_.now(), sim_.now() - u.timestamp,
+                  metrics_.window_of(u.object));
+    }
+    flight(sim_, telemetry::FlightKind::kUpdateApply, node(), u.object, u.version, epoch_,
+           hub.enabled() ? hub.span_for(u.object, u.version) : 0);
   } else {
     ++stale_updates_;
   }
@@ -1204,6 +1258,8 @@ void ReplicaServer::handle_update_ack(const wire::UpdateAck& a, net::Endpoint fr
   if (sim_.telemetry().enabled()) {
     sim_.telemetry().registry().counter(peer_counter(from.node, "acks")).add();
   }
+  flight(sim_, telemetry::FlightKind::kAck, node(), a.object, a.version, epoch_, 0,
+         from.node);
 }
 
 void ReplicaServer::handle_retransmit_request(const wire::RetransmitRequest& r,
@@ -1410,6 +1466,8 @@ void ReplicaServer::arm_watchdog(ObjectId id) {
       hub.record(hub.latest_span(id), node(), telemetry::EventKind::kInstant,
                  rtpb_track(node()), "watchdog-nack", obj_tag(id, state->version) + " held");
     }
+    flight(sim_, telemetry::FlightKind::kRetransmitReq, node(), id, state->version, epoch_,
+           hub.enabled() ? hub.latest_span(id) : 0);
     if (!peers_.empty()) {
       send_to(peers_.front(), wire::encode(wire::RetransmitRequest{id, state->version, epoch_}));
     }

@@ -163,6 +163,9 @@ class ReplicaServer {
   [[nodiscard]] std::uint64_t qos_downgrades_received() const { return downgrades_received_; }
   /// Updates dropped by slack-aware shedding while overloaded.
   [[nodiscard]] std::uint64_t updates_shed() const { return updates_shed_; }
+  /// Updates currently staged for the open batch window (send-queue depth
+  /// as seen by overload detection; health-feed instrumentation).
+  [[nodiscard]] std::size_t staged_update_count() const { return staged_updates_.size(); }
   /// Transfers abandoned after transfer_retry_limit attempts (the silent
   /// peer was reported suspected-down).
   [[nodiscard]] std::uint64_t transfer_give_ups() const { return transfer_give_ups_; }

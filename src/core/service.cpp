@@ -99,7 +99,14 @@ void RtpbService::warm_up(Duration d) {
   metrics_.reset_statistics();
 }
 
-void RtpbService::finish() { metrics_.finish(sim_.now()); }
+void RtpbService::finish() {
+  metrics_.finish(sim_.now());
+  // End-of-run export of the temporal-slack SLO accounting (core.slo.*):
+  // the monitor is fed inline from the replication path; percentiles and
+  // burn rates are rendered into the registry exactly once, here.
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled() && hub.slo().enabled()) hub.slo().export_to(hub.registry());
+}
 
 void RtpbService::crash_primary() { primary_->crash(); }
 

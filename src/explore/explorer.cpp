@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
@@ -309,12 +310,27 @@ std::vector<std::uint16_t> TrajectoryResult::decisions() const {
 
 TrajectoryResult run_trajectory(const ExploreConfig& cfg,
                                 const std::vector<std::uint16_t>& trace) {
+  return run_trajectory(cfg, trace, ObserveOptions{});
+}
+
+TrajectoryResult run_trajectory(const ExploreConfig& cfg,
+                                const std::vector<std::uint16_t>& trace,
+                                const ObserveOptions& observe) {
   core::ServiceParams params;
   params.seed = cfg.service_seed;
   params.config = service_config(cfg);
   params.backup_count = cfg.backups;
   params.service_name = "explore-service";
   core::RtpbService service(params);
+  telemetry::Hub& hub = service.simulator().telemetry();
+  if (observe.telemetry) {
+    hub.enable();
+    hub.slo().enable();
+  }
+  if (!observe.postmortem_path.empty()) {
+    hub.flight_recorder().enable();
+    hub.flight_recorder().set_dump_path(observe.postmortem_path);
+  }
   service.start();
 
   std::vector<core::ObjectId> admitted;
@@ -337,6 +353,15 @@ TrajectoryResult run_trajectory(const ExploreConfig& cfg,
   service.run_for(cfg.bounds.horizon);
   service.simulator().set_choice_policy(nullptr);
   service.finish();
+
+  telemetry::FlightRecorder& recorder = hub.flight_recorder();
+  if (recorder.enabled() && !observe.postmortem_path.empty() && !recorder.dumped()) {
+    recorder.trigger_dump("end-of-run", service.simulator().now());
+  }
+  if (observe.telemetry && !observe.metrics_json_path.empty()) {
+    std::ofstream out(observe.metrics_json_path);
+    if (out) out << hub.registry().to_json() << "\n";
+  }
 
   TrajectoryResult result = policy.take_result();
   result.violations = monitor.violations();

@@ -154,9 +154,22 @@ struct ExploreReport {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Optional observability attached to a single trajectory run (replay /
+/// counterexample autopsy).  Pure observers: the decision sequence and
+/// oracle outcomes are identical with or without them.
+struct ObserveOptions {
+  bool telemetry = false;         ///< causal spans + metrics + SLO monitor
+  std::string metrics_json_path;  ///< final registry snapshot JSON
+  std::string postmortem_path;    ///< flight-recorder post-mortem artifact
+};
+
 /// Run one trajectory: fresh service, replay `trace`, defaults beyond it.
 [[nodiscard]] TrajectoryResult run_trajectory(const ExploreConfig& cfg,
                                               const std::vector<std::uint16_t>& trace);
+/// Same, with observability attached (counterexample autopsies).
+[[nodiscard]] TrajectoryResult run_trajectory(const ExploreConfig& cfg,
+                                              const std::vector<std::uint16_t>& trace,
+                                              const ObserveOptions& observe);
 
 /// Exhaustive bounded sweep.  Stops at the first violation (after
 /// minimizing it) or when the choice tree is exhausted / capped.

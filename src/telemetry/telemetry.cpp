@@ -21,6 +21,7 @@ const char* event_kind_name(EventKind k) {
 // ---------------------------------------------------------------------------
 
 Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> guard(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>(enabled_)).first;
@@ -29,6 +30,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> guard(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>(enabled_)).first;
@@ -37,6 +39,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 LatencyHistogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> guard(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(name, std::make_unique<LatencyHistogram>(enabled_)).first;
@@ -45,6 +48,7 @@ LatencyHistogram& Registry::histogram(const std::string& name) {
 }
 
 void Registry::clear() {
+  const std::lock_guard<std::mutex> guard(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -130,17 +134,30 @@ std::string format_double(double v) {
 }  // namespace
 
 std::string Registry::to_json() const {
+  // Snapshot every instrument under the registry lock (so a concurrent
+  // writer registering new instruments cannot invalidate iteration), then
+  // render outside it.  Individual values are atomically loaded / copied
+  // under their own locks, giving a coherent point-in-time view.
+  std::map<std::string, std::uint64_t> counter_values;
+  std::map<std::string, double> gauge_values;
+  std::map<std::string, SampleSet> histogram_values;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    for (const auto& [name, c] : counters_) counter_values[name] = c->value();
+    for (const auto& [name, g] : gauges_) gauge_values[name] = g->value();
+    for (const auto& [name, h] : histograms_) histogram_values[name] = h->snapshot();
+  }
+
   std::map<std::string, std::string> counters;
-  for (const auto& [name, c] : counters_) {
-    counters[name] = std::to_string(c->value());
+  for (const auto& [name, v] : counter_values) {
+    counters[name] = std::to_string(v);
   }
   std::map<std::string, std::string> gauges;
-  for (const auto& [name, g] : gauges_) {
-    gauges[name] = format_double(g->value());
+  for (const auto& [name, v] : gauge_values) {
+    gauges[name] = format_double(v);
   }
   std::map<std::string, std::string> histograms;
-  for (const auto& [name, h] : histograms_) {
-    const SampleSet& s = h->samples();
+  for (const auto& [name, s] : histogram_values) {
     std::string v = "{\"count\":" + std::to_string(s.count());
     v += ",\"mean_ms\":" + format_double(s.mean());
     v += ",\"p50_ms\":" + format_double(s.quantile(0.5));
@@ -248,6 +265,8 @@ void Hub::clear() {
   by_key_.clear();
   latest_.clear();
   registry_.clear();
+  recorder_.clear();
+  slo_.clear();
 }
 
 }  // namespace rtpb::telemetry

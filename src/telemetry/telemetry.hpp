@@ -12,16 +12,35 @@
 // single predicted branch.  Components therefore instrument unconditionally;
 // chaos-harness trace digests are byte-identical whether or not a Hub is
 // attached.
+//
+// Thread-safety contract (the real-clock substrate reports through this):
+//   * Counter / Gauge writes are relaxed atomics — any number of concurrent
+//     writer threads, no ordering implied between instruments.
+//   * LatencyHistogram::record*() serialises on a per-instrument spinlock;
+//     snapshot() returns a consistent copy taken under the same lock.
+//   * Registry::counter()/gauge()/histogram() (find-or-create) are guarded
+//     by a registry mutex; the references handed out stay stable and can be
+//     used concurrently thereafter.  to_json() snapshots every instrument
+//     under the registry lock, so an export racing writers sees a coherent
+//     point-in-time view.
+//   * Span/event recording (begin_span, record, ScopedSpan) remains
+//     single-threaded by design: it is fed by the deterministic simulator
+//     loop only.  enable()/disable()/clear() likewise happen outside any
+//     concurrent writer window.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/slo.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
@@ -31,6 +50,20 @@ namespace rtpb::telemetry {
 /// 0 means "no span" — events carrying it are plain track events.
 using SpanId = std::uint64_t;
 inline constexpr SpanId kNoSpan = 0;
+
+/// Tiny test-and-set lock for per-histogram sample buffers: writers hold it
+/// for a few instructions (append one double), so spinning beats a futex.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
 
 // ---------------------------------------------------------------------------
 // Instruments.  Each holds a pointer to the owning Hub's enabled flag, so a
@@ -42,26 +75,26 @@ class Counter {
  public:
   explicit Counter(const bool* enabled) : enabled_(enabled) {}
   void add(std::uint64_t n = 1) {
-    if (*enabled_) value_ += n;
+    if (*enabled_) value_.fetch_add(n, std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   const bool* enabled_;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
   explicit Gauge(const bool* enabled) : enabled_(enabled) {}
   void set(double v) {
-    if (*enabled_) value_ = v;
+    if (*enabled_) value_.store(v, std::memory_order_relaxed);
   }
-  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
   const bool* enabled_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Latency distribution; retains samples so snapshots report exact
@@ -69,16 +102,23 @@ class Gauge {
 class LatencyHistogram {
  public:
   explicit LatencyHistogram(const bool* enabled) : enabled_(enabled) {}
-  void record(Duration d) {
-    if (*enabled_) samples_.add(d.millis());
-  }
+  void record(Duration d) { record_ms(d.millis()); }
   void record_ms(double ms) {
-    if (*enabled_) samples_.add(ms);
+    if (!*enabled_) return;
+    const std::lock_guard<SpinLock> guard(lock_);
+    samples_.add(ms);
   }
-  [[nodiscard]] const SampleSet& samples() const { return samples_; }
+  /// Consistent copy of the sample buffer (taken under the writer lock).
+  [[nodiscard]] SampleSet snapshot() const {
+    const std::lock_guard<SpinLock> guard(lock_);
+    return samples_;
+  }
+  /// Convenience alias for snapshot(); note this copies.
+  [[nodiscard]] SampleSet samples() const { return snapshot(); }
 
  private:
   const bool* enabled_;
+  mutable SpinLock lock_;
   SampleSet samples_;
 };
 
@@ -97,6 +137,9 @@ class Registry {
   [[nodiscard]] Gauge& gauge(const std::string& name);
   [[nodiscard]] LatencyHistogram& histogram(const std::string& name);
 
+  // Whole-map accessors for exporters.  These return references into the
+  // registry; call them only when no thread can be registering new
+  // instruments (e.g. post-run export).
   [[nodiscard]] const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
     return counters_;
   }
@@ -109,12 +152,15 @@ class Registry {
   }
 
   /// Nested-JSON snapshot of every instrument, dots becoming object levels.
+  /// Safe to call while writer threads are live: instrument values are
+  /// snapshotted under the registry mutex, then rendered outside it.
   [[nodiscard]] std::string to_json() const;
 
   void clear();
 
  private:
   const bool* enabled_;
+  mutable std::mutex mu_;  ///< guards map mutation (find-or-create, clear)
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
@@ -180,6 +226,17 @@ class Hub {
   [[nodiscard]] Registry& registry() { return registry_; }
   [[nodiscard]] const Registry& registry() const { return registry_; }
 
+  /// Flight recorder: a fixed-capacity ring of compact binary events,
+  /// enabled independently of the metrics/span machinery (it costs nothing
+  /// in steady state, so chaos runs keep it on even with telemetry off).
+  [[nodiscard]] FlightRecorder& flight_recorder() { return recorder_; }
+  [[nodiscard]] const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Temporal-slack SLO monitor (margin vs the negotiated window δ);
+  /// enabled independently, exported as core.slo.* via export_to().
+  [[nodiscard]] SloMonitor& slo() { return slo_; }
+  [[nodiscard]] const SloMonitor& slo() const { return slo_; }
+
   // ---- spans ----
   /// Mint the span for update (object, version); remembers it as the
   /// object's latest span.  `epoch` tags the span with the minting
@@ -215,7 +272,8 @@ class Hub {
   [[nodiscard]] std::uint64_t recorded_events() const { return recorded_events_; }
   [[nodiscard]] std::uint64_t dropped_events() const { return dropped_events_; }
 
-  /// Forget all spans, events and instrument values (not enabled state).
+  /// Forget all spans, events, instrument values, flight-recorder rings and
+  /// SLO accounting (not enabled state).
   void clear();
 
  private:
@@ -224,6 +282,8 @@ class Hub {
   bool enabled_ = false;
   std::function<TimePoint()> clock_;
   Registry registry_;
+  FlightRecorder recorder_;
+  SloMonitor slo_;
 
   SpanId current_ = kNoSpan;
   SpanId next_span_ = 1;

@@ -91,6 +91,29 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+double Histogram::quantile(double q) const {
+  RTPB_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (cum + in_bucket >= target) {
+      double frac = (target - cum) / in_bucket;
+      frac = std::clamp(frac, 0.0, 1.0);
+      // Pin exact cumulative boundaries to exact bucket edges (avoids
+      // lo + i*w + w vs lo + (i+1)*w rounding skew).
+      if (frac == 0.0) return bucket_lo(i);
+      if (frac == 1.0) return i + 1 < counts_.size() ? bucket_lo(i + 1) : hi_;
+      return bucket_lo(i) + frac * width;
+    }
+    cum += in_bucket;
+  }
+  return hi_;
+}
+
 double Histogram::bucket_lo(std::size_t i) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(i);

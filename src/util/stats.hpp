@@ -49,7 +49,11 @@ class SampleSet {
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
-  /// Quantile q in [0,1] via linear interpolation; q=0.5 is the median.
+  /// Quantile q in [0,1] over the sorted samples, linearly interpolated at
+  /// rank position q·(n−1) (the "type 7" / numpy default estimator).  At
+  /// positions that land exactly on a sample index — q = k/(n−1) — the
+  /// estimate is exactly that sample, with no interpolation error; q=0.5
+  /// is the median, q=0 the min, q=1 the max.
   [[nodiscard]] double quantile(double q) const;
 
   void clear() { samples_.clear(); sorted_ = false; }
@@ -60,8 +64,16 @@ class SampleSet {
   void ensure_sorted() const;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge buckets.
+/// Fixed-width histogram over [lo, hi).
+///
+/// Bucket boundary semantics: with width w = (hi−lo)/buckets, bucket i
+/// covers the half-open range [lo + i·w, lo + (i+1)·w) — the lower edge is
+/// *inclusive*, the upper edge *exclusive* (a sample exactly on an interior
+/// edge lands in the higher bucket).  Out-of-range samples clamp to the
+/// edge buckets: x < lo counts in bucket 0, x ≥ hi in the last bucket, so
+/// the edge buckets additionally absorb everything beyond their outer
+/// boundary.  (Bucket selection is floor((x−lo)/w), so a sample an ulp
+/// below an edge stays in the lower bucket.)
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -71,6 +83,14 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] std::uint64_t total() const { return total_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const;
+  /// Quantile estimate from bucket counts: the q·total()-th sample is
+  /// located by cumulative count and interpolated uniformly within its
+  /// bucket.  When q·total() falls exactly on a cumulative bucket
+  /// boundary, the estimate is exactly that bucket edge (lo + i·w) —
+  /// the anchor the property tests pin.  Returns lo for an empty
+  /// histogram.  Note that clamped out-of-range samples are attributed
+  /// to the edge buckets' ranges.
+  [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] std::string render(std::size_t width = 40) const;
 
  private:

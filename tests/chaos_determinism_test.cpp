@@ -120,9 +120,43 @@ TEST(ChaosDeterminism, DigestCrossMatrixStablePerModeDistinctAcrossModes) {
     EXPECT_EQ(a.violation_count, b.violation_count) << m.name;
     EXPECT_GT(a.client_writes, 0u) << m.name;
     digests.insert(a.trace_digest);
+
+    // Observability plane on (telemetry + SLO monitor + flight recorder):
+    // pure observers, so the digest must EQUAL the base run's — it joins
+    // the per-mode equality check, never the cross-mode distinct set.
+    ChaosOptions observed = m.opts;
+    observed.telemetry = true;
+    observed.flight_recorder = true;
+    const SeedReport c = run_seed(29, observed);
+    EXPECT_EQ(a.trace_digest, c.trace_digest)
+        << "mode " << m.name << ": observers (recorder+slo) perturbed the trajectory";
+    EXPECT_EQ(a.sim_events, c.sim_events) << m.name;
+    EXPECT_EQ(a.updates_applied, c.updates_applied) << m.name;
+    EXPECT_EQ(a.violation_count, c.violation_count) << m.name;
+    EXPECT_GT(c.flight_events, 0u) << m.name << ": recorder was supposed to be on";
   }
   EXPECT_EQ(digests.size(), modes.size())
       << "two modes share a digest: some option no longer affects the run";
+}
+
+TEST(ChaosDeterminism, HealthFeedDoesNotPerturbTheTrace) {
+  // The health feed is the one observer that DOES schedule events (its
+  // periodic snapshot timer, tagged kTagObserver) — so fired event counts
+  // may differ, but the protocol trajectory and its trace digest must not.
+  ChaosOptions base = quick_opts();
+  ChaosOptions with_feed = base;
+  with_feed.health_jsonl_path = "health_determinism_tmp.jsonl";
+
+  const SeedReport off = run_seed(23, base);
+  const SeedReport on = run_seed(23, with_feed);
+  EXPECT_EQ(off.trace_digest, on.trace_digest)
+      << "health feed snapshots changed the protocol trajectory";
+  EXPECT_EQ(off.trace_events, on.trace_events);
+  EXPECT_EQ(off.client_writes, on.client_writes);
+  EXPECT_EQ(off.updates_applied, on.updates_applied);
+  EXPECT_DOUBLE_EQ(off.avg_max_distance_ms, on.avg_max_distance_ms);
+  EXPECT_GT(on.health_snapshots, 0u) << "feed was supposed to be on";
+  EXPECT_EQ(off.health_snapshots, 0u);
 }
 
 TEST(ChaosDeterminism, DifferentSeedsDiverge) {

@@ -1,0 +1,122 @@
+// Property suite pinning the documented Histogram semantics (satellite of
+// the observability PR): bucket boundary placement — lower edge inclusive,
+// upper edge exclusive, out-of-range clamping — and the quantile
+// estimator's exactness at bucket edges.
+//
+// The edge-pinning property is the one the header promises: when q·total
+// lands exactly on a cumulative bucket boundary, quantile(q) returns
+// exactly lo + i·w with no interpolation error.  Sample counts are kept to
+// powers of two and edges to dyadic values so every asserted equality is
+// exact in floating point — EXPECT_EQ on doubles is intentional.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rtpb {
+namespace {
+
+TEST(HistogramBuckets, LowerEdgeInclusiveUpperEdgeExclusive) {
+  Histogram h(0.0, 10.0, 10);  // width 1: bucket i covers [i, i+1)
+  h.add(3.0);                  // exactly on the edge between buckets 2 and 3
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);  // interior edge lands in the HIGHER bucket
+  h.add(3.999999);
+  EXPECT_EQ(h.bucket(3), 2u);  // just below the next edge stays put
+  h.add(0.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // lo itself is in bucket 0
+}
+
+TEST(HistogramBuckets, OutOfRangeSamplesClampToEdgeBuckets) {
+  Histogram h(0.0, 8.0, 8);
+  h.add(-123.0);
+  h.add(8.0);     // hi is NOT in range [lo, hi) — clamps to the last bucket
+  h.add(1e9);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(7), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramQuantile, ExactAtBucketEdges) {
+  // 4 buckets over [0, 8), width 2, and a power-of-two count per bucket so
+  // every cumulative boundary fraction (k/16) is dyadic.
+  Histogram h(0.0, 8.0, 4);
+  for (int i = 0; i < 4; ++i) h.add(0.5);   // bucket 0: 4 samples
+  for (int i = 0; i < 4; ++i) h.add(2.5);   // bucket 1: 4
+  for (int i = 0; i < 4; ++i) h.add(4.5);   // bucket 2: 4
+  for (int i = 0; i < 4; ++i) h.add(6.5);   // bucket 3: 4
+  ASSERT_EQ(h.total(), 16u);
+
+  // q·16 on a cumulative boundary → exactly that bucket edge.
+  EXPECT_EQ(h.quantile(0.25), 2.0);   // 4th sample boundary → edge of bucket 1
+  EXPECT_EQ(h.quantile(0.5), 4.0);    // 8th → edge of bucket 2
+  EXPECT_EQ(h.quantile(0.75), 6.0);   // 12th → edge of bucket 3
+  EXPECT_EQ(h.quantile(1.0), 8.0);    // all samples → hi
+  EXPECT_EQ(h.quantile(0.0), 0.0);    // zero target → lo (bucket 0's edge)
+
+  // Off-edge targets interpolate uniformly inside the bucket: q = 1/8 is
+  // halfway through bucket 0's 4 samples → lo + 0.5·width = 1.
+  EXPECT_EQ(h.quantile(0.125), 1.0);
+}
+
+TEST(HistogramQuantile, EdgeExactnessHoldsForRandomShapes) {
+  // Randomised pinning: random per-bucket counts with a power-of-two TOTAL
+  // (256), so q = cum/256 is exactly representable and q·total recovers the
+  // integer cum exactly.  Every cumulative boundary cum = sum of the first
+  // i buckets must then map back to exactly bucket_lo(i).
+  Rng rng(20260809);
+  for (int round = 0; round < 50; ++round) {
+    const double lo = static_cast<double>(rng.uniform(-4, 4)) * 0.5;
+    const std::size_t buckets = static_cast<std::size_t>(rng.uniform(2, 16));
+    const double hi = lo + static_cast<double>(buckets);  // width exactly 1
+    Histogram h(lo, hi, buckets);
+
+    constexpr std::uint64_t kTotal = 256;  // power of two: cum/256 is exact
+    std::vector<std::uint64_t> per_bucket(buckets, 0);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i + 1 < buckets; ++i) {
+      per_bucket[i] = static_cast<std::uint64_t>(rng.uniform(1, 15));
+      assigned += per_bucket[i];
+    }
+    per_bucket[buckets - 1] = kTotal - assigned;  // ≥ 256 − 15·15 > 0
+    for (std::size_t i = 0; i < buckets; ++i) {
+      for (std::uint64_t k = 0; k < per_bucket[i]; ++k) {
+        h.add(lo + static_cast<double>(i) + 0.5);  // mid-bucket, unambiguous
+      }
+    }
+    ASSERT_EQ(h.total(), kTotal);
+
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets; ++i) {
+      if (cum > 0) {
+        const double q = static_cast<double>(cum) / static_cast<double>(kTotal);
+        EXPECT_EQ(h.quantile(q), h.bucket_lo(i))
+            << "round " << round << " edge " << i << " cum " << cum;
+      }
+      cum += per_bucket[i];
+    }
+    EXPECT_EQ(h.quantile(1.0), hi);
+  }
+}
+
+TEST(HistogramQuantile, EmptyHistogramReturnsLo) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_EQ(h.quantile(0.0), 2.0);
+  EXPECT_EQ(h.quantile(0.5), 2.0);
+  EXPECT_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(SampleSetQuantile, ExactAtSampleRanks) {
+  // The header's companion promise: q = k/(n−1) returns exactly the k-th
+  // sorted sample.
+  SampleSet s;
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) s.add(v);  // n = 5, ranks q=k/4
+  EXPECT_EQ(s.quantile(0.0), 1.0);
+  EXPECT_EQ(s.quantile(0.25), 3.0);
+  EXPECT_EQ(s.quantile(0.5), 5.0);
+  EXPECT_EQ(s.quantile(0.75), 7.0);
+  EXPECT_EQ(s.quantile(1.0), 9.0);
+}
+
+}  // namespace
+}  // namespace rtpb

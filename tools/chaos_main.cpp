@@ -90,6 +90,16 @@ void usage(const char* argv0) {
             << "                     last seed run; implies --telemetry\n"
             << "  --jsonl-out FILE   write the JSONL event stream for the last seed run\n"
             << "                     (input of trace_inspect); implies --telemetry\n"
+            << "  --metrics-out FILE write the final metrics registry snapshot JSON;\n"
+            << "                     implies --telemetry\n"
+            << "  --flight-recorder  keep the in-memory flight recorder on (events\n"
+            << "                     ride the ring even if nothing is dumped)\n"
+            << "  --postmortem FILE  dump a post-mortem artifact of the last-N flight\n"
+            << "                     events on the first oracle violation or crash\n"
+            << "                     fault (end-of-run otherwise); implies the recorder\n"
+            << "  --health-out FILE  emit per-replica JSONL health snapshots (input of\n"
+            << "                     rtpb_top)\n"
+            << "  --health-period-ms MS  health snapshot period (default 100)\n"
             << "  --replay FILE      replay an explore_main counterexample artifact;\n"
             << "                     exit 0 iff its oracle violation reproduces\n";
 }
@@ -151,6 +161,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--jsonl-out") {
       opts.trace_jsonl_path = next();
       opts.telemetry = true;
+    } else if (arg == "--metrics-out") {
+      opts.metrics_json_path = next();
+      opts.telemetry = true;
+    } else if (arg == "--flight-recorder") {
+      opts.flight_recorder = true;
+    } else if (arg == "--postmortem") {
+      opts.postmortem_path = next();
+      opts.flight_recorder = true;
+    } else if (arg == "--health-out") {
+      opts.health_jsonl_path = next();
+    } else if (arg == "--health-period-ms") {
+      opts.health_period = rtpb::millis(std::strtoll(next(), nullptr, 10));
     } else if (arg == "--replay") {
       return replay_counterexample(next());
     } else if (arg == "--help" || arg == "-h") {
@@ -219,6 +241,18 @@ int main(int argc, char** argv) {
       std::cout << "telemetry: " << report.spans_started << " spans ("
                 << report.spans_violated << " violated)\n"
                 << report.metrics_json << "\n";
+    }
+    if (report.flight_events > 0) {
+      std::cout << "flight recorder: " << report.flight_events << " events recorded";
+      if (report.postmortem_written) {
+        std::cout << ", post-mortem (" << report.postmortem_reason << ") -> "
+                  << opts.postmortem_path;
+      }
+      std::cout << "\n";
+    }
+    if (report.health_snapshots > 0) {
+      std::cout << "health feed: " << report.health_snapshots << " snapshots -> "
+                << opts.health_jsonl_path << "\n";
     }
     if (!report.ok()) {
       for (const rtpb::chaos::OracleViolation& v : report.violations) {

@@ -48,7 +48,11 @@ void usage(const char* argv0) {
       << "  --no-prune            disable visited-state expansion pruning\n"
       << "  --no-sleep-sets       disable the commuting-delivery reduction\n"
       << "  --sabotage MODE       none | split-brain | no-failover\n"
-      << "  --emit FILE           write the first counterexample artifact to FILE\n"
+      << "  --emit FILE           write the first counterexample artifact to FILE;\n"
+      << "                        a flight-recorder autopsy of its replay is\n"
+      << "                        attached as FILE.postmortem.jsonl\n"
+      << "  --metrics-out FILE    write the final metrics registry snapshot JSON of\n"
+      << "                        a default-decisions trajectory after the sweep\n"
       << "  --quiet               suppress progress lines\n";
 }
 
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   cfg.bounds.drop_until = rtpb::TimePoint::zero() + rtpb::millis(401);
   std::string sabotage = "none";
   std::string emit_path;
+  std::string metrics_out_path;
   bool default_faults = true;
   bool quiet = false;
 
@@ -121,6 +126,8 @@ int main(int argc, char** argv) {
       sabotage = next();
     } else if (arg == "--emit") {
       emit_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -198,7 +205,24 @@ int main(int argc, char** argv) {
       out << ce.to_text();
       std::cout << "  written to " << emit_path << " (replay: chaos_main --replay "
                 << emit_path << ")\n";
+      // Autopsy: re-run the minimized trace with the flight recorder on and
+      // attach the resulting post-mortem next to the artifact.  Replaying
+      // with observers attached takes the identical trajectory.
+      rtpb::explore::ObserveOptions observe;
+      observe.postmortem_path = emit_path + ".postmortem.jsonl";
+      (void)rtpb::explore::run_trajectory(ce.config, ce.trace, observe);
+      std::cout << "  post-mortem attached: " << observe.postmortem_path << "\n";
     }
+  }
+
+  if (!metrics_out_path.empty()) {
+    // Instrumented reference trajectory (all-default decisions): gives the
+    // sweep a metrics snapshot without perturbing the exploration itself.
+    rtpb::explore::ObserveOptions observe;
+    observe.telemetry = true;
+    observe.metrics_json_path = metrics_out_path;
+    (void)rtpb::explore::run_trajectory(cfg, {}, observe);
+    std::cout << "metrics written to " << metrics_out_path << "\n";
   }
 
   if (!expect_oracle.empty()) {

@@ -16,6 +16,12 @@
 //
 //   trace_inspect trace.jsonl
 //   trace_inspect trace.jsonl --worst 5 --hops 24
+//   trace_inspect postmortem.jsonl        # flight-recorder artifact
+//
+// Flight-recorder post-mortem artifacts ({"type":"postmortem",...} from
+// chaos_main --postmortem or explore_main --emit) are detected and rendered
+// as an annotated timeline instead.  Empty or unparseable input exits
+// non-zero with a diagnostic rather than printing empty sections.
 //
 // The parser is deliberately minimal: it understands exactly the flat
 // one-object-per-line JSON that write_jsonl emits, not arbitrary JSON.
@@ -50,6 +56,29 @@ struct Span {
   std::vector<Event> events;
 };
 
+/// Flight-recorder post-mortem artifact (header + "fr" records).
+struct PostmortemHeader {
+  bool present = false;
+  std::string reason;
+  double at_ms = 0.0;
+  std::uint64_t version = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t retained = 0;
+  std::uint64_t overwritten = 0;
+};
+
+struct FlightEvent {
+  double ts_ms = 0.0;
+  std::uint64_t node = 0;
+  std::uint64_t object = 0;
+  std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t span = 0;
+  std::int64_t arg = 0;
+  std::string kind;
+  std::string label;
+};
+
 // --- minimal field extraction over our own JSONL -------------------------
 
 /// Finds `"key":` and returns the character index just past the colon, or
@@ -72,6 +101,13 @@ bool get_double(const std::string& line, const char* key, double& out) {
   const std::size_t at = find_key(line, key);
   if (at == std::string::npos) return false;
   out = std::strtod(line.c_str() + at, nullptr);
+  return true;
+}
+
+bool get_i64(const std::string& line, const char* key, std::int64_t& out) {
+  const std::size_t at = find_key(line, key);
+  if (at == std::string::npos) return false;
+  out = std::strtoll(line.c_str() + at, nullptr, 10);
   return true;
 }
 
@@ -169,12 +205,43 @@ int main(int argc, char** argv) {
   std::uint64_t unattributed = 0;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  PostmortemHeader postmortem;
+  std::vector<FlightEvent> flight;
+  std::uint64_t lines_seen = 0;
+  std::uint64_t lines_parsed = 0;
 
   std::string line;
   while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++lines_seen;
     std::string type;
     if (!get_string(line, "type", type)) continue;
-    if (type == "meta") {
+    if (type != "postmortem" && type != "fr" && type != "meta" && type != "span" &&
+        type != "event" && type != "counter" && type != "gauge") {
+      continue;  // someone else's JSONL (e.g. a health feed) — not ours
+    }
+    ++lines_parsed;
+    if (type == "postmortem") {
+      postmortem.present = true;
+      get_string(line, "reason", postmortem.reason);
+      get_double(line, "at_ms", postmortem.at_ms);
+      get_u64(line, "version", postmortem.version);
+      get_u64(line, "recorded", postmortem.recorded);
+      get_u64(line, "retained", postmortem.retained);
+      get_u64(line, "overwritten", postmortem.overwritten);
+    } else if (type == "fr") {
+      FlightEvent e;
+      get_double(line, "ts_ms", e.ts_ms);
+      get_u64(line, "node", e.node);
+      get_u64(line, "object", e.object);
+      get_u64(line, "version", e.version);
+      get_u64(line, "epoch", e.epoch);
+      get_u64(line, "span", e.span);
+      get_i64(line, "arg", e.arg);
+      get_string(line, "kind", e.kind);
+      get_string(line, "label", e.label);
+      flight.push_back(std::move(e));
+    } else if (type == "meta") {
       get_u64(line, "spans_started", meta_spans);
       get_u64(line, "spans_violated", meta_violated);
       get_u64(line, "events_recorded", meta_events);
@@ -214,6 +281,57 @@ int main(int argc, char** argv) {
         gauges[name] = value;
       }
     }
+  }
+
+  // Diagnose useless input loudly instead of printing empty sections: an
+  // empty file and a file of unparseable lines both mean the pipeline
+  // upstream is broken, and a zero-filled report would hide that.
+  if (lines_seen == 0) {
+    std::cerr << path << ": empty input — no JSONL lines (expected the output of "
+              << "chaos_main --jsonl-out or --postmortem)\n";
+    return 1;
+  }
+  if (lines_parsed == 0) {
+    std::cerr << path << ": no parseable telemetry records in "
+              << static_cast<unsigned long long>(lines_seen)
+              << " line(s) — not a telemetry JSONL / post-mortem artifact\n";
+    return 1;
+  }
+
+  if (postmortem.present || !flight.empty()) {
+    // Post-mortem artifact: render the flight-recorder ring, newest last,
+    // flagging the records that trip dumps (violations, crashes, triggers).
+    std::printf("post-mortem: %s\n", path.c_str());
+    if (postmortem.present) {
+      std::printf("reason: %s  (format v%llu, dumped at %.3f ms)\n",
+                  postmortem.reason.c_str(),
+                  static_cast<unsigned long long>(postmortem.version), postmortem.at_ms);
+      std::printf("events: %llu recorded, %llu retained, %llu overwritten\n",
+                  static_cast<unsigned long long>(postmortem.recorded),
+                  static_cast<unsigned long long>(postmortem.retained),
+                  static_cast<unsigned long long>(postmortem.overwritten));
+    }
+    std::map<std::string, std::size_t> by_kind;
+    for (const FlightEvent& e : flight) ++by_kind[e.kind];
+    std::printf("\nevent mix (%zu events)\n", flight.size());
+    for (const auto& [kind, n] : by_kind) std::printf("  %6zu  %s\n", n, kind.c_str());
+    std::printf("\ntimeline (oldest first)\n");
+    for (const FlightEvent& e : flight) {
+      const bool hot = e.kind == "violation" || e.kind == "crash" || e.kind == "trigger";
+      std::string detail;
+      if (e.object != 0) detail += " obj" + std::to_string(e.object);
+      if (e.version != 0) detail += " v" + std::to_string(e.version);
+      if (e.epoch != 0) detail += " epoch " + std::to_string(e.epoch);
+      if (e.span != 0) detail += " span " + std::to_string(e.span);
+      if (e.arg != 0) detail += " arg " + std::to_string(e.arg);
+      if (!e.label.empty()) detail += " [" + e.label + "]";
+      std::printf("  %s %12.3f ms  node%llu  %-16s%s\n", hot ? "**" : "  ", e.ts_ms,
+                  static_cast<unsigned long long>(e.node), e.kind.c_str(), detail.c_str());
+    }
+    if (postmortem.present && flight.empty()) {
+      std::printf("  (no events retained)\n");
+    }
+    return 0;
   }
 
   // Events arrive in record order; retroactive records (sched releases,
