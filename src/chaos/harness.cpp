@@ -7,10 +7,46 @@
 
 #include "core/faults.hpp"
 #include "core/health.hpp"
+#include "shard/directory.hpp"
 #include "telemetry/export.hpp"
 #include "util/log.hpp"
 
 namespace rtpb::chaos {
+
+namespace {
+
+/// Translate kShardLossStorm events into scripted per-object loss
+/// overrides on the acting primary.  Lives here, not in apply(): the
+/// override set needs the directory placement and the admitted list.
+/// Shard membership is resolved eagerly so the scheduled actions carry
+/// plain id lists.
+void apply_shard_faults(const ChaosSchedule& schedule, const ChaosOptions& opts,
+                        core::RtpbService& service,
+                        const std::vector<core::ObjectId>& admitted, core::FaultPlan& plan) {
+  if (opts.shards <= 1) return;
+  const shard::ShardDirectory directory(static_cast<shard::ShardId>(opts.shards), 1);
+  for (const ChaosEvent& e : schedule.events) {
+    if (e.kind != FaultKind::kShardLossStorm) continue;
+    std::vector<core::ObjectId> ids;
+    for (core::ObjectId id : admitted) {
+      if (directory.shard_of(id) == e.shard) ids.push_back(id);
+    }
+    if (ids.empty()) continue;
+    char label[96];
+    std::snprintf(label, sizeof label, "shard-loss-storm(shard=%u,p=%.2f)", e.shard,
+                  e.probability);
+    const double p = e.probability;
+    plan.at(e.at, label, [&service, ids, p] {
+      for (core::ObjectId id : ids) service.acting_primary().set_object_loss_probability(id, p);
+    });
+    std::snprintf(label, sizeof label, "shard-loss-storm-end(shard=%u)", e.shard);
+    plan.at(e.until, label, [&service, ids] {
+      for (core::ObjectId id : ids) service.acting_primary().clear_object_loss_probability(id);
+    });
+  }
+}
+
+}  // namespace
 
 std::string SeedReport::summary() const {
   char line[192];
@@ -60,6 +96,7 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
 
   core::FaultPlan plan(service);
   apply(schedule, plan);
+  apply_shard_faults(schedule, opts, service, admitted, plan);
   plan.arm();
 
   OracleMonitor monitor(service, admitted, declared_epochs(schedule, opts));

@@ -43,6 +43,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kCpuSpike: return "cpu-spike";
     case FaultKind::kThrottleBandwidth: return "throttle-bandwidth";
     case FaultKind::kInflateLatency: return "inflate-latency";
+    case FaultKind::kShardLossStorm: return "shard-loss-storm";
   }
   return "?";
 }
@@ -165,6 +166,27 @@ ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosOptions& opts) {
     }
   }
 
+  // Shard-scoped loss: like a loss storm but confined to one shard's
+  // objects (per-object overrides, installed by the harness, which knows
+  // the directory placement).  Only drawn when sharding is on, so a
+  // shards=1 run never touches this stream.
+  if (opts.shards > 1 && fault_ceil > fault_floor + 500) {
+    Rng rng{derive_stream_seed(seed, kStreamShard)};
+    const std::int64_t n = scale_count(rng.uniform(1, 3), opts.intensity);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t from = rng.uniform(fault_floor, fault_ceil);
+      const std::int64_t len = rng.uniform(500, 2000);
+      ChaosEvent e;
+      e.kind = FaultKind::kShardLossStorm;
+      e.at = at_ms(from);
+      e.until = at_ms(std::min(from + len, dur_ms));
+      e.probability = percent(rng, 15, 70);
+      e.shard = static_cast<std::uint32_t>(
+          rng.uniform(0, static_cast<std::int64_t>(opts.shards) - 1));
+      s.events.push_back(e);
+    }
+  }
+
   // Partition scenario: isolate the primary from its successor so both
   // keep running (split brain) — epoch fencing's job to resolve.  It uses
   // the same failover machinery as a crash, so when active it replaces the
@@ -238,6 +260,11 @@ void apply(const ChaosSchedule& schedule, core::FaultPlan& plan) {
         break;
       case FaultKind::kInflateLatency:
         plan.inflate_latency(e.at, e.until, e.extra);
+        break;
+      case FaultKind::kShardLossStorm:
+        // Applied by the harness (apply_shard_faults): the per-object loss
+        // overrides need the directory placement and the admitted set,
+        // neither of which the schedule layer knows.
         break;
     }
   }
@@ -400,6 +427,13 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
                       "plan.inflate_latency(at_ms(%lld), at_ms(%lld), millis(%lld));\n",
                       static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)),
                       static_cast<long long>(e.extra.nanos() / 1'000'000));
+        break;
+      case FaultKind::kShardLossStorm:
+        std::snprintf(line, sizeof line,
+                      "// shard %u loss storm [%lld, %lld] ms p=%.2f — set opts.shards and\n"
+                      "// re-run through chaos::run_seed (per-object overrides).\n",
+                      e.shard, static_cast<long long>(ms(e.at)),
+                      static_cast<long long>(ms(e.until)), e.probability);
         break;
     }
     out += line;

@@ -39,6 +39,7 @@ enum class FaultKind : std::uint8_t {
   kCpuSpike,           ///< steal a CPU fraction on the acting primary
   kThrottleBandwidth,  ///< shrink link bandwidth to a fraction (queueing)
   kInflateLatency,     ///< add base propagation delay (RTT inflation)
+  kShardLossStorm,     ///< update loss confined to one shard's objects
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -50,6 +51,7 @@ struct ChaosEvent {
   double probability = 0.0;        ///< loss/dup/…; also cpu/bandwidth fraction
   Duration extra{};                ///< reorder extra delay / latency inflation
   std::uint32_t burst_length = 0;  ///< burst-loss run length
+  std::uint32_t shard = 0;         ///< target shard (kShardLossStorm only)
 };
 
 /// An interval during which oracles must tolerate inconsistency (the
@@ -93,6 +95,15 @@ struct ChaosOptions {
   bool enable_partition = false;
 
   std::size_t objects = 4;  ///< workload size offered to admission
+
+  /// Shard the workload: objects are placed by the ShardDirectory hash and
+  /// the generator adds shard-scoped loss storms (kShardLossStorm) that
+  /// hit only one shard's update streams — per-object loss overrides, so a
+  /// fault in one shard cannot perturb another shard's traffic.  At the
+  /// default of 1 the stream is never drawn from and no overrides are
+  /// installed: digests are byte-identical to a build without sharding
+  /// (the shard digest-purity regression pins this).
+  std::size_t shards = 1;
 
   /// Number of backups in the replication chain (1 = the paper's classic
   /// primary/backup pair).  Backup 0 is the designated successor.
@@ -151,6 +162,7 @@ enum ChaosStream : std::uint64_t {
   kStreamCrash = 5,      ///< crash / recruitment scenario
   kStreamPartition = 6,  ///< split-brain partition scenario
   kStreamOverload = 7,   ///< cpu/bandwidth/latency overload bursts
+  kStreamShard = 8,      ///< shard-scoped loss storms (shards > 1 only)
 };
 
 /// Generate the fault schedule for `seed`.  Pure function of (seed, opts).

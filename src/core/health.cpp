@@ -57,6 +57,20 @@ void HealthFeed::emit() {
     }
     line += ",\"queue\":" + std::to_string(r.staged_update_count());
     line += ",\"shed\":" + std::to_string(r.updates_shed());
+    // Sharded deployments: the peer-shard frontiers this replica has
+    // merged so far (single-group runs never receive kFrontier frames and
+    // emit nothing, keeping pre-shard feed lines byte-identical).
+    if (!r.peer_frontiers().empty()) {
+      line += ",\"frontiers\":[";
+      bool first_front = true;
+      for (const auto& [shard, ts] : r.peer_frontiers()) {
+        if (!first_front) line += ",";
+        first_front = false;
+        line += "{\"shard\":" + std::to_string(shard) +
+                ",\"stable_ms\":" + fmt_ms(ts.millis()) + "}";
+      }
+      line += "]";
+    }
     line += ",\"updates_sent\":" + std::to_string(r.updates_sent());
     line += ",\"updates_applied\":" + std::to_string(r.updates_applied());
 

@@ -438,8 +438,14 @@ void ReplicaServer::send_update(ObjectId id, bool retransmission, const sched::J
          retransmission ? 1 : 0);
 
   // §5 methodology: loss injected on the update stream itself (the paper's
-  // "probability of message loss from the primary to the backup").
-  if (rng_.bernoulli(config_.update_loss_probability)) {
+  // "probability of message loss from the primary to the backup").  A
+  // per-object override (shard-targeted chaos verbs) takes precedence;
+  // bernoulli(0) draws nothing, so unused overrides leave the rng stream —
+  // and with it the trace digest — untouched.
+  const auto loss_it = object_loss_override_.find(id);
+  const double loss_p =
+      loss_it != object_loss_override_.end() ? loss_it->second : config_.update_loss_probability;
+  if (rng_.bernoulli(loss_p)) {
     ++updates_loss_injected_;
     if (hub.enabled()) {
       hub.registry().counter("core.primary.loss_injected").add();
@@ -1084,6 +1090,16 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
   }
   const net::Endpoint from = attrs.src;
 
+  // Cross-shard frontier frames bypass epoch fencing entirely: sender and
+  // receiver are primaries of DIFFERENT groups, so their epochs are
+  // unrelated incarnation counters — fencing on them would both drop valid
+  // frontiers and let a peer group's higher epoch depose this primary.
+  // The monotone merge in handle_frontier makes stale frames harmless.
+  if (decoded->type == wire::MsgType::kFrontier) {
+    handle_frontier(*decoded->frontier, from);
+    return;
+  }
+
   // ---- epoch fencing ----
   // Traffic stamped with a LOWER epoch comes from a deposed primary (or a
   // not-yet-repointed backup) and is rejected outright; epoch 0 is the
@@ -1158,6 +1174,8 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
     case wire::MsgType::kConstraintRestore:
       handle_constraint_restore(*decoded->constraint_restore, from);
       break;
+    case wire::MsgType::kFrontier:
+      break;  // dispatched before epoch fencing; unreachable here
     case wire::MsgType::kActivePrepare:
     case wire::MsgType::kActiveAck:
       // Active-replication traffic never targets an RTPB replica.
@@ -1444,6 +1462,53 @@ void ReplicaServer::handle_constraint_restore(const wire::ConstraintRestore& rs,
     hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
                "qos-restore-recv", "obj" + std::to_string(rs.object));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard frontier exchange (sharded scale-out).
+// ---------------------------------------------------------------------------
+
+void ReplicaServer::add_frontier_peer(net::Endpoint peer) {
+  if (std::find(frontier_peers_.begin(), frontier_peers_.end(), peer) == frontier_peers_.end()) {
+    frontier_peers_.push_back(peer);
+  }
+}
+
+void ReplicaServer::announce_frontier(std::uint32_t shard, TimePoint stable_ts) {
+  if (crashed_ || frontier_peers_.empty()) return;
+  wire::Frontier f;
+  f.shard = shard;
+  f.stable_ts = stable_ts;
+  f.epoch = epoch_;
+  // Encode once; each peer's copy shares the body buffer.
+  xkernel::Message frame{wire::encode(f)};
+  for (const net::Endpoint& peer : frontier_peers_) send_to(peer, frame);
+  ++frontier_frames_sent_;
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.shard.frontier_sent").add();
+  }
+}
+
+void ReplicaServer::handle_frontier(const wire::Frontier& f, net::Endpoint from) {
+  (void)from;
+  ++frontier_frames_received_;
+  // Monotone merge: a frontier only ever advances, so duplicated, delayed
+  // or reordered frames (and frames from a deposed peer primary) can never
+  // drag the view backwards.
+  TimePoint& have = peer_frontiers_[f.shard];
+  have = std::max(have, f.stable_ts);
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.shard.frontier_received").add();
+    hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "frontier-recv", "shard" + std::to_string(f.shard));
+  }
+}
+
+TimePoint ReplicaServer::peer_frontier(std::uint32_t shard) const {
+  auto it = peer_frontiers_.find(shard);
+  return it != peer_frontiers_.end() ? it->second : TimePoint{};
 }
 
 void ReplicaServer::arm_watchdog(ObjectId id) {

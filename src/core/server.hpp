@@ -100,6 +100,35 @@ class ReplicaServer {
     RTPB_EXPECTS(p >= 0.0 && p <= 1.0);
     config_.update_loss_probability = p;
   }
+  /// Shard-targeted fault injection: override the loss probability for ONE
+  /// object's update stream (takes precedence over the global knob).  The
+  /// chaos harness uses this to storm a single shard's objects while the
+  /// rest of the workload replicates cleanly.
+  void set_object_loss_probability(ObjectId id, double p) {
+    RTPB_EXPECTS(p >= 0.0 && p <= 1.0);
+    object_loss_override_[id] = p;
+  }
+  void clear_object_loss_probability(ObjectId id) { object_loss_override_.erase(id); }
+
+  // ---- cross-shard frontier exchange (sharded scale-out) ----
+  /// Register a peer SHARD primary (a different primary-backup group) to
+  /// receive this group's stable-timestamp frontiers.  Distinct from
+  /// add_peer(): frontier peers get no updates, heartbeats or transfers.
+  void add_frontier_peer(net::Endpoint peer);
+  /// Broadcast `shard`'s stable-timestamp frontier to every frontier peer.
+  /// Explicitly driven (no internal timer) so single-group deployments
+  /// that never call it keep byte-identical traffic.
+  void announce_frontier(std::uint32_t shard, TimePoint stable_ts);
+  /// Latest frontier received for `shard` (monotone merge of kFrontier
+  /// frames); TimePoint::zero() if none seen.
+  [[nodiscard]] TimePoint peer_frontier(std::uint32_t shard) const;
+  [[nodiscard]] const std::map<std::uint32_t, TimePoint>& peer_frontiers() const {
+    return peer_frontiers_;
+  }
+  [[nodiscard]] std::uint64_t frontier_frames_sent() const { return frontier_frames_sent_; }
+  [[nodiscard]] std::uint64_t frontier_frames_received() const {
+    return frontier_frames_received_;
+  }
 
   /// Primary: the backup(s) updates replicate to.  The first entry is the
   /// heartbeat partner / failover successor.
@@ -259,6 +288,7 @@ class ReplicaServer {
   void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
   void handle_constraint_downgrade(const wire::ConstraintDowngrade& d, net::Endpoint from);
   void handle_constraint_restore(const wire::ConstraintRestore& rs, net::Endpoint from);
+  void handle_frontier(const wire::Frontier& f, net::Endpoint from);
 
   void send_to(net::Endpoint to, Bytes payload);
   /// Fan-out building block: the message is taken by value, so sending one
@@ -338,6 +368,12 @@ class ReplicaServer {
 
   std::vector<net::Endpoint> peers_;  ///< replication order; [0] = successor
   std::map<net::NodeId, PeerState> peer_state_;
+  /// Peer SHARD primaries subscribed to this group's frontiers, and the
+  /// monotone-merged frontiers received from them (keyed by shard index).
+  std::vector<net::Endpoint> frontier_peers_;
+  std::map<std::uint32_t, TimePoint> peer_frontiers_;
+  /// Per-object §5 loss-injection overrides (shard-targeted chaos verbs).
+  std::map<ObjectId, double> object_loss_override_;
   /// Stopped detectors of former peers.  Destroying a FailureDetector from
   /// inside its own peer-dead callback would free the executing object;
   /// parking it here keeps teardown safe and deterministic.
@@ -418,6 +454,8 @@ class ReplicaServer {
   std::uint64_t acks_sent_ = 0;
   std::uint64_t epoch_rejections_ = 0;
   std::uint64_t role_rejections_ = 0;
+  std::uint64_t frontier_frames_sent_ = 0;
+  std::uint64_t frontier_frames_received_ = 0;
   std::uint64_t cross_epoch_applies_ = 0;
   std::uint64_t step_downs_ = 0;
 };

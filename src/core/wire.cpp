@@ -16,6 +16,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kUpdateBatch: return "UPDATE_BATCH";
     case MsgType::kConstraintDowngrade: return "CONSTRAINT_DOWNGRADE";
     case MsgType::kConstraintRestore: return "CONSTRAINT_RESTORE";
+    case MsgType::kFrontier: return "FRONTIER";
   }
   return "?";
 }
@@ -205,6 +206,15 @@ Bytes encode(const ConstraintRestore& m) {
   return std::move(w).take();
 }
 
+Bytes encode(const Frontier& m) {
+  ByteWriter w(kTag + kU32 + kU64 /*stable_ts*/ + kU64 /*epoch*/);
+  w.u8(static_cast<std::uint8_t>(MsgType::kFrontier));
+  w.u32(m.shard);
+  w.timepoint(m.stable_ts);
+  w.u64(m.epoch);
+  return std::move(w).take();
+}
+
 Bytes encode(const ActivePrepare& m) {
   ByteWriter w(encoded_size(m));
   w.u8(static_cast<std::uint8_t>(MsgType::kActivePrepare));
@@ -358,6 +368,15 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       out.constraint_restore = m;
       return out;
     }
+    case MsgType::kFrontier: {
+      Frontier m;
+      m.shard = r.u32();
+      m.stable_ts = r.timepoint();
+      m.epoch = r.u64();
+      if (!r.ok() || !r.at_end()) return std::nullopt;
+      out.frontier = m;
+      return out;
+    }
     case MsgType::kActivePrepare: {
       ActivePrepare m;
       m.sequence = r.u64();
@@ -397,6 +416,10 @@ std::uint64_t epoch_of(const AnyMessage& m) {
       return m.constraint_downgrade ? m.constraint_downgrade->epoch : 0;
     case MsgType::kConstraintRestore:
       return m.constraint_restore ? m.constraint_restore->epoch : 0;
+    case MsgType::kFrontier:
+      // Cross-GROUP traffic: the carried epoch belongs to another
+      // primary-backup group and must never fence here.
+      return 0;
     case MsgType::kActivePrepare:
     case MsgType::kActiveAck: return 0;
   }

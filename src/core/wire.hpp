@@ -31,6 +31,8 @@ enum class MsgType : std::uint8_t {
   // Runtime QoS renegotiation (graceful degradation under overload):
   kConstraintDowngrade = 11,  ///< primary → backups/client: loosened window
   kConstraintRestore = 12,    ///< primary → backups/client: original window back
+  // Sharded scale-out: cross-shard temporal-consistency exchange.
+  kFrontier = 13,             ///< shard primary → peer shard primaries
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
@@ -143,6 +145,21 @@ struct ConstraintRestore {
   std::uint64_t epoch = 0;
 };
 
+/// Sharded scale-out: one shard's stable-timestamp frontier — the minimum
+/// origin timestamp over the shard's objects as known at its primary.  A
+/// cross-shard constraint δ_ij between shards A and B holds at time t when
+/// t − F_A ≤ δ_ij and t − F_B ≤ δ_ij, so each shard primary only needs the
+/// peer shards' frontiers, not their object tables.  Receivers merge
+/// monotonically (a frontier never moves backwards), which makes stale or
+/// reordered frames harmless — and is why this is the one message type
+/// exempt from epoch fencing: sender and receiver live in DIFFERENT
+/// primary-backup groups whose epochs are unrelated incarnation counters.
+struct Frontier {
+  std::uint32_t shard = 0;
+  TimePoint stable_ts{};
+  std::uint64_t epoch = 0;  ///< sender's group epoch; informational only
+};
+
 /// Active baseline: a write stamped with a global sequence number; every
 /// replica applies writes in sequence order.
 struct ActivePrepare {
@@ -169,6 +186,7 @@ struct ActiveAck {
 [[nodiscard]] Bytes encode(const StateTransferAck& m);
 [[nodiscard]] Bytes encode(const ConstraintDowngrade& m);
 [[nodiscard]] Bytes encode(const ConstraintRestore& m);
+[[nodiscard]] Bytes encode(const Frontier& m);
 [[nodiscard]] Bytes encode(const ActivePrepare& m);
 [[nodiscard]] Bytes encode(const ActiveAck& m);
 
@@ -193,6 +211,7 @@ struct AnyMessage {
   std::optional<StateTransferAck> state_transfer_ack;
   std::optional<ConstraintDowngrade> constraint_downgrade;
   std::optional<ConstraintRestore> constraint_restore;
+  std::optional<Frontier> frontier;
   std::optional<ActivePrepare> active_prepare;
   std::optional<ActiveAck> active_ack;
 };

@@ -1,0 +1,87 @@
+#include "shard/admission.hpp"
+
+#include <algorithm>
+
+namespace rtpb::shard {
+
+ShardedAdmission::ShardedAdmission(const ShardDirectory& directory, core::ServiceConfig config,
+                                   Duration link_delay_bound)
+    : directory_(directory) {
+  shards_.reserve(directory.shard_count());
+  for (ShardId s = 0; s < directory.shard_count(); ++s) {
+    shards_.emplace_back(config, link_delay_bound);
+  }
+}
+
+core::AdmissionResult ShardedAdmission::admit(const core::ObjectSpec& spec) {
+  core::AdmissionResult r = home(spec.id).admit(spec);
+  if (r.ok()) ++admitted_total_;
+  return r;
+}
+
+void ShardedAdmission::remove(core::ObjectId id) {
+  // Withdraw the object's cross-shard constraints first so the PARTNER
+  // side's self-pair cap is restored too — the home controller only knows
+  // about this side's cap.
+  for (std::size_t i = cross_.size(); i-- > 0;) {
+    const core::InterObjectConstraint c = cross_[i];
+    if (c.first != id && c.second != id) continue;
+    cross_.erase(cross_.begin() + static_cast<std::ptrdiff_t>(i));
+    home(c.first).remove_constraint({c.first, c.first, c.delta});
+    home(c.second).remove_constraint({c.second, c.second, c.delta});
+  }
+  core::AdmissionController& ac = home(id);
+  const std::size_t before = ac.admitted_count();
+  ac.remove(id);
+  admitted_total_ -= before - ac.admitted_count();
+}
+
+core::AdmissionStatus ShardedAdmission::add_constraint(const core::InterObjectConstraint& c) {
+  const ShardId sa = directory_.shard_of(c.first);
+  const ShardId sb = directory_.shard_of(c.second);
+  if (sa == sb) return shards_[sa].add_constraint(c);
+
+  // Cross-shard: cap each side on its home shard; roll the first cap back
+  // if the second is rejected, so failure leaves no residue.
+  const core::InterObjectConstraint cap_a{c.first, c.first, c.delta};
+  const core::InterObjectConstraint cap_b{c.second, c.second, c.delta};
+  core::AdmissionStatus a = shards_[sa].add_constraint(cap_a);
+  if (!a.ok()) return a;
+  core::AdmissionStatus b = shards_[sb].add_constraint(cap_b);
+  if (!b.ok()) {
+    shards_[sa].remove_constraint(cap_a);
+    return b;
+  }
+  cross_.push_back(c);
+  return {};
+}
+
+void ShardedAdmission::remove_constraint(const core::InterObjectConstraint& c) {
+  const ShardId sa = directory_.shard_of(c.first);
+  const ShardId sb = directory_.shard_of(c.second);
+  if (sa == sb) {
+    shards_[sa].remove_constraint(c);
+    return;
+  }
+  auto match = std::find_if(cross_.begin(), cross_.end(),
+                            [&c](const core::InterObjectConstraint& have) {
+                              return have.first == c.first && have.second == c.second &&
+                                     have.delta == c.delta;
+                            });
+  if (match == cross_.end()) return;
+  cross_.erase(match);
+  shards_[sa].remove_constraint({c.first, c.first, c.delta});
+  shards_[sb].remove_constraint({c.second, c.second, c.delta});
+}
+
+Duration ShardedAdmission::update_period(core::ObjectId id) const {
+  return shards_[directory_.shard_of(id)].update_period(id);
+}
+
+double ShardedAdmission::total_utilization() const {
+  double u = 0.0;
+  for (const core::AdmissionController& ac : shards_) u += ac.total_utilization();
+  return u;
+}
+
+}  // namespace rtpb::shard

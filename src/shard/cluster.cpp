@@ -1,0 +1,141 @@
+#include "shard/cluster.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rtpb::shard {
+
+ShardCluster::ShardCluster(ShardClusterParams params)
+    : params_(std::move(params)),
+      directory_(params_.shard_count, params_.group_count),
+      sim_(params_.seed),
+      network_(sim_) {
+  RTPB_EXPECTS(params_.backup_count >= 1);
+  frontiers_.resize(params_.shard_count);
+  shard_objects_.resize(params_.shard_count);
+
+  for (GroupId g = 0; g < params_.group_count; ++g) {
+    auto group = std::make_unique<Group>();
+    const std::string service_name = params_.service_prefix + "-" + std::to_string(g);
+    group->primary = std::make_unique<core::ReplicaServer>(
+        sim_, network_, names_, params_.config, group->metrics, core::Role::kPrimary,
+        service_name);
+    for (std::size_t i = 0; i < params_.backup_count; ++i) {
+      auto backup = std::make_unique<core::ReplicaServer>(
+          sim_, network_, names_, params_.config, group->metrics, core::Role::kBackup,
+          service_name);
+      network_.connect(group->primary->node(), backup->node(), params_.link);
+      group->primary->add_peer(backup->endpoint());
+      backup->add_peer(group->primary->endpoint());
+      backup->set_successor(i == 0);
+      group->backups.push_back(std::move(backup));
+    }
+    for (std::size_t i = 0; i < group->backups.size(); ++i) {
+      for (std::size_t j = i + 1; j < group->backups.size(); ++j) {
+        network_.connect(group->backups[i]->node(), group->backups[j]->node(), params_.link);
+      }
+    }
+    group->client =
+        std::make_unique<core::ClientApp>(sim_, *group->primary, sim_.rng().fork(), /*active=*/true);
+    groups_.push_back(std::move(group));
+  }
+
+  // Mesh the group primaries for the kFrontier exchange.  These links are
+  // only used by explicitly driven frontier frames; replication traffic
+  // stays inside each group.
+  for (GroupId i = 0; i < params_.group_count; ++i) {
+    for (GroupId j = i + 1; j < params_.group_count; ++j) {
+      core::ReplicaServer& pi = *groups_[i]->primary;
+      core::ReplicaServer& pj = *groups_[j]->primary;
+      network_.connect(pi.node(), pj.node(), params_.link);
+      pi.add_frontier_peer(pj.endpoint());
+      pj.add_frontier_peer(pi.endpoint());
+    }
+  }
+}
+
+void ShardCluster::start() {
+  RTPB_EXPECTS(!started_);
+  started_ = true;
+  for (auto& g : groups_) {
+    g->primary->start();
+    for (auto& b : g->backups) b->start();
+  }
+}
+
+void ShardCluster::run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+core::AdmissionResult ShardCluster::register_object(const core::ObjectSpec& spec) {
+  const ShardId s = directory_.shard_of(spec.id);
+  const GroupId g = directory_.group_of_shard(s);
+  core::AdmissionResult r = groups_[g]->client->add_object(spec);
+  if (r.ok()) {
+    shard_objects_[s].push_back(spec.id);
+    // The frontier starts at the epoch origin: nothing has been made
+    // stable for this object yet, which is exactly what a frontier of
+    // zero asserts.
+    frontiers_[s].track(spec.id, TimePoint::zero());
+    ++registered_;
+  }
+  return r;
+}
+
+core::AdmissionStatus ShardCluster::add_constraint(const core::InterObjectConstraint& c) {
+  const ShardId sa = directory_.shard_of(c.first);
+  const ShardId sb = directory_.shard_of(c.second);
+  const GroupId ga = directory_.group_of_shard(sa);
+  const GroupId gb = directory_.group_of_shard(sb);
+  if (ga == gb) return groups_[ga]->client->add_constraint(c);
+
+  // Cross-group: one self-pair period cap per side (see shard/admission.hpp
+  // for why the decomposition is sound).  A server-side add_constraint
+  // replicates immediately and cannot be rolled back, so BOTH sides are
+  // validated with the controller's dry-run before either commits.
+  const core::InterObjectConstraint cap_a{c.first, c.first, c.delta};
+  const core::InterObjectConstraint cap_b{c.second, c.second, c.delta};
+  core::AdmissionStatus a = groups_[ga]->primary->admission().check_constraint(cap_a);
+  if (!a.ok()) return a;
+  core::AdmissionStatus b = groups_[gb]->primary->admission().check_constraint(cap_b);
+  if (!b.ok()) return b;
+  // The sim is single-threaded: nothing can invalidate the dry-runs
+  // between check and commit, so the commits must succeed.
+  a = groups_[ga]->client->add_constraint(cap_a);
+  RTPB_ASSERT(a.ok());
+  b = groups_[gb]->client->add_constraint(cap_b);
+  RTPB_ASSERT(b.ok());
+  cross_.push_back(c);
+  return {};
+}
+
+void ShardCluster::exchange_frontiers() {
+  for (ShardId s = 0; s < params_.shard_count; ++s) {
+    if (shard_objects_[s].empty()) continue;
+    const GroupId g = directory_.group_of_shard(s);
+    // Stability is judged at the group's successor backup: the origin
+    // timestamp it has APPLIED is what survives a primary crash.
+    const core::ObjectStore& stable = groups_[g]->backups.front()->store();
+    for (core::ObjectId id : shard_objects_[s]) {
+      const auto state = stable.find(id);
+      if (!state || state->version == 0) continue;
+      frontiers_[s].advance(id, state->origin_timestamp);
+    }
+    const TimePoint f = frontiers_[s].frontier();
+    if (f == TimePoint::max()) continue;
+    groups_[g]->primary->announce_frontier(s, f);
+  }
+}
+
+bool ShardCluster::cross_constraint_satisfied(const core::InterObjectConstraint& c,
+                                              TimePoint at) const {
+  const ShardId sa = directory_.shard_of(c.first);
+  const ShardId sb = directory_.shard_of(c.second);
+  const TimePoint fa = frontiers_[sa].frontier();
+  const TimePoint fb = frontiers_[sb].frontier();
+  // An untracked shard (no objects) imposes nothing.
+  if (fa != TimePoint::max() && at - fa > c.delta) return false;
+  if (fb != TimePoint::max() && at - fb > c.delta) return false;
+  return true;
+}
+
+}  // namespace rtpb::shard

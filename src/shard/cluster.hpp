@@ -1,0 +1,127 @@
+// ShardCluster — sharded scale-out deployment: several primary-backup
+// GROUPS (each one RTPB service of the paper: primary, backups, client,
+// admission domain) composed over ONE simulated network and timeline, with
+// objects routed to groups through the ShardDirectory.
+//
+// Group primaries are meshed for the cross-shard frontier exchange: each
+// primary is every other primary's frontier peer and receives kFrontier
+// frames carrying the peer shards' stable timestamps.  The exchange is
+// explicitly driven (exchange_frontiers()) — no internal timer — so runs
+// that never call it produce exactly the traffic of independent
+// single-group services.
+//
+// A shard's STABLE timestamp is taken from the group's first backup: the
+// minimum, over the shard's objects, of the origin timestamp the backup
+// has APPLIED — what survives a primary crash, which is the quantity
+// cross-shard consistency must be judged on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/metrics.hpp"
+#include "core/name_service.hpp"
+#include "core/server.hpp"
+#include "core/types.hpp"
+#include "net/network.hpp"
+#include "shard/directory.hpp"
+#include "shard/frontier.hpp"
+#include "sim/simulator.hpp"
+
+namespace rtpb::shard {
+
+struct ShardClusterParams {
+  std::uint64_t seed = 1;
+  net::LinkParams link;
+  core::ServiceConfig config;
+  ShardId shard_count = 4;
+  GroupId group_count = 2;
+  std::size_t backup_count = 1;
+  std::string service_prefix = "rtpb-shard";
+};
+
+class ShardCluster {
+ public:
+  explicit ShardCluster(ShardClusterParams params);
+
+  ShardCluster(const ShardCluster&) = delete;
+  ShardCluster& operator=(const ShardCluster&) = delete;
+
+  /// Start every group's servers.  Call before registering objects.
+  void start();
+  void run_for(Duration d);
+
+  // ---- workload ----
+  /// Route the registration to the object's home group (directory lookup,
+  /// then that group's client/admission path).
+  core::AdmissionResult register_object(const core::ObjectSpec& spec);
+  /// Same-group constraints delegate to the home group's admission.
+  /// Cross-group constraints are pre-flighted on both sides (dry-run), then
+  /// committed as one self-pair period cap per side; the runtime check is
+  /// frontier arithmetic (cross_constraint_satisfied).
+  core::AdmissionStatus add_constraint(const core::InterObjectConstraint& c);
+
+  // ---- cross-shard frontier exchange ----
+  /// Recompute every shard's stable-timestamp frontier from its group's
+  /// backup store and broadcast each over the wire to peer group
+  /// primaries (kFrontier frames).
+  void exchange_frontiers();
+  /// This side's view of shard `s`'s frontier (recomputed at the last
+  /// exchange_frontiers()); TimePoint::max() for an empty shard.
+  [[nodiscard]] TimePoint local_frontier(ShardId s) const {
+    return frontiers_[s].frontier();
+  }
+  /// What group `g`'s primary has LEARNED of shard `s`'s frontier via
+  /// kFrontier frames; TimePoint::zero() if nothing arrived yet.
+  [[nodiscard]] TimePoint observed_frontier(GroupId g, ShardId s) const {
+    return groups_[g]->primary->peer_frontier(s);
+  }
+  /// The frontier form of δ_ij for a cross-shard pair: at instant `at`,
+  /// both home shards' frontiers must be within c.delta of `at`.
+  [[nodiscard]] bool cross_constraint_satisfied(const core::InterObjectConstraint& c,
+                                                TimePoint at) const;
+  [[nodiscard]] const std::vector<core::InterObjectConstraint>& cross_constraints() const {
+    return cross_;
+  }
+
+  // ---- accessors ----
+  [[nodiscard]] ShardDirectory& directory() { return directory_; }
+  [[nodiscard]] const ShardDirectory& directory() const { return directory_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] GroupId group_count() const { return params_.group_count; }
+  [[nodiscard]] core::ReplicaServer& primary(GroupId g) { return *groups_[g]->primary; }
+  [[nodiscard]] core::ReplicaServer& backup(GroupId g) { return *groups_[g]->backups.front(); }
+  [[nodiscard]] core::ClientApp& client(GroupId g) { return *groups_[g]->client; }
+  [[nodiscard]] core::Metrics& metrics(GroupId g) { return groups_[g]->metrics; }
+  [[nodiscard]] const std::vector<core::ObjectId>& objects_of_shard(ShardId s) const {
+    return shard_objects_[s];
+  }
+  [[nodiscard]] std::size_t registered_count() const { return registered_; }
+  [[nodiscard]] const ShardClusterParams& params() const { return params_; }
+
+ private:
+  /// One primary-backup group.  Heap-allocated so Metrics and server
+  /// addresses stay stable as groups_ grows.
+  struct Group {
+    core::Metrics metrics;
+    std::unique_ptr<core::ReplicaServer> primary;
+    std::vector<std::unique_ptr<core::ReplicaServer>> backups;
+    std::unique_ptr<core::ClientApp> client;
+  };
+
+  ShardClusterParams params_;
+  ShardDirectory directory_;
+  sim::Simulator sim_;
+  net::Network network_;
+  core::NameService names_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::vector<FrontierTracker> frontiers_;          ///< one per shard
+  std::vector<std::vector<core::ObjectId>> shard_objects_;
+  std::vector<core::InterObjectConstraint> cross_;  ///< committed cross-group δ_ij
+  std::size_t registered_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace rtpb::shard

@@ -1,0 +1,39 @@
+#include "shard/directory.hpp"
+
+#include "util/log.hpp"
+
+namespace rtpb::shard {
+
+ShardDirectory::ShardDirectory(ShardId shard_count, GroupId group_count)
+    : shard_count_(shard_count), group_count_(group_count) {
+  RTPB_EXPECTS(group_count >= 1);
+  RTPB_EXPECTS(shard_count >= group_count);
+  group_of_shard_.reserve(shard_count);
+  for (ShardId s = 0; s < shard_count; ++s) group_of_shard_.push_back(s % group_count);
+}
+
+ShardId ShardDirectory::shard_of(core::ObjectId id) const {
+  // FNV-1a over the id's four little-endian bytes: cheap, stable across
+  // builds, and mixes sequential ids well enough for even shard load.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (int i = 0; i < 4; ++i) {
+    h ^= (id >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<ShardId>(h % shard_count_);
+}
+
+GroupId ShardDirectory::group_of_shard(ShardId shard) const {
+  RTPB_EXPECTS(shard < shard_count_);
+  return group_of_shard_[shard];
+}
+
+void ShardDirectory::remap_shard(ShardId shard, GroupId group) {
+  RTPB_EXPECTS(shard < shard_count_);
+  RTPB_EXPECTS(group < group_count_);
+  if (group_of_shard_[shard] == group) return;
+  group_of_shard_[shard] = group;
+  ++remaps_;
+}
+
+}  // namespace rtpb::shard

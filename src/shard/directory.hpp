@@ -1,0 +1,53 @@
+// Object→shard→primary-group directory (sharded scale-out).
+//
+// Placement is a pure function of the object id: FNV-1a over the id's four
+// bytes, reduced modulo the shard count.  No seed enters the hash, so the
+// same id lands on the same shard in every process, run, and simulation
+// seed — registration order and rng state cannot move objects around.
+//
+// Shards map onto primary-backup GROUPS (each group is one RTPB service of
+// the paper: a primary, its backups, one admission controller's CPU).  The
+// initial mapping stripes shards round-robin; remap_shard() moves one
+// shard to another group explicitly — there is deliberately no automatic
+// rebalancing, so a remap is an operator-visible event and every other
+// shard's placement stays put.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rtpb::shard {
+
+using GroupId = std::uint32_t;
+using ShardId = std::uint32_t;
+
+class ShardDirectory {
+ public:
+  /// `shard_count` ≥ `group_count` ≥ 1; shard s starts on group s % groups.
+  ShardDirectory(ShardId shard_count, GroupId group_count);
+
+  [[nodiscard]] ShardId shard_count() const { return shard_count_; }
+  [[nodiscard]] GroupId group_count() const { return group_count_; }
+
+  /// Deterministic hash placement: same id → same shard, always.
+  [[nodiscard]] ShardId shard_of(core::ObjectId id) const;
+  [[nodiscard]] GroupId group_of_shard(ShardId shard) const;
+  [[nodiscard]] GroupId group_of(core::ObjectId id) const {
+    return group_of_shard(shard_of(id));
+  }
+
+  /// Explicitly move one shard to another group.  Objects of every other
+  /// shard keep their group assignment.
+  void remap_shard(ShardId shard, GroupId group);
+  [[nodiscard]] std::uint64_t remap_count() const { return remaps_; }
+
+ private:
+  ShardId shard_count_;
+  GroupId group_count_;
+  std::vector<GroupId> group_of_shard_;
+  std::uint64_t remaps_ = 0;
+};
+
+}  // namespace rtpb::shard

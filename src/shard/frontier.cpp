@@ -1,0 +1,61 @@
+#include "shard/frontier.hpp"
+
+namespace rtpb::shard {
+
+void FrontierTracker::track(core::ObjectId id, TimePoint initial) {
+  if (index_.contains(id)) return;
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_.size();
+    slots_.emplace_back();
+  }
+  slots_[slot] = Slot{id, initial, true};
+  index_.emplace(id, slot);
+  // A new object can only pull the frontier down.
+  if (min_valid_ && initial < slots_[min_slot_].ts) min_slot_ = slot;
+}
+
+void FrontierTracker::forget(core::ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::size_t slot = it->second;
+  slots_[slot].live = false;
+  free_slots_.push_back(slot);
+  index_.erase(it);
+  if (min_valid_ && slot == min_slot_) min_valid_ = false;
+}
+
+void FrontierTracker::advance(core::ObjectId id, TimePoint ts) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Slot& slot = slots_[it->second];
+  if (ts <= slot.ts) return;
+  slot.ts = ts;
+  // Advancing any slot but the argmin leaves the minimum untouched; the
+  // argmin advancing is the one case that forces a rescan (deferred to
+  // the next frontier() read).
+  if (min_valid_ && it->second == min_slot_) min_valid_ = false;
+}
+
+TimePoint FrontierTracker::frontier() const {
+  if (index_.empty()) return TimePoint::max();
+  if (!min_valid_) {
+    std::size_t best = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].live) continue;
+      if (!found || slots_[i].ts < slots_[best].ts) {
+        best = i;
+        found = true;
+      }
+    }
+    min_slot_ = best;
+    min_valid_ = true;
+  }
+  return slots_[min_slot_].ts;
+}
+
+}  // namespace rtpb::shard

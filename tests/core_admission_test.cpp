@@ -189,6 +189,105 @@ TEST(Admission, CompressedPeriodIndependentOfWindow) {
   EXPECT_EQ(ac1.update_period(1), ac2.update_period(1));
 }
 
+TEST(Admission, RemoveRestoresConstraintPartnerPeriod) {
+  // Regression: remove() used to erase the constraint but leave the
+  // surviving partner pinned at the tightened period forever — a
+  // permanent capacity leak (the partner kept transmitting at the δ_ij
+  // rate and kept charging the RM aggregate for it).
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  ASSERT_TRUE(ac.admit(spec(2)).ok());
+  const Duration baseline = ac.update_period(1);  // 39ms
+  ASSERT_TRUE(ac.add_constraint({1, 2, millis(15)}).ok());
+  ASSERT_EQ(ac.update_period(1), millis(15));
+  const double tightened_util = ac.total_utilization();
+
+  ac.remove(2);
+  EXPECT_EQ(ac.update_period(1), baseline)
+      << "partner stayed pinned at the removed object's delta_ij";
+  EXPECT_TRUE(ac.constraints().empty());
+  EXPECT_LT(ac.total_utilization(), tightened_util);
+}
+
+TEST(Admission, RemoveRestoresOnlyConstraintsOfRemovedObject) {
+  // A partner bound by several constraints falls back to the tightest
+  // *remaining* one, not all the way to its window baseline.
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  ASSERT_TRUE(ac.admit(spec(2)).ok());
+  ASSERT_TRUE(ac.admit(spec(3)).ok());
+  ASSERT_TRUE(ac.add_constraint({1, 2, millis(15)}).ok());
+  ASSERT_TRUE(ac.add_constraint({1, 3, millis(25)}).ok());
+  ASSERT_EQ(ac.update_period(1), millis(15));
+
+  ac.remove(2);
+  EXPECT_EQ(ac.update_period(1), millis(25));
+  EXPECT_EQ(ac.update_period(3), millis(25));
+  ASSERT_EQ(ac.constraints().size(), 1u);
+}
+
+TEST(Admission, RemoveConstraintRestoresBothMembers) {
+  AdmissionController ac(default_config(), millis(2));
+  ASSERT_TRUE(ac.admit(spec(1)).ok());
+  ASSERT_TRUE(ac.admit(spec(2)).ok());
+  const Duration baseline = ac.update_period(1);
+  ASSERT_TRUE(ac.add_constraint({1, 2, millis(15)}).ok());
+  ac.remove_constraint({1, 2, millis(15)});
+  EXPECT_EQ(ac.update_period(1), baseline);
+  EXPECT_EQ(ac.update_period(2), baseline);
+  EXPECT_TRUE(ac.constraints().empty());
+}
+
+TEST(Admission, LinkDelayGrowthKeepsAdmittedBaselinesFrozen) {
+  // Regression: set_link_delay_bound() documents that admitted objects
+  // keep the ℓ they were negotiated under, but the schedulability check
+  // used to re-derive *every* admitted baseline at the current ℓ — after
+  // ℓ grew close to the admitted windows, the re-derived periods became
+  // tiny, their utilisation exploded, and perfectly schedulable new
+  // registrations were spuriously rejected.
+  AdmissionController ac(default_config(), millis(2));
+  for (ObjectId id = 1; id <= 4; ++id) ASSERT_TRUE(ac.admit(spec(id)).ok());
+  ASSERT_EQ(ac.update_period(1), millis(39));
+
+  ac.set_link_delay_bound(millis(79));  // admitted windows are 80ms
+
+  // Already-admitted objects keep their negotiated periods...
+  EXPECT_EQ(ac.update_period(1), millis(39));
+  // ...and enter the RM aggregate at those periods, so a roomy candidate
+  // still fits (re-deriving the old baselines at ℓ=79ms would charge
+  // 0.2ms/0.5ms = 40% per object and reject everything).
+  const auto roomy = ac.admit(spec(10, millis(10), millis(20), millis(1020)));
+  EXPECT_TRUE(roomy.ok());
+
+  // New admissions ARE judged against the new ℓ: same window as the old
+  // objects now leaves only (80 − 79)/2 = 0.5ms.
+  const auto tight = ac.admit(spec(11));
+  ASSERT_TRUE(tight.ok());
+  EXPECT_EQ(tight.value().update_period, micros(500));
+}
+
+TEST(Admission, CompressedPeriodNeverExceedsWindowDerivedBound) {
+  // Regression: when client load ate the compressed-mode spare capacity
+  // (the 5% floor split eight ways), the equal-share formula produced
+  // periods LONGER than the window-derived §4.3 period the object was
+  // admitted against — the backup could drift past δ_i even though
+  // admission had promised the window.  Compressed scheduling may only
+  // send more often than the baseline, never less.
+  ServiceConfig config;
+  config.update_scheduling = UpdateScheduling::kCompressed;
+  config.compressed_target_utilization = 0.5;
+  AdmissionController ac(config, millis(2));
+  for (ObjectId id = 1; id <= 8; ++id) {
+    ObjectSpec s = spec(id);
+    s.client_exec = micros(600);  // 8 × 6% client load swamps the target
+    s.update_exec = micros(500);  // uncapped share would be 80ms
+    ASSERT_TRUE(ac.admit(s).ok()) << id;
+  }
+  for (ObjectId id = 1; id <= 8; ++id) {
+    EXPECT_LE(ac.update_period(id), millis(39)) << id;  // (80 − 2)/2
+  }
+}
+
 TEST(Admission, TotalUtilizationAccountsForBothTaskKinds) {
   AdmissionController ac(default_config(), millis(2));
   ASSERT_TRUE(ac.admit(spec(1)).ok());

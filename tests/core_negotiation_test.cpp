@@ -81,9 +81,11 @@ TEST(Negotiation, HopelessDemandGetsNoSuggestion) {
     heavy.client_exec = millis(2);  // 3 * 20% + update tasks
     ASSERT_TRUE(full.admit(heavy).ok());
   }
+  // 16x overcommitted: even the negotiator's maximum 64x slowdown still
+  // leaves 25% utilisation on a ~62%-loaded server — past the RM bound.
   ObjectSpec monster = spec(50);
   monster.client_period = millis(1);
-  monster.client_exec = millis(1);  // 100% utilisation alone at any scale
+  monster.client_exec = millis(16);
   const auto r2 = full.admit(monster);
   ASSERT_FALSE(r2.ok());
   EXPECT_FALSE(r2.error().suggestion.has_value());

@@ -25,11 +25,11 @@ TEST(WireFuzz, RandomBytesNeverCrashDecoder) {
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
     const auto decoded = core::wire::decode(junk);
     if (decoded) {
-      // If it decoded, the tag must be a known one (1..12: kUpdate through
-      // kConstraintRestore).
+      // If it decoded, the tag must be a known one (1..13: kUpdate through
+      // kFrontier).
       const auto t = static_cast<std::uint8_t>(decoded->type);
       EXPECT_GE(t, 1);
-      EXPECT_LE(t, 12);
+      EXPECT_LE(t, 13);
     }
   }
 }

@@ -75,6 +75,9 @@ void usage(const char* argv0) {
             << "  --intensity X      fault-count multiplier (default 1.0)\n"
             << "  --objects N        objects offered per seed (default 4)\n"
             << "  --backups N        backups in the replication chain (default 1)\n"
+            << "  --shards N         shard the workload over N shards and add\n"
+            << "                     shard-scoped loss storms (default 1 = off;\n"
+            << "                     1 keeps digests identical to unsharded builds)\n"
             << "  --no-crashes       disable crash/recruit scenarios\n"
             << "  --no-batch         send one kUpdate frame per object instead of\n"
             << "                     coalescing into kUpdateBatch (different digests)\n"
@@ -141,6 +144,8 @@ int main(int argc, char** argv) {
       opts.objects = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--backups") {
       opts.backups = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shards") {
+      opts.shards = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-crashes") {
       opts.enable_crashes = false;
     } else if (arg == "--no-batch") {
