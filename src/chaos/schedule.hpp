@@ -163,6 +163,7 @@ enum ChaosStream : std::uint64_t {
   kStreamPartition = 6,  ///< split-brain partition scenario
   kStreamOverload = 7,   ///< cpu/bandwidth/latency overload bursts
   kStreamShard = 8,      ///< shard-scoped loss storms (shards > 1 only)
+  kStreamParallel = 9,   ///< per-shard chaos seeds of the parallel engine
 };
 
 /// Generate the fault schedule for `seed`.  Pure function of (seed, opts).

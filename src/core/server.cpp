@@ -1490,6 +1490,11 @@ void ReplicaServer::announce_frontier(std::uint32_t shard, TimePoint stable_ts) 
   }
 }
 
+void ReplicaServer::ingest_frontier(const wire::Frontier& f) {
+  if (crashed_) return;
+  handle_frontier(f, endpoint());
+}
+
 void ReplicaServer::handle_frontier(const wire::Frontier& f, net::Endpoint from) {
   (void)from;
   ++frontier_frames_received_;

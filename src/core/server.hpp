@@ -119,6 +119,13 @@ class ReplicaServer {
   /// Explicitly driven (no internal timer) so single-group deployments
   /// that never call it keep byte-identical traffic.
   void announce_frontier(std::uint32_t shard, TimePoint stable_ts);
+  /// Parallel scale-out: apply a cross-group frontier record delivered
+  /// out-of-band by the parallel driver's window-barrier exchange (no
+  /// simulated frame — peer groups live in DIFFERENT simulators, so the
+  /// record cannot travel through this group's network).  Identical
+  /// monotone merge to a received kFrontier frame, and counted in
+  /// frontier_frames_received().  Dropped while crashed, like any frame.
+  void ingest_frontier(const wire::Frontier& f);
   /// Latest frontier received for `shard` (monotone merge of kFrontier
   /// frames); TimePoint::zero() if none seen.
   [[nodiscard]] TimePoint peer_frontier(std::uint32_t shard) const;

@@ -76,6 +76,7 @@ class RtpbService {
 
   // ---- accessors ----
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] NameService& names() { return names_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }

@@ -1,0 +1,93 @@
+// Parallel chaos harness: one chaos experiment PER SHARD, all advanced by
+// the conservative parallel driver, coupled only through window-barrier
+// frontier records.
+//
+// Seed discipline: shard s of parallel seed S runs the classic chaos
+// pipeline (schedule, workload, fault plan, oracles) under the derived
+// seed  derive_stream_seed(derive_stream_seed(S, kStreamParallel), s).
+// That derivation is stateless, so shard s's entire trajectory — and its
+// trace digest — is a pure function of (S, s, opts), independent of the
+// shard count AND of the thread count.  The purity oracle asserts exactly
+// this: running the same (S, opts) at threads ∈ {1, 2, 4} must reproduce
+// every per-shard digest bit for bit, where threads == 1 is the inline
+// sequential build (no std::thread spawned).
+//
+// Observability sinks (telemetry export files, health feeds, post-mortem
+// paths) are force-disabled per shard: the per-sim hubs themselves are
+// thread-confined, but the file paths in ChaosOptions are single-run
+// names that N shards would trample.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "psim/driver.hpp"
+
+namespace rtpb::psim {
+
+/// What one shard's chaos experiment produced.  The same fields two runs
+/// of the same (seed, shard, opts) must agree on.
+struct ShardSeedReport {
+  std::uint32_t shard = 0;
+  std::uint64_t shard_seed = 0;    ///< derived per-shard chaos seed
+  std::uint64_t trace_digest = 0;  ///< FNV-1a over the shard's event trace
+  std::uint64_t trace_events = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t violation_count = 0;
+  std::uint64_t oracle_checks = 0;
+  std::vector<chaos::OracleViolation> violations;  ///< capped, like SeedReport
+  std::vector<std::string> fired;
+  std::size_t objects_offered = 0;
+  std::size_t objects_admitted = 0;
+  std::uint64_t client_writes = 0;
+  std::uint64_t updates_applied = 0;
+  /// Ready-to-paste single-shard reproducer (filled when violations > 0):
+  /// replay with the classic harness under shard_seed.
+  std::string reproducer;
+
+  [[nodiscard]] bool ok() const { return violation_count == 0; }
+};
+
+struct ParallelSeedReport {
+  std::uint64_t seed = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;  ///< as requested (driver may clamp)
+  DriverStats driver;
+  std::vector<ShardSeedReport> shard_reports;  ///< in shard order
+  std::uint64_t frontier_records_published = 0;
+  std::uint64_t frontier_records_ingested = 0;
+
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::uint64_t violation_count() const;
+  [[nodiscard]] std::uint64_t oracle_checks() const;
+  /// One line per shard plus a driver line, for sweep output.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run one parallel chaos seed: opts.shards independent experiments in
+/// lock-stepped lookahead windows on `threads` workers.  Deterministic at
+/// any thread count.  Requires opts.shards >= 1; opts.shards inside each
+/// per-shard run is forced to 1 (shard-scoped storms don't compose with
+/// one-group-per-shard partitioning).
+[[nodiscard]] ParallelSeedReport run_parallel_seed(std::uint64_t seed,
+                                                   const chaos::ChaosOptions& opts,
+                                                   std::size_t threads);
+
+struct ParallelSweepResult {
+  std::size_t seeds_run = 0;
+  std::vector<ParallelSeedReport> failures;
+  std::uint64_t total_checks = 0;
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run parallel seeds [first_seed, first_seed + count).
+[[nodiscard]] ParallelSweepResult run_parallel_sweep(std::uint64_t first_seed,
+                                                     std::size_t count,
+                                                     const chaos::ChaosOptions& opts,
+                                                     std::size_t threads,
+                                                     std::ostream* progress = nullptr);
+
+}  // namespace rtpb::psim

@@ -1,0 +1,100 @@
+#include "psim/driver.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "psim/barrier.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace rtpb::psim {
+
+namespace {
+
+double wall_now_ms() {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+                                 .count()) /
+         1000.0;
+}
+
+}  // namespace
+
+ParallelDriver::ParallelDriver(std::vector<PartitionTask*> tasks, Duration window)
+    : tasks_(std::move(tasks)), window_(window) {
+  RTPB_EXPECTS(!tasks_.empty());
+  RTPB_EXPECTS(window_ > Duration::zero());
+  for (PartitionTask* t : tasks_) RTPB_EXPECTS(t != nullptr);
+}
+
+DriverStats ParallelDriver::run(TimePoint from, TimePoint to, std::size_t threads) {
+  RTPB_EXPECTS(to >= from);
+  DriverStats stats;
+  if (threads < 1) threads = 1;
+  if (threads > tasks_.size()) threads = tasks_.size();
+  stats.threads = threads;
+  const double t0 = wall_now_ms();
+
+  // Precompute the window horizons once; workers index into the shared
+  // vector instead of each redoing the clamp arithmetic.
+  std::vector<TimePoint> horizons;
+  for (TimePoint h = from; h < to;) {
+    h = h + window_;
+    if (h > to) h = to;
+    horizons.push_back(h);
+  }
+  stats.windows = horizons.size();
+
+  if (threads == 1) {
+    // The sequential build: same windows, same per-window phase order,
+    // no worker threads.  Per-partition event streams are identical to
+    // any multi-threaded run — pinned by the digest-equality tests.
+    TimePoint start = from;
+    for (const TimePoint h : horizons) {
+      for (PartitionTask* t : tasks_) {
+        t->begin_window(start);
+        t->advance_to(h);
+        t->end_window(h);
+      }
+      start = h;
+    }
+    stats.wall_ms = wall_now_ms() - t0;
+    return stats;
+  }
+
+  // The global Logger's virtual clock points at whichever simulator was
+  // constructed last; during the parallel region that simulator advances
+  // on a worker thread, so reading it from another would race.  Log
+  // lines fall back to unclocked while workers run.
+  Logger::instance().clear_clock();
+
+  SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([this, w, threads, from, &horizons, &barrier] {
+      TimePoint start = from;
+      for (const TimePoint h : horizons) {
+        // Static round-robin ownership: partition p belongs to worker
+        // p % threads for the whole run, so each simulator is only ever
+        // touched by one thread per window (and the same thread every
+        // window — warm caches, deterministic streams).
+        for (std::size_t p = w; p < tasks_.size(); p += threads) {
+          tasks_[p]->begin_window(start);
+          tasks_[p]->advance_to(h);
+          tasks_[p]->end_window(h);
+        }
+        // One barrier per window: publishes from window k happen-before
+        // the drains of window k+1 on every peer.
+        barrier.arrive_and_wait();
+        start = h;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  stats.barriers = stats.windows;
+  stats.wall_ms = wall_now_ms() - t0;
+  return stats;
+}
+
+}  // namespace rtpb::psim

@@ -1,0 +1,68 @@
+// Bounded single-producer single-consumer ring queue.
+//
+// The parallel driver exchanges cross-partition traffic through one of
+// these per ordered partition pair: partition A's worker is the only
+// producer of the A→B queue, partition B's worker the only consumer.
+// Producers push during A's window-end phase, consumers drain during B's
+// next window-begin phase, and the driver's lock-step barrier sits
+// between the two — so the queue is never contended in practice, but the
+// acquire/release protocol keeps it correct (and TSan-clean) even if an
+// implementation detail ever lets the phases overlap.
+//
+// Capacity is fixed at construction; push() reports overflow instead of
+// blocking (the driver sizes queues for the worst per-window record
+// count and treats overflow as a logic error).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rtpb::psim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` usable slots (one ring slot is sacrificed internally).
+  explicit SpscQueue(std::size_t capacity) : buf_(capacity + 1) {
+    RTPB_EXPECTS(capacity >= 1);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Returns false when the ring is full.
+  bool push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) % buf_.size();
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    buf_[tail] = v;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Empty queue yields nullopt.
+  std::optional<T> pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    T v = buf_[head];
+    head_.store((head + 1) % buf_.size(), std::memory_order_release);
+    return v;
+  }
+
+  /// Consumer-side view; racy if the producer is mid-push, exact at a
+  /// barrier.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::atomic<std::size_t> head_{0};  ///< next slot to pop (consumer-owned)
+  std::atomic<std::size_t> tail_{0};  ///< next slot to fill (producer-owned)
+};
+
+}  // namespace rtpb::psim

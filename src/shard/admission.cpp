@@ -27,8 +27,9 @@ void ShardedAdmission::remove(core::ObjectId id) {
     const core::InterObjectConstraint c = cross_[i];
     if (c.first != id && c.second != id) continue;
     cross_.erase(cross_.begin() + static_cast<std::ptrdiff_t>(i));
-    home(c.first).remove_constraint({c.first, c.first, c.delta});
-    home(c.second).remove_constraint({c.second, c.second, c.delta});
+    const CrossShardCaps caps = decompose_cross_constraint(c);
+    home(c.first).remove_constraint(caps.first);
+    home(c.second).remove_constraint(caps.second);
   }
   core::AdmissionController& ac = home(id);
   const std::size_t before = ac.admitted_count();
@@ -43,13 +44,12 @@ core::AdmissionStatus ShardedAdmission::add_constraint(const core::InterObjectCo
 
   // Cross-shard: cap each side on its home shard; roll the first cap back
   // if the second is rejected, so failure leaves no residue.
-  const core::InterObjectConstraint cap_a{c.first, c.first, c.delta};
-  const core::InterObjectConstraint cap_b{c.second, c.second, c.delta};
-  core::AdmissionStatus a = shards_[sa].add_constraint(cap_a);
+  const CrossShardCaps caps = decompose_cross_constraint(c);
+  core::AdmissionStatus a = shards_[sa].add_constraint(caps.first);
   if (!a.ok()) return a;
-  core::AdmissionStatus b = shards_[sb].add_constraint(cap_b);
+  core::AdmissionStatus b = shards_[sb].add_constraint(caps.second);
   if (!b.ok()) {
-    shards_[sa].remove_constraint(cap_a);
+    shards_[sa].remove_constraint(caps.first);
     return b;
   }
   cross_.push_back(c);
@@ -70,8 +70,9 @@ void ShardedAdmission::remove_constraint(const core::InterObjectConstraint& c) {
                             });
   if (match == cross_.end()) return;
   cross_.erase(match);
-  shards_[sa].remove_constraint({c.first, c.first, c.delta});
-  shards_[sb].remove_constraint({c.second, c.second, c.delta});
+  const CrossShardCaps caps = decompose_cross_constraint(c);
+  shards_[sa].remove_constraint(caps.first);
+  shards_[sb].remove_constraint(caps.second);
 }
 
 Duration ShardedAdmission::update_period(core::ObjectId id) const {

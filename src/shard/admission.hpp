@@ -27,6 +27,21 @@
 
 namespace rtpb::shard {
 
+/// The decomposition of a cross-shard constraint δ_ij: one SELF-PAIR
+/// period cap per side (see the header comment for why this is sound).
+/// Every consumer — ShardedAdmission, ShardCluster, the parallel
+/// PartitionedCluster — derives its caps through this one function so the
+/// two halves of a decomposed constraint can never drift apart.
+struct CrossShardCaps {
+  core::InterObjectConstraint first;   ///< cap on c.first's home shard
+  core::InterObjectConstraint second;  ///< cap on c.second's home shard
+};
+
+[[nodiscard]] inline CrossShardCaps decompose_cross_constraint(
+    const core::InterObjectConstraint& c) {
+  return {{c.first, c.first, c.delta}, {c.second, c.second, c.delta}};
+}
+
 class ShardedAdmission {
  public:
   /// One controller per shard, all with the same config and link bound ℓ.

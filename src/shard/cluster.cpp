@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "shard/admission.hpp"
 #include "util/assert.hpp"
 
 namespace rtpb::shard {
@@ -92,17 +93,16 @@ core::AdmissionStatus ShardCluster::add_constraint(const core::InterObjectConstr
   // for why the decomposition is sound).  A server-side add_constraint
   // replicates immediately and cannot be rolled back, so BOTH sides are
   // validated with the controller's dry-run before either commits.
-  const core::InterObjectConstraint cap_a{c.first, c.first, c.delta};
-  const core::InterObjectConstraint cap_b{c.second, c.second, c.delta};
-  core::AdmissionStatus a = groups_[ga]->primary->admission().check_constraint(cap_a);
+  const CrossShardCaps caps = decompose_cross_constraint(c);
+  core::AdmissionStatus a = groups_[ga]->primary->admission().check_constraint(caps.first);
   if (!a.ok()) return a;
-  core::AdmissionStatus b = groups_[gb]->primary->admission().check_constraint(cap_b);
+  core::AdmissionStatus b = groups_[gb]->primary->admission().check_constraint(caps.second);
   if (!b.ok()) return b;
   // The sim is single-threaded: nothing can invalidate the dry-runs
   // between check and commit, so the commits must succeed.
-  a = groups_[ga]->client->add_constraint(cap_a);
+  a = groups_[ga]->client->add_constraint(caps.first);
   RTPB_ASSERT(a.ok());
-  b = groups_[gb]->client->add_constraint(cap_b);
+  b = groups_[gb]->client->add_constraint(caps.second);
   RTPB_ASSERT(b.ok());
   cross_.push_back(c);
   return {};

@@ -1,0 +1,55 @@
+// Partition seam: drive a Simulator externally, window by window.
+//
+// A conservative parallel discrete-event driver (src/psim/) owns several
+// simulators — one per shard partition — and advances each to a common
+// horizon before any cross-partition traffic is exchanged.  This wrapper
+// is that external-driving contract in one place: horizons are monotone,
+// every event at or before the horizon fires, and the clock lands exactly
+// on the horizon afterwards, so all partitions agree on "now" at each
+// barrier.  Windowed driving is digest-transparent: advance_to(a) then
+// advance_to(b) fires the identical event sequence as one run_until(b),
+// because run_until clamps the clock without scheduling anything.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace rtpb::sim {
+
+class Partition {
+ public:
+  explicit Partition(Simulator& sim) : sim_(sim) {}
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  /// Run every event with timestamp <= horizon; the clock lands exactly
+  /// on `horizon`.  Horizons must be monotone across calls.
+  void advance_to(TimePoint horizon) {
+    RTPB_EXPECTS(horizon >= sim_.now());
+    sim_.run_until(horizon);
+    ++windows_;
+  }
+
+  /// True when no queued entry could fire inside (now, horizon] — the
+  /// window would be pure clock advancement.  Conservative: a cancelled
+  /// entry at the queue head may report a busy window as idle-looking
+  /// work, never the reverse.
+  [[nodiscard]] bool idle_until(TimePoint horizon) const {
+    return sim_.next_event_time() > horizon;
+  }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
+  /// Lookahead windows this partition has been advanced through.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+ private:
+  Simulator& sim_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace rtpb::sim

@@ -141,7 +141,26 @@ void PeriodicTimer::stop() {
   running_ = false;
 }
 
+void PeriodicTimer::set_period(Duration p) {
+  RTPB_EXPECTS(p > Duration::zero());
+  if (!running_ || !pending_.pending()) {
+    period_ = p;
+    return;
+  }
+  // Re-anchor the armed event on the cycle's start instant, so the new
+  // period governs the very next firing.  Tightening into the past
+  // clamps to now (fires as soon as the simulator reaches this instant's
+  // remaining events).
+  const TimePoint base = next_fire_ - period_;
+  period_ = p;
+  pending_.cancel();
+  TimePoint next = base + p;
+  if (next < sim_.now()) next = sim_.now();
+  arm(next);
+}
+
 void PeriodicTimer::arm(TimePoint at) {
+  next_fire_ = at;
   pending_ = sim_.schedule_at(at, tag_, [this, at] {
     if (!running_) return;
     // Re-arm first so fn_ may call stop()/set_period() and win.

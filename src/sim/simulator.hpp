@@ -65,7 +65,10 @@ class Simulator {
   EventHandle schedule_after(Duration delay, std::function<void()> fn);
 
   /// Run until the queue drains or the clock passes `deadline`.
-  /// Events exactly at `deadline` do fire.
+  /// Events exactly at `deadline` do fire — with or without a choice
+  /// policy installed (the boundary semantics are pinned by tests; a
+  /// policy may reorder same-instant events at the deadline but can
+  /// neither fire an event beyond it nor skip one at it).
   void run_until(TimePoint deadline);
   /// Run until the queue drains (or stop() is called).
   void run();
@@ -73,6 +76,15 @@ class Simulator {
   bool step();
   /// Make run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
+
+  /// Lower bound on the next live event's firing time: the earliest
+  /// queued entry's timestamp, or TimePoint::max() when the queue is
+  /// empty.  A cancelled entry at the head makes this conservative (the
+  /// next live event may be later); callers use it as an idle check,
+  /// never as an exact schedule.
+  [[nodiscard]] TimePoint next_event_time() const {
+    return queue_.empty() ? TimePoint::max() : queue_.top().at;
+  }
 
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t fired_events() const { return fired_events_; }
@@ -96,6 +108,7 @@ class Simulator {
   /// Execution tracing; off by default.  Components record via
   /// `if (sim.trace().enabled()) sim.trace().record(sim.now(), ...)`.
   TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
 
   /// Telemetry runtime (metrics registry + causal update spans); disabled
   /// by default.  Components guard with `if (telemetry().enabled())` —
@@ -147,8 +160,19 @@ class PeriodicTimer {
   void start() { start_at(sim_.now() + period_); }
   void stop();
   [[nodiscard]] bool running() const { return running_; }
-  void set_period(Duration p) { RTPB_EXPECTS(p > Duration::zero()); period_ = p; }
+  /// Change the period.  If an event is armed, it is re-armed so the new
+  /// period takes effect IMMEDIATELY: the next firing moves to
+  /// `base + p`, where `base` is the instant the current cycle started
+  /// (last firing, or start time), clamped to now.  Without the re-arm a
+  /// QoS renegotiation that loosens a heartbeat would still fire one
+  /// beat at the old cadence — and one that tightens it would wait out
+  /// the old, longer period before speeding up.
+  void set_period(Duration p);
   [[nodiscard]] Duration period() const { return period_; }
+  /// The instant the armed event will fire (TimePoint::max() if idle).
+  [[nodiscard]] TimePoint next_fire() const {
+    return pending_.pending() ? next_fire_ : TimePoint::max();
+  }
 
  private:
   void arm(TimePoint at);
@@ -157,6 +181,7 @@ class PeriodicTimer {
   std::function<void()> fn_;
   EventTag tag_;
   EventHandle pending_;
+  TimePoint next_fire_{};
   bool running_ = false;
 };
 

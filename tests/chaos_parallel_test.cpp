@@ -1,0 +1,114 @@
+// Digest-purity oracle of the parallel chaos engine: every (shard, seed)
+// stream must be bit-reproducible at ANY thread count, and must match the
+// classic sequential harness run of the derived per-shard seed exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/harness.hpp"
+#include "psim/chaos.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace rtpb::psim {
+namespace {
+
+chaos::ChaosOptions fast_options(std::size_t shards) {
+  chaos::ChaosOptions opts;
+  opts.duration = seconds(6);
+  opts.objects = 3;
+  opts.shards = shards;
+  return opts;
+}
+
+std::vector<std::uint64_t> shard_digests(const ParallelSeedReport& report) {
+  std::vector<std::uint64_t> out;
+  for (const ShardSeedReport& r : report.shard_reports) out.push_back(r.trace_digest);
+  return out;
+}
+
+class ChaosParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Logger::instance().set_level(LogLevel::kError); }
+};
+
+TEST_F(ChaosParallelTest, DigestsAreThreadCountInvariant) {
+  // threads == 1 is THE sequential build: the driver runs the identical
+  // window schedule inline, spawning no std::thread at all.
+  const chaos::ChaosOptions opts = fast_options(3);
+  const ParallelSeedReport one = run_parallel_seed(11, opts, 1);
+  const ParallelSeedReport two = run_parallel_seed(11, opts, 2);
+  const ParallelSeedReport four = run_parallel_seed(11, opts, 4);
+  ASSERT_EQ(one.shard_reports.size(), 3u);
+  EXPECT_EQ(shard_digests(two), shard_digests(one));
+  EXPECT_EQ(shard_digests(four), shard_digests(one));
+  // The whole report agrees, not just the digests.
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(two.shard_reports[s].trace_events, one.shard_reports[s].trace_events);
+    EXPECT_EQ(four.shard_reports[s].sim_events, one.shard_reports[s].sim_events);
+    EXPECT_EQ(four.shard_reports[s].client_writes, one.shard_reports[s].client_writes);
+    EXPECT_EQ(four.shard_reports[s].fired, one.shard_reports[s].fired);
+  }
+  // Frontier exchange is part of the deterministic schedule too.
+  EXPECT_EQ(two.frontier_records_published, one.frontier_records_published);
+  EXPECT_EQ(four.frontier_records_ingested, one.frontier_records_ingested);
+}
+
+TEST_F(ChaosParallelTest, RerunAtSameThreadCountIsStable) {
+  const chaos::ChaosOptions opts = fast_options(2);
+  const ParallelSeedReport a = run_parallel_seed(5, opts, 2);
+  const ParallelSeedReport b = run_parallel_seed(5, opts, 2);
+  EXPECT_EQ(shard_digests(a), shard_digests(b));
+  EXPECT_EQ(a.frontier_records_ingested, b.frontier_records_ingested);
+}
+
+TEST_F(ChaosParallelTest, PerShardDigestMatchesClassicHarness) {
+  // The strongest purity statement: shard s of a parallel run IS a
+  // classic chaos experiment of the derived seed — window chopping,
+  // barrier exchange and frontier ingestion leave the trace untouched.
+  const chaos::ChaosOptions opts = fast_options(2);
+  const ParallelSeedReport parallel = run_parallel_seed(21, opts, 2);
+
+  chaos::ChaosOptions classic = opts;
+  classic.shards = 1;  // per-shard runs force shards=1 internally
+  for (const ShardSeedReport& r : parallel.shard_reports) {
+    const chaos::SeedReport reference = chaos::run_seed(r.shard_seed, classic);
+    EXPECT_EQ(r.trace_digest, reference.trace_digest) << "shard " << r.shard;
+    EXPECT_EQ(r.trace_events, reference.trace_events);
+    EXPECT_EQ(r.sim_events, reference.sim_events);
+    EXPECT_EQ(r.violation_count, reference.violation_count);
+  }
+}
+
+TEST_F(ChaosParallelTest, ShardSeedsAreStreamDerived) {
+  const chaos::ChaosOptions opts = fast_options(2);
+  const ParallelSeedReport report = run_parallel_seed(33, opts, 1);
+  const std::uint64_t root = derive_stream_seed(33, chaos::kStreamParallel);
+  for (const ShardSeedReport& r : report.shard_reports) {
+    EXPECT_EQ(r.shard_seed, derive_stream_seed(root, r.shard));
+  }
+  EXPECT_NE(report.shard_reports[0].trace_digest, report.shard_reports[1].trace_digest);
+}
+
+TEST_F(ChaosParallelTest, FrontierRecordsActuallyCross) {
+  chaos::ChaosOptions opts = fast_options(3);
+  opts.enable_crashes = false;  // keep every backup applying
+  const ParallelSeedReport report = run_parallel_seed(2, opts, 3);
+  EXPECT_GT(report.frontier_records_published, 0u);
+  EXPECT_GT(report.frontier_records_ingested, 0u);
+  // Fan-out bound: each publish lands in (shards-1) peer queues, and the
+  // last window's publishes may never be drained.
+  EXPECT_LE(report.frontier_records_ingested, report.frontier_records_published * 2);
+}
+
+TEST_F(ChaosParallelTest, ThreadCountAboveShardsClampsAndAgrees) {
+  const chaos::ChaosOptions opts = fast_options(2);
+  const ParallelSeedReport base = run_parallel_seed(8, opts, 2);
+  const ParallelSeedReport over = run_parallel_seed(8, opts, 16);
+  EXPECT_EQ(over.driver.threads, 2u);
+  EXPECT_EQ(shard_digests(over), shard_digests(base));
+}
+
+}  // namespace
+}  // namespace rtpb::psim

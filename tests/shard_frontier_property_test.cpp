@@ -1,0 +1,110 @@
+// FrontierTracker model check: random interleavings of track / forget /
+// re-track / advance against a trivially-correct std::map model.
+//
+// The tracker's cached argmin is only rescanned when the minimum slot
+// itself advances or dies, and forgotten slots are recycled for later
+// track() calls — so the dangerous trajectories are exactly the ones this
+// suite drives: forget the argmin, reuse its slot for a different object,
+// advance through the cache, and read frontier() after every step.  A
+// stale cache pointing at a dead or reused slot shows up as a frontier
+// mismatch immediately.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "shard/frontier.hpp"
+#include "util/rng.hpp"
+
+namespace rtpb::shard {
+namespace {
+
+TimePoint model_frontier(const std::map<core::ObjectId, TimePoint>& model) {
+  if (model.empty()) return TimePoint::max();
+  TimePoint min = TimePoint::max();
+  for (const auto& [id, ts] : model) min = std::min(min, ts);
+  return min;
+}
+
+/// One random trajectory: `ops` operations over a small id universe (so
+/// forget/re-track collisions are frequent), checking the frontier after
+/// every single operation.
+void run_trajectory(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  FrontierTracker tracker;
+  std::map<core::ObjectId, TimePoint> model;
+  constexpr core::ObjectId kUniverse = 12;  // small: lots of slot reuse
+
+  for (int op = 0; op < ops; ++op) {
+    const core::ObjectId id = static_cast<core::ObjectId>(rng.uniform(1, kUniverse));
+    const auto ts = TimePoint::zero() + millis(static_cast<std::int64_t>(rng.uniform(0, 1000)));
+    switch (rng.uniform(0, 3)) {
+      case 0:  // track (duplicate track must be ignored)
+        tracker.track(id, ts);
+        model.try_emplace(id, ts);
+        break;
+      case 1:  // forget (unknown id must be ignored)
+        tracker.forget(id);
+        model.erase(id);
+        break;
+      default: {  // advance (unknown id ignored; stale ts ignored)
+        tracker.advance(id, ts);
+        auto it = model.find(id);
+        if (it != model.end() && ts > it->second) it->second = ts;
+        break;
+      }
+    }
+    ASSERT_EQ(tracker.frontier(), model_frontier(model))
+        << "seed " << seed << " diverged at op " << op;
+    ASSERT_EQ(tracker.size(), model.size());
+  }
+}
+
+TEST(FrontierTrackerProperty, RandomTrajectoriesMatchModel) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) run_trajectory(seed, 2000);
+}
+
+TEST(FrontierTrackerProperty, ArgminSlotReuseIsExact) {
+  // The targeted trajectory: make an object the argmin, cache it, kill
+  // it, recycle its slot for an object with a LARGER timestamp, and
+  // verify the cache did not keep the dead argmin's location authority.
+  FrontierTracker tracker;
+  tracker.track(1, TimePoint::zero() + millis(5));
+  tracker.track(2, TimePoint::zero() + millis(50));
+  ASSERT_EQ(tracker.frontier(), TimePoint::zero() + millis(5));  // cache argmin = obj 1
+
+  tracker.forget(1);                                 // argmin dies, slot freed
+  tracker.track(3, TimePoint::zero() + millis(99));  // reuses obj 1's slot
+  EXPECT_EQ(tracker.frontier(), TimePoint::zero() + millis(50));
+
+  // Re-track the ORIGINAL id into a different timestamp: no ghost state.
+  tracker.track(1, TimePoint::zero() + millis(70));
+  EXPECT_EQ(tracker.frontier(), TimePoint::zero() + millis(50));
+  tracker.forget(2);
+  EXPECT_EQ(tracker.frontier(), TimePoint::zero() + millis(70));
+
+  // Advance the cached argmin past everyone: rescan must find obj 3.
+  tracker.advance(1, TimePoint::zero() + millis(500));
+  EXPECT_EQ(tracker.frontier(), TimePoint::zero() + millis(99));
+}
+
+TEST(FrontierTrackerProperty, DrainToEmptyAndRefill) {
+  FrontierTracker tracker;
+  for (core::ObjectId id = 1; id <= 8; ++id) {
+    tracker.track(id, TimePoint::zero() + millis(static_cast<std::int64_t>(id)));
+  }
+  ASSERT_EQ(tracker.frontier(), TimePoint::zero() + millis(1));
+  for (core::ObjectId id = 1; id <= 8; ++id) tracker.forget(id);
+  EXPECT_TRUE(tracker.empty());
+  EXPECT_EQ(tracker.frontier(), TimePoint::max());
+  // Refill entirely out of the free list, in reverse id order.
+  for (core::ObjectId id = 8; id >= 1; --id) {
+    tracker.track(id, TimePoint::zero() + millis(static_cast<std::int64_t>(10 * id)));
+  }
+  EXPECT_EQ(tracker.frontier(), TimePoint::zero() + millis(10));
+  EXPECT_EQ(tracker.size(), 8u);
+}
+
+}  // namespace
+}  // namespace rtpb::shard

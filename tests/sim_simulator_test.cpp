@@ -150,5 +150,194 @@ TEST(Simulator, DeterministicRngStream) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
 }
 
+TEST(Simulator, NextEventTimeTracksQueueHead) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+  sim.schedule_at(TimePoint{30}, [] {});
+  sim.schedule_at(TimePoint{10}, [] {});
+  EXPECT_EQ(sim.next_event_time(), TimePoint{10});
+  sim.run();
+  EXPECT_EQ(sim.next_event_time(), TimePoint::max());
+}
+
+// ---- PeriodicTimer::set_period re-arm regression ------------------------
+//
+// set_period() used to only update the stored period, leaving the armed
+// event at the OLD cadence: a loosened timer fired one extra fast beat, a
+// tightened one waited out the old, longer period.  The fix re-arms the
+// pending event at `cycle base + new period` (clamped to now).
+
+TEST(PeriodicTimer, SetPeriodLoosensPendingFire) {
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(sim, millis(10), [&] { fires.push_back(sim.now()); });
+  timer.start_at(TimePoint::zero() + millis(10));
+  sim.run_until(TimePoint::zero() + millis(25));  // fired at 10, 20; armed for 30
+  ASSERT_EQ(fires.size(), 2u);
+  timer.set_period(millis(20));
+  EXPECT_EQ(timer.next_fire(), TimePoint::zero() + millis(40));  // base 20 + 20
+  sim.run_until(TimePoint::zero() + millis(39));
+  EXPECT_EQ(fires.size(), 2u);  // the old 30 ms beat must NOT fire
+  sim.run_until(TimePoint::zero() + millis(45));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires.back(), TimePoint::zero() + millis(40));
+}
+
+TEST(PeriodicTimer, SetPeriodTightensPendingFire) {
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(sim, millis(10), [&] { fires.push_back(sim.now()); });
+  timer.start_at(TimePoint::zero() + millis(10));
+  sim.run_until(TimePoint::zero() + millis(25));  // fired at 10, 20; armed for 30
+  timer.set_period(millis(2));
+  // base 20 + 2 = 22 is already past: clamp to now (25), then every 2 ms.
+  EXPECT_EQ(timer.next_fire(), TimePoint::zero() + millis(25));
+  sim.run_until(TimePoint::zero() + millis(30));
+  std::vector<TimePoint> expect_tail{TimePoint::zero() + millis(25),
+                                     TimePoint::zero() + millis(27),
+                                     TimePoint::zero() + millis(29)};
+  ASSERT_EQ(fires.size(), 5u);
+  EXPECT_EQ(std::vector<TimePoint>(fires.begin() + 2, fires.end()), expect_tail);
+}
+
+TEST(PeriodicTimer, SetPeriodFromInsideCallback) {
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(sim, millis(10), [&] {
+    fires.push_back(sim.now());
+    if (fires.size() == 1) timer.set_period(millis(5));
+  });
+  timer.start_at(TimePoint::zero() + millis(10));
+  sim.run_until(TimePoint::zero() + millis(26));
+  // First fire at 10 had already armed 20; set_period(5) re-arms to
+  // base 10 + 5 = 15, then the 5 ms cadence holds: 15, 20, 25.
+  EXPECT_EQ(fires, (std::vector<TimePoint>{
+                       TimePoint::zero() + millis(10), TimePoint::zero() + millis(15),
+                       TimePoint::zero() + millis(20), TimePoint::zero() + millis(25)}));
+}
+
+TEST(PeriodicTimer, SetPeriodWhileStoppedOnlyStoresIt) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, millis(10), [&] { ++count; });
+  timer.set_period(millis(3));
+  EXPECT_EQ(timer.period(), millis(3));
+  EXPECT_EQ(timer.next_fire(), TimePoint::max());
+  timer.start();
+  sim.run_until(TimePoint::zero() + millis(10));
+  EXPECT_EQ(count, 3);  // 3, 6, 9
+}
+
+// ---- run_until deadline boundary under a ChoicePolicy -------------------
+//
+// The parallel driver chops one run_until(end) into lookahead windows, so
+// the boundary semantics must be exact and policy-invariant: every event
+// with timestamp <= deadline fires, none beyond it, and the clock lands
+// on the deadline.  A policy may reorder SAME-INSTANT ties only.
+
+namespace {
+
+/// pick_event returning 0 must reproduce the FIFO tie-break bit for bit.
+class PickFirstPolicy : public ChoicePolicy {
+ public:
+  bool decide(const ChoiceContext& ctx, Rng& rng) override {
+    return rng.bernoulli(ctx.probability);
+  }
+};
+
+/// Adversarial tie-break: always fire the LAST-scheduled tie first.
+class PickLastPolicy : public ChoicePolicy {
+ public:
+  bool decide(const ChoiceContext& ctx, Rng& rng) override {
+    return rng.bernoulli(ctx.probability);
+  }
+  std::size_t pick_event(const std::vector<EventTag>& tags) override {
+    return tags.size() - 1;
+  }
+};
+
+}  // namespace
+
+TEST(Simulator, RunUntilBoundaryWithPolicyFiresDeadlineEvents) {
+  PickLastPolicy policy;
+  Simulator sim;
+  sim.set_choice_policy(&policy);
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{10}, [&] { order.push_back(0); });
+  for (int i = 1; i <= 3; ++i) {
+    sim.schedule_at(TimePoint{20}, [&order, i] { order.push_back(i); });
+  }
+  sim.schedule_at(TimePoint{21}, [&] { order.push_back(99); });
+  sim.run_until(TimePoint{20});
+  // All deadline events fired (reordered within the instant), none past.
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+  EXPECT_EQ(sim.now(), TimePoint{20});
+  sim.run_until(TimePoint{30});
+  EXPECT_EQ(order.back(), 99);
+}
+
+TEST(Simulator, RunUntilPickZeroPolicyMatchesPolicyFreeOrder) {
+  auto script = [](Simulator& sim, std::vector<int>& order) {
+    for (int i = 0; i < 4; ++i) {
+      sim.schedule_at(TimePoint{10}, [&order, i, &sim] {
+        order.push_back(i);
+        // Nested same-instant scheduling: joins the tie set mid-flight.
+        if (i == 1) sim.schedule_at(TimePoint{10}, [&order] { order.push_back(100); });
+      });
+    }
+    sim.schedule_at(TimePoint{20}, [&order] { order.push_back(200); });
+  };
+  Simulator plain;
+  std::vector<int> plain_order;
+  script(plain, plain_order);
+  plain.run_until(TimePoint{20});
+
+  PickFirstPolicy policy;
+  Simulator seamed;
+  seamed.set_choice_policy(&policy);
+  std::vector<int> seamed_order;
+  script(seamed, seamed_order);
+  seamed.run_until(TimePoint{20});
+
+  EXPECT_EQ(seamed_order, plain_order);
+  EXPECT_EQ(seamed.now(), plain.now());
+  EXPECT_EQ(seamed.fired_events(), plain.fired_events());
+}
+
+TEST(Simulator, PolicyReordersOnlySameInstantEvents) {
+  PickLastPolicy policy;
+  Simulator sim;
+  sim.set_choice_policy(&policy);
+  std::vector<int> order;
+  sim.schedule_at(TimePoint{30}, [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint{10}, [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint{20}, [&] { order.push_back(2); });
+  sim.run();
+  // Distinct instants: time order wins no matter how ties are broken.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, WindowedRunUntilMatchesSingleRun) {
+  // The Partition seam's contract: run_until(a); run_until(b) fires the
+  // identical sequence as run_until(b).
+  auto run = [](bool windowed, std::vector<TimePoint>& fires) -> TimePoint {
+    Simulator sim;
+    PeriodicTimer timer(sim, millis(7), [&fires, &sim] { fires.push_back(sim.now()); });
+    timer.start_at(TimePoint::zero() + millis(7));
+    if (windowed) {
+      for (std::int64_t h = 13; h <= 100; h += 13) {
+        sim.run_until(TimePoint::zero() + millis(h));
+      }
+    }
+    sim.run_until(TimePoint::zero() + millis(100));
+    return sim.now();
+  };
+  std::vector<TimePoint> whole_fires, windowed_fires;
+  const TimePoint whole_now = run(false, whole_fires);
+  const TimePoint windowed_now = run(true, windowed_fires);
+  EXPECT_EQ(windowed_fires, whole_fires);
+  EXPECT_EQ(windowed_now, whole_now);
+}
+
 }  // namespace
 }  // namespace rtpb::sim

@@ -10,10 +10,12 @@
 //
 // Direction is inferred from the key: anything containing "per_sec" is
 // higher-is-better; everything else (ns, ms, allocations, frame counts) is
-// lower-is-better.  --stable-only restricts the gate to allocation-count
-// metrics ("allocs" in the key), which are deterministic and therefore
-// safe to enforce on shared CI runners where wall-clock numbers jitter far
-// beyond any useful threshold; timing metrics are still printed.
+// lower-is-better.  --stable-only restricts the gate to metrics that are
+// deterministic by construction — allocation counts ("allocs" in the key)
+// and seed-pure counters (keys ending "_deterministic", e.g. the parallel
+// engine's digest/window/event totals) — which are safe to enforce on
+// shared CI runners where wall-clock numbers jitter far beyond any useful
+// threshold; timing metrics are still printed.
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -87,8 +89,17 @@ bool higher_is_better(const std::string& key) {
   return key.find("per_sec") != std::string::npos;
 }
 
+/// Seed-pure counters: a "_deterministic" suffix promises the value is a
+/// pure function of the committed seeds, so ANY drift (either direction)
+/// is a behaviour change, not noise.
+bool is_exact_metric(const std::string& key) {
+  constexpr const char kSuffix[] = "_deterministic";
+  constexpr std::size_t kLen = sizeof(kSuffix) - 1;
+  return key.size() >= kLen && key.compare(key.size() - kLen, kLen, kSuffix) == 0;
+}
+
 bool is_stable_metric(const std::string& key) {
-  return key.find("allocs") != std::string::npos;
+  return key.find("allocs") != std::string::npos || is_exact_metric(key);
 }
 
 const double* find(const Metrics& m, const std::string& key) {
@@ -162,7 +173,8 @@ int main(int argc, char** argv) {
     } else if (cur != 0.0 && !higher_is_better(key)) {
       delta_pct = 100.0;  // grew from zero: treat as a full regression
     }
-    const bool regressed = gated && delta_pct > max_regression_pct;
+    const bool regressed =
+        gated && (is_exact_metric(key) ? cur != *base : delta_pct > max_regression_pct);
     if (gated) ++compared;
     if (regressed) ++regressions;
     std::printf("%-40s %12.6g %12.6g %+8.1f%% %6s\n", key.c_str(), *base, cur, delta_pct,

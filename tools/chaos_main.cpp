@@ -32,6 +32,7 @@
 
 #include "chaos/harness.hpp"
 #include "explore/explorer.hpp"
+#include "psim/chaos.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -78,6 +79,12 @@ void usage(const char* argv0) {
             << "  --shards N         shard the workload over N shards and add\n"
             << "                     shard-scoped loss storms (default 1 = off;\n"
             << "                     1 keeps digests identical to unsharded builds)\n"
+            << "  --threads N        N > 1: parallel engine — one experiment per\n"
+            << "                     shard (needs --shards >= 2), advanced in\n"
+            << "                     lock-stepped lookahead windows on N workers;\n"
+            << "                     per-shard digests are thread-count-invariant.\n"
+            << "                     N <= 1 (default) keeps the classic sequential\n"
+            << "                     path, byte-identical to previous builds\n"
             << "  --no-crashes       disable crash/recruit scenarios\n"
             << "  --no-batch         send one kUpdate frame per object instead of\n"
             << "                     coalescing into kUpdateBatch (different digests)\n"
@@ -114,6 +121,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t first_seed = 0;
   std::size_t count = 16;
+  std::size_t threads = 1;
   bool single = false;
   bool log_warnings = false;
   ChaosOptions opts;
@@ -146,6 +154,8 @@ int main(int argc, char** argv) {
       opts.backups = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--shards") {
       opts.shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-crashes") {
       opts.enable_crashes = false;
     } else if (arg == "--no-batch") {
@@ -232,6 +242,42 @@ int main(int argc, char** argv) {
   } else if (sabotage != "none") {
     std::cerr << "unknown sabotage mode: " << sabotage << "\n";
     return 2;
+  }
+
+  if (threads > 1) {
+    // Parallel engine: one experiment per shard on a worker pool.  The
+    // classic path below stays byte-identical for --threads <= 1.
+    if (opts.shards < 2) {
+      std::cerr << "--threads " << threads << " needs --shards >= 2 (one partition per shard)\n";
+      return 2;
+    }
+    if (sabotage != "none") {
+      std::cerr << "--sabotage is a classic-path oracle self-test; drop --threads\n";
+      return 2;
+    }
+    if (single) {
+      const rtpb::psim::ParallelSeedReport report =
+          rtpb::psim::run_parallel_seed(first_seed, opts, threads);
+      std::cout << report.summary() << "\n";
+      for (const rtpb::psim::ShardSeedReport& r : report.shard_reports) {
+        if (r.ok()) continue;
+        for (const rtpb::chaos::OracleViolation& v : r.violations) {
+          std::cout << "  shard " << r.shard << " [" << v.at.to_string() << "] " << v.oracle
+                    << ": " << v.detail << "\n";
+        }
+        std::cout << "  replay: classic harness, seed " << r.shard_seed << "\n"
+                  << r.reproducer;
+      }
+      std::cout << "---\n1 seeds, " << report.oracle_checks() << " oracle checks, "
+                << (report.ok() ? 0 : 1) << " failing seeds\n";
+      return report.ok() ? 0 : 1;
+    }
+    const rtpb::psim::ParallelSweepResult result =
+        rtpb::psim::run_parallel_sweep(first_seed, count, opts, threads, &std::cout);
+    std::cout << "---\n"
+              << result.seeds_run << " seeds, " << result.total_checks << " oracle checks, "
+              << result.failures.size() << " failing seeds\n";
+    return result.ok() ? 0 : 1;
   }
 
   rtpb::chaos::SweepResult result;
