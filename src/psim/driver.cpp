@@ -1,6 +1,7 @@
 #include "psim/driver.hpp"
 
 #include <chrono>
+#include <functional>
 #include <thread>
 
 #include "psim/barrier.hpp"
@@ -46,16 +47,19 @@ DriverStats ParallelDriver::run(TimePoint from, TimePoint to, std::size_t thread
   stats.windows = horizons.size();
 
   if (threads == 1) {
-    // The sequential build: same windows, same per-window phase order,
-    // no worker threads.  Per-partition event streams are identical to
-    // any multi-threaded run — pinned by the digest-equality tests.
+    // The sequential build: same windows, same two-phase order within
+    // each window, no worker threads.  Running EVERY partition's
+    // drain+advance before ANY partition's publish keeps the delivery
+    // envelope identical to the threaded path — a record published in
+    // window k is drained in window k+1 by every peer, regardless of
+    // partition order.  Pinned by the digest- and ingest-count tests.
     TimePoint start = from;
     for (const TimePoint h : horizons) {
       for (PartitionTask* t : tasks_) {
         t->begin_window(start);
         t->advance_to(h);
-        t->end_window(h);
       }
+      for (PartitionTask* t : tasks_) t->end_window(h);
       start = h;
     }
     stats.wall_ms = wall_now_ms() - t0;
@@ -65,8 +69,10 @@ DriverStats ParallelDriver::run(TimePoint from, TimePoint to, std::size_t thread
   // The global Logger's virtual clock points at whichever simulator was
   // constructed last; during the parallel region that simulator advances
   // on a worker thread, so reading it from another would race.  Log
-  // lines fall back to unclocked while workers run.
-  Logger::instance().clear_clock();
+  // lines fall back to unclocked while workers run; the clock is put
+  // back once they join, so post-run logging (harvest, later sequential
+  // runs) keeps virtual timestamps at every thread count.
+  std::function<TimePoint()> saved_clock = Logger::instance().exchange_clock(nullptr);
 
   SpinBarrier barrier(threads);
   std::vector<std::thread> workers;
@@ -79,20 +85,30 @@ DriverStats ParallelDriver::run(TimePoint from, TimePoint to, std::size_t thread
         // p % threads for the whole run, so each simulator is only ever
         // touched by one thread per window (and the same thread every
         // window — warm caches, deterministic streams).
+        //
+        // Two barrier-separated phases per window.  Phase 1 drains the
+        // previous window's publishes and advances to the horizon;
+        // phase 2 publishes.  The first barrier stops a publish of
+        // window k racing a peer's drain of window k (which would let a
+        // record cross in the same window it was published, under the
+        // documented [l, 2l] lower bound); the second orders every
+        // publish of window k before every drain of window k+1.
         for (std::size_t p = w; p < tasks_.size(); p += threads) {
           tasks_[p]->begin_window(start);
           tasks_[p]->advance_to(h);
+        }
+        barrier.arrive_and_wait();
+        for (std::size_t p = w; p < tasks_.size(); p += threads) {
           tasks_[p]->end_window(h);
         }
-        // One barrier per window: publishes from window k happen-before
-        // the drains of window k+1 on every peer.
         barrier.arrive_and_wait();
         start = h;
       }
     });
   }
   for (std::thread& t : workers) t.join();
-  stats.barriers = stats.windows;
+  Logger::instance().set_clock(std::move(saved_clock));
+  stats.barriers = 2 * stats.windows;
   stats.wall_ms = wall_now_ms() - t0;
   return stats;
 }

@@ -8,14 +8,18 @@
 //
 //   [W_k, W_{k+1}]   with   W_{k+1} = W_k + ℓ
 //
-// on a fixed worker pool.  Within a window each worker, for every
-// partition it owns, (1) drains that partition's inbound inject queues in
-// a FIXED source order, (2) advances the partition's simulator to the
-// window horizon, and (3) publishes the partition's outbound records into
-// per-pair SPSC queues.  One barrier separates consecutive windows, so a
-// record published at the end of window k is visible to (and only to) the
-// consumer's begin-phase of window k+1: cross-partition latency lands in
-// [ℓ, 2ℓ], which the ℓ-lookahead makes safe by construction.
+// on a fixed worker pool.  Each window runs as TWO barrier-separated
+// phases.  Phase 1: every worker, for every partition it owns, drains
+// that partition's inbound inject queues in a FIXED source order and
+// advances the partition's simulator to the window horizon.  Phase 2
+// (after a barrier): every worker publishes its partitions' outbound
+// records into per-pair SPSC queues; a second barrier then opens the next
+// window.  The first barrier keeps a publish of window k from racing a
+// peer's drain of window k; the second orders all publishes of window k
+// before all drains of window k+1.  A record published at the end of
+// window k is therefore visible to (and only to) the consumer's
+// begin-phase of window k+1: cross-partition latency lands in [ℓ, 2ℓ],
+// which the ℓ-lookahead makes safe by construction.
 //
 // Determinism: partition assignment never moves a partition between
 // threads mid-run, each partition's simulator is touched by exactly one
@@ -52,7 +56,7 @@ class PartitionTask {
 
 struct DriverStats {
   std::uint64_t windows = 0;      ///< lookahead windows executed
-  std::uint64_t barriers = 0;     ///< barrier episodes (0 when threads == 1)
+  std::uint64_t barriers = 0;     ///< barrier episodes: 2/window (0 when threads == 1)
   std::size_t threads = 0;        ///< worker threads actually used
   double wall_ms = 0.0;           ///< real time spent inside run()
 };

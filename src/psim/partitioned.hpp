@@ -14,10 +14,11 @@
 // simulated link; instead each partition publishes its frontier into
 // per-pair SPSC queues at window end and drains its peers' queues —
 // always in ascending source-group order — at the next window begin,
-// feeding ReplicaServer::ingest_frontier.  The driver's barrier sits
-// between publish and drain, so a record crosses in [ℓ, 2ℓ]: the same
-// staleness envelope the link bound ℓ already budgets for in-simulator
-// frontier frames.
+// feeding ReplicaServer::ingest_frontier.  The driver runs each window as
+// two barrier-separated phases (drain+advance, then publish), so a record
+// published in window k is drained in window k+1 by every peer and
+// crosses in [ℓ, 2ℓ]: the same staleness envelope the link bound ℓ
+// already budgets for in-simulator frontier frames.
 //
 // Determinism: every partition's event stream is a pure function of its
 // (seed, window schedule, ingested frontier sequence), and all three are

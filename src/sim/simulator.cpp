@@ -133,6 +133,9 @@ PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, std::function<void
 void PeriodicTimer::start_at(TimePoint first) {
   stop();
   running_ = true;
+  // The first cycle starts NOW, whatever offset `first` was armed at —
+  // set_period() re-anchors on this instant, not on `first - period`.
+  cycle_base_ = sim_.now();
   arm(first);
 }
 
@@ -147,14 +150,15 @@ void PeriodicTimer::set_period(Duration p) {
     period_ = p;
     return;
   }
-  // Re-anchor the armed event on the cycle's start instant, so the new
-  // period governs the very next firing.  Tightening into the past
-  // clamps to now (fires as soon as the simulator reaches this instant's
-  // remaining events).
-  const TimePoint base = next_fire_ - period_;
+  // Re-anchor the armed event on the cycle's recorded start instant (the
+  // last firing, or the start_at() call), so the new period governs the
+  // very next firing.  Deriving the base as next_fire_ - period_ instead
+  // would fabricate it for a timer whose first fire is not one period
+  // after the start.  Tightening into the past clamps to now (fires as
+  // soon as the simulator reaches this instant's remaining events).
   period_ = p;
   pending_.cancel();
-  TimePoint next = base + p;
+  TimePoint next = cycle_base_ + p;
   if (next < sim_.now()) next = sim_.now();
   arm(next);
 }
@@ -163,7 +167,9 @@ void PeriodicTimer::arm(TimePoint at) {
   next_fire_ = at;
   pending_ = sim_.schedule_at(at, tag_, [this, at] {
     if (!running_) return;
-    // Re-arm first so fn_ may call stop()/set_period() and win.
+    // This firing opens the next cycle; re-arm first so fn_ may call
+    // stop()/set_period() and win.
+    cycle_base_ = at;
     arm(at + period_);
     fn_();
   });

@@ -182,6 +182,7 @@ class PeriodicTimer {
   EventTag tag_;
   EventHandle pending_;
   TimePoint next_fire_{};
+  TimePoint cycle_base_{};  ///< instant the current cycle started
   bool running_ = false;
 };
 

@@ -46,6 +46,12 @@ class Logger {
   /// Install a virtual-clock source so log lines carry simulated time.
   void set_clock(std::function<TimePoint()> clock) { clock_ = std::move(clock); }
   void clear_clock() { clock_ = nullptr; }
+  /// Swap in `clock` (may be nullptr) and return the previous source, so
+  /// a caller that must silence the clock temporarily — e.g. around a
+  /// parallel region where reading it would race — can restore it after.
+  [[nodiscard]] std::function<TimePoint()> exchange_clock(std::function<TimePoint()> clock) {
+    return std::exchange(clock_, std::move(clock));
+  }
 
   /// Route records to `sink` instead of stderr (clear_sink restores the
   /// default).  The sink sees every record that passes the level filter.

@@ -216,6 +216,39 @@ TEST(PeriodicTimer, SetPeriodFromInsideCallback) {
                        TimePoint::zero() + millis(20), TimePoint::zero() + millis(25)}));
 }
 
+TEST(PeriodicTimer, SetPeriodAnchorsOnStartInstantNotFabricatedBase) {
+  // A timer armed via start_at(first) where `first` is NOT one period
+  // after the start has no fire to anchor on: the cycle base is the
+  // start_at() instant itself.  Deriving it as next_fire - period would
+  // fabricate base 7 - 10 = -3 here and re-arm at 17 instead of 24.
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(sim, millis(10), [&] { fires.push_back(sim.now()); });
+  sim.run_until(TimePoint::zero() + millis(4));
+  timer.start_at(TimePoint::zero() + millis(7));  // first fire 3ms out, not 10
+  timer.set_period(millis(20));
+  EXPECT_EQ(timer.next_fire(), TimePoint::zero() + millis(24));  // base 4 + 20
+  sim.run_until(TimePoint::zero() + millis(50));
+  EXPECT_EQ(fires, (std::vector<TimePoint>{TimePoint::zero() + millis(24),
+                                           TimePoint::zero() + millis(44)}));
+}
+
+TEST(PeriodicTimer, SetPeriodTighteningDelayedFirstFire) {
+  // The dual direction: a deliberately LATE first fire (start_at far in
+  // the future) tightened before it lands must re-arm at start + p, not
+  // at (first - old_period) + p.
+  Simulator sim;
+  std::vector<TimePoint> fires;
+  PeriodicTimer timer(sim, millis(5), [&] { fires.push_back(sim.now()); });
+  timer.start_at(TimePoint::zero() + millis(20));  // base 0, old code: base 15
+  timer.set_period(millis(2));
+  EXPECT_EQ(timer.next_fire(), TimePoint::zero() + millis(2));  // base 0 + 2
+  sim.run_until(TimePoint::zero() + millis(7));
+  EXPECT_EQ(fires, (std::vector<TimePoint>{TimePoint::zero() + millis(2),
+                                           TimePoint::zero() + millis(4),
+                                           TimePoint::zero() + millis(6)}));
+}
+
 TEST(PeriodicTimer, SetPeriodWhileStoppedOnlyStoresIt) {
   Simulator sim;
   int count = 0;
