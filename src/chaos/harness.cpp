@@ -46,6 +46,21 @@ void apply_shard_faults(const ChaosSchedule& schedule, const ChaosOptions& opts,
   }
 }
 
+/// Translate torn_tail_bytes into a tear-wal-tail sabotage action halfway
+/// through each crash-restart outage (the replica is down, its WAL is
+/// quiescent).  Lives here, not in apply(): the replica index follows the
+/// service's for_each_replica order, which the schedule layer cannot know.
+void apply_torn_tail_sabotage(const ChaosSchedule& schedule, const ChaosOptions& opts,
+                              core::FaultPlan& plan) {
+  if (opts.torn_tail_bytes == 0) return;
+  for (const ChaosEvent& e : schedule.events) {
+    if (e.kind != FaultKind::kCrashRestartPrimary && e.kind != FaultKind::kCrashRestartBackup)
+      continue;
+    const std::size_t replica = e.kind == FaultKind::kCrashRestartPrimary ? 0 : 1;
+    plan.tear_wal_tail(e.at + (e.until - e.at) / 2, replica, opts.torn_tail_bytes);
+  }
+}
+
 }  // namespace
 
 std::string SeedReport::summary() const {
@@ -69,6 +84,9 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
   params.link = opts.link;
   params.config = opts.config;
   params.backup_count = opts.backups;
+  // Durable replicas are required for restart; WAL appends are synchronous
+  // and draw no randomness, so this alone never perturbs digests.
+  params.durable = opts.enable_crash_restart;
 
   core::RtpbService service(params);
   service.simulator().trace().enable();
@@ -97,6 +115,7 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
   core::FaultPlan plan(service);
   apply(schedule, plan);
   apply_shard_faults(schedule, opts, service, admitted, plan);
+  apply_torn_tail_sabotage(schedule, opts, plan);
   plan.arm();
 
   OracleMonitor monitor(service, admitted, declared_epochs(schedule, opts));
@@ -147,6 +166,10 @@ SeedReport run_seed(std::uint64_t seed, const ChaosOptions& opts) {
     report.qos_downgrades += r.qos_downgrades_sent();
     report.qos_restores += r.qos_restores_sent();
     report.transfer_give_ups += r.transfer_give_ups();
+    report.recoveries += r.recoveries();
+    report.recovery_lost += r.recovery_lost_updates();
+    report.resync_deltas += r.resync_deltas_sent();
+    report.resync_fulls += r.resync_fulls_sent();
   });
   report.avg_max_distance_ms = service.metrics().average_max_distance_ms();
   report.total_inconsistency_ms = service.metrics().total_inconsistency().millis();

@@ -47,6 +47,13 @@ struct SeedReport {
   std::uint64_t qos_restores = 0;        ///< ConstraintRestore notices sent
   std::uint64_t transfer_give_ups = 0;   ///< state-transfer retry caps hit
 
+  // Durability / crash-recovery activity, summed over replicas (zero
+  // unless ChaosOptions::enable_crash_restart).
+  std::uint64_t recoveries = 0;            ///< successful crash-restarts
+  std::uint64_t recovery_lost = 0;         ///< acked updates lost (want 0)
+  std::uint64_t resync_deltas = 0;         ///< incremental rejoins served
+  std::uint64_t resync_fulls = 0;          ///< full-transfer fallbacks
+
   // Telemetry (zero / empty unless ChaosOptions::telemetry).
   std::uint64_t spans_started = 0;
   std::uint64_t spans_violated = 0;

@@ -201,6 +201,20 @@ void OracleMonitor::check() {
                " update(s) applied from a deposed epoch");
     last_cross_epoch_applies_ = cross;
   }
+
+  // durable-recovery: checked unconditionally, like cross-epoch-apply.
+  // Each replica diffs its recovered image against the versions it held
+  // (and had acked) at the instant it died; any shortfall is a durability
+  // hole no declared epoch excuses.
+  std::uint64_t lost = 0;
+  service_.for_each_replica(
+      [&lost](const core::ReplicaServer& r) { lost += r.recovery_lost_updates(); });
+  if (lost > last_recovery_lost_) {
+    report(now, "durable-recovery",
+           std::to_string(lost - last_recovery_lost_) +
+               " client-acked update(s) lost across crash recovery");
+    last_recovery_lost_ = lost;
+  }
 }
 
 }  // namespace rtpb::chaos

@@ -19,6 +19,13 @@
 //                        older epoch than one it has already accepted —
 //                        epoch fencing's core guarantee.  Unconditional:
 //                        not even a declared fault epoch excuses it.
+//   durable-recovery     no client-acked update may be lost across a
+//                        crash-restart: every version a replica held when
+//                        it died must be present (or newer) in the image
+//                        it recovers from WAL + checkpoint.  Unconditional
+//                        like cross-epoch-apply — a declared crash epoch
+//                        excuses staleness during the outage, never a
+//                        durability hole.
 //   no-silent-violation  graceful degradation's contract: when overload
 //                        (not message loss or a crash) pushes an object out
 //                        of its window, the primary must have renegotiated
@@ -124,6 +131,8 @@ class OracleMonitor {
   bool primary_count_reported_ = false;
   /// Last seen sum of cross_epoch_applies() over replicas (edge detection).
   std::uint64_t last_cross_epoch_applies_ = 0;
+  /// Last seen sum of recovery_lost_updates() over replicas (edge detection).
+  std::uint64_t last_recovery_lost_ = 0;
 };
 
 }  // namespace rtpb::chaos

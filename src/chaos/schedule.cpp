@@ -44,6 +44,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kThrottleBandwidth: return "throttle-bandwidth";
     case FaultKind::kInflateLatency: return "inflate-latency";
     case FaultKind::kShardLossStorm: return "shard-loss-storm";
+    case FaultKind::kCrashRestartPrimary: return "crash-restart-primary";
+    case FaultKind::kCrashRestartBackup: return "crash-restart-backup";
   }
   return "?";
 }
@@ -200,9 +202,25 @@ ChaosSchedule generate_schedule(std::uint64_t seed, const ChaosOptions& opts) {
     s.events.push_back({FaultKind::kPartitionPrimary, at_ms(cut), at_ms(cut)});
   }
 
+  // Crash–restart scenario: one durable replica dies mid-run and powers
+  // back up 0.8–2 s later, rejoining through incremental resync.  Uses the
+  // same failover machinery as a plain crash, so when active it replaces
+  // the crash family (its own stream keeps every other family's draws
+  // unchanged either way).  The `until` field carries the restart instant.
+  const bool crash_restart_active = opts.enable_crash_restart && dur_ms >= 12000;
+  if (crash_restart_active) {
+    Rng rng{derive_stream_seed(seed, kStreamCrashRestart)};
+    const bool hit_backup = rng.bernoulli(opts.crash_backup_bias);
+    const std::int64_t crash = rng.uniform(dur_ms * 3 / 10, dur_ms * 55 / 100);
+    const std::int64_t restart = crash + rng.uniform(800, 2000);
+    s.events.push_back(
+        {hit_backup ? FaultKind::kCrashRestartBackup : FaultKind::kCrashRestartPrimary,
+         at_ms(crash), at_ms(restart)});
+  }
+
   // One crash scenario per run at most: the service supports a single
   // recruited standby, so a second crash would leave nothing to fail to.
-  if (opts.enable_crashes && !partition_active && dur_ms >= 12000) {
+  if (opts.enable_crashes && !partition_active && !crash_restart_active && dur_ms >= 12000) {
     Rng rng{derive_stream_seed(seed, kStreamCrash)};
     if (rng.bernoulli(opts.crash_probability)) {
       const bool hit_backup = rng.bernoulli(opts.crash_backup_bias);
@@ -266,6 +284,12 @@ void apply(const ChaosSchedule& schedule, core::FaultPlan& plan) {
         // overrides need the directory placement and the admitted set,
         // neither of which the schedule layer knows.
         break;
+      case FaultKind::kCrashRestartPrimary:
+        plan.crash_restart_primary(e.at, e.until);
+        break;
+      case FaultKind::kCrashRestartBackup:
+        plan.crash_restart_backup(e.at, e.until);
+        break;
     }
   }
 }
@@ -297,6 +321,12 @@ std::vector<FaultEpoch> declared_epochs(const ChaosSchedule& schedule,
         // primary's version counter overtaking the survivor's divergent
         // suffix: double the failover grace covers the whole arc.
         epochs.push_back({e.at, e.at + opts.failover_grace + opts.failover_grace, e.kind});
+        break;
+      case FaultKind::kCrashRestartPrimary:
+      case FaultKind::kCrashRestartBackup:
+        // One epoch spans the whole crash → restart → resync catch-up arc
+        // (`until` is the restart instant).
+        epochs.push_back({e.at, e.until + opts.failover_grace, e.kind});
         break;
       default:
         epochs.push_back({e.at, e.until + opts.settle, e.kind});
@@ -347,6 +377,7 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
                 "params.link = opts.link;\n"
                 "params.config = opts.config;\n"
                 "params.backup_count = %zu;\n"
+                "params.durable = %s;\n"
                 "core::RtpbService service(params);\n"
                 "service.start();\n"
                 "auto workload = chaos::generate_workload(%lluULL, opts);\n"
@@ -355,6 +386,7 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
                 "core::FaultPlan plan(service);\n",
                 static_cast<unsigned long long>(schedule.seed),
                 static_cast<unsigned long long>(schedule.service_seed), opts.backups,
+                opts.enable_crash_restart ? "true" : "false",
                 static_cast<unsigned long long>(schedule.seed));
   out += line;
 
@@ -434,6 +466,16 @@ std::string render_reproducer(const ChaosSchedule& schedule, const ChaosOptions&
                       "// re-run through chaos::run_seed (per-object overrides).\n",
                       e.shard, static_cast<long long>(ms(e.at)),
                       static_cast<long long>(ms(e.until)), e.probability);
+        break;
+      case FaultKind::kCrashRestartPrimary:
+        std::snprintf(line, sizeof line,
+                      "plan.crash_restart_primary(at_ms(%lld), at_ms(%lld));\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)));
+        break;
+      case FaultKind::kCrashRestartBackup:
+        std::snprintf(line, sizeof line,
+                      "plan.crash_restart_backup(at_ms(%lld), at_ms(%lld));\n",
+                      static_cast<long long>(ms(e.at)), static_cast<long long>(ms(e.until)));
         break;
     }
     out += line;

@@ -40,6 +40,8 @@ enum class FaultKind : std::uint8_t {
   kThrottleBandwidth,  ///< shrink link bandwidth to a fraction (queueing)
   kInflateLatency,     ///< add base propagation delay (RTT inflation)
   kShardLossStorm,     ///< update loss confined to one shard's objects
+  kCrashRestartPrimary,  ///< crash, then power up from durable state
+  kCrashRestartBackup,
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
@@ -93,6 +95,20 @@ struct ChaosOptions {
   /// primary's only path to learning of the new epoch.  Ignored when
   /// backups < 2 or the run is too short for a failover arc.
   bool enable_partition = false;
+
+  /// Crash–restart family (off by default): one crash of a durable replica
+  /// followed by a power-up from its WAL + checkpoint and an incremental
+  /// rejoin.  Turning it on makes run_seed build the service with durable
+  /// replicas — WAL appends are synchronous and draw no randomness, so a
+  /// seed whose schedule happens to contain no crash-restart event keeps
+  /// its digest.  Replaces the plain crash family (same failover
+  /// machinery), like enable_partition.
+  bool enable_crash_restart = false;
+  /// Sabotage knob for the crash-restart arc: shear this many bytes off
+  /// the downed replica's WAL before it restarts (0 = off).  A torn
+  /// durable suffix forges exactly the bug the durable-recovery oracle
+  /// exists to catch — the harness canary asserts it fires.
+  std::size_t torn_tail_bytes = 0;
 
   std::size_t objects = 4;  ///< workload size offered to admission
 
@@ -164,6 +180,7 @@ enum ChaosStream : std::uint64_t {
   kStreamOverload = 7,   ///< cpu/bandwidth/latency overload bursts
   kStreamShard = 8,      ///< shard-scoped loss storms (shards > 1 only)
   kStreamParallel = 9,   ///< per-shard chaos seeds of the parallel engine
+  kStreamCrashRestart = 10,  ///< crash–restart scenario (durable replicas)
 };
 
 /// Generate the fault schedule for `seed`.  Pure function of (seed, opts).

@@ -1,6 +1,8 @@
 #include "core/faults.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 
 #include "util/log.hpp"
 
@@ -173,6 +175,39 @@ FaultPlan& FaultPlan::add_standby(TimePoint when) {
   return at(when, "add-standby", [this] { service_.add_standby(); });
 }
 
+FaultPlan& FaultPlan::crash_restart_primary(TimePoint when, TimePoint restart_at) {
+  RTPB_EXPECTS(restart_at > when);
+  at(when, "crash-restart-primary", [this] {
+    if (!service_.primary().crashed()) service_.crash_primary();
+  });
+  at(restart_at, "restart-primary", [this] {
+    if (service_.params().durable && service_.primary().crashed()) service_.restart_primary();
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_restart_backup(TimePoint when, TimePoint restart_at) {
+  RTPB_EXPECTS(restart_at > when);
+  at(when, "crash-restart-backup", [this] {
+    if (!service_.backup().crashed()) service_.crash_backup();
+  });
+  at(restart_at, "restart-backup", [this] {
+    if (service_.params().durable && service_.backup().crashed()) service_.restart_backup(0);
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::tear_wal_tail(TimePoint when, std::size_t replica_index,
+                                    std::size_t bytes) {
+  char label[64];
+  std::snprintf(label, sizeof label, "tear-wal-tail(replica=%zu,bytes=%zu)", replica_index,
+                bytes);
+  return at(when, label, [this, replica_index, bytes] {
+    store::SimStorageDevice* dev = service_.wal_device(replica_index);
+    if (dev != nullptr) dev->tear_tail(bytes);
+  });
+}
+
 namespace {
 bool candidate_fires(RtpbService& service, const char* label, double probability) {
   sim::Simulator& sim = service.simulator();
@@ -203,6 +238,41 @@ FaultPlan& FaultPlan::maybe_add_standby(TimePoint when, double probability) {
     if (!candidate_fires(service_, "add-standby", probability)) return;
     service_.add_standby();
   });
+}
+
+FaultPlan& FaultPlan::maybe_crash_restart_primary(TimePoint when, Duration restart_delay,
+                                                  double probability) {
+  RTPB_EXPECTS(restart_delay > Duration::zero());
+  // The restart half only fires if the crash half actually drew "yes":
+  // the decision travels through a shared slot, so an un-fired candidate
+  // leaves the trajectory untouched.
+  auto fired = std::make_shared<bool>(false);
+  at(when, "maybe-crash-restart-primary", [this, fired, probability] {
+    if (!service_.params().durable || service_.primary().crashed()) return;
+    if (!candidate_fires(service_, "crash-restart-primary", probability)) return;
+    *fired = true;
+    service_.crash_primary();
+  });
+  at(when + restart_delay, "maybe-restart-primary", [this, fired] {
+    if (*fired && service_.primary().crashed()) service_.restart_primary();
+  });
+  return *this;
+}
+
+FaultPlan& FaultPlan::maybe_crash_restart_backup(TimePoint when, Duration restart_delay,
+                                                 double probability) {
+  RTPB_EXPECTS(restart_delay > Duration::zero());
+  auto fired = std::make_shared<bool>(false);
+  at(when, "maybe-crash-restart-backup", [this, fired, probability] {
+    if (!service_.params().durable || service_.backup().crashed()) return;
+    if (!candidate_fires(service_, "crash-restart-backup", probability)) return;
+    *fired = true;
+    service_.crash_backup();
+  });
+  at(when + restart_delay, "maybe-restart-backup", [this, fired] {
+    if (*fired && service_.backup().crashed()) service_.restart_backup(0);
+  });
+  return *this;
 }
 
 FaultPlan& FaultPlan::maybe_partition_primary(TimePoint when, double probability) {

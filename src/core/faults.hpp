@@ -74,6 +74,19 @@ class FaultPlan {
   /// Recruit a fresh standby at `at` (wired to whoever is primary then).
   FaultPlan& add_standby(TimePoint at);
 
+  /// Crash the original primary at `at` and power it back up from its
+  /// durable state at `restart_at` (durable mode only; it rejoins as a
+  /// backup via incremental resync).  The crash half no-ops if the replica
+  /// is already down; the restart half no-ops if it is not.
+  FaultPlan& crash_restart_primary(TimePoint at, TimePoint restart_at);
+  /// Same for the successor backup.
+  FaultPlan& crash_restart_backup(TimePoint at, TimePoint restart_at);
+  /// Sabotage: shear `bytes` off the tail of replica `replica_index`'s WAL
+  /// device at `at` (index in for_each_replica order).  Run against a
+  /// replica that is down, this forges a durability hole the
+  /// durable-recovery oracle MUST catch on restart — the harness canary.
+  FaultPlan& tear_wal_tail(TimePoint at, std::size_t replica_index, std::size_t bytes);
+
   /// Fault *candidates* for the bounded explorer: at `when` the action
   /// consults the simulator's choice seam (ChoiceKind::kFault) and fires
   /// only if the installed policy says so.  Under the default RNG strategy
@@ -86,6 +99,12 @@ class FaultPlan {
   FaultPlan& maybe_crash_backup(TimePoint when, double probability = 0.0);
   FaultPlan& maybe_add_standby(TimePoint when, double probability = 0.0);
   FaultPlan& maybe_partition_primary(TimePoint when, double probability = 0.0);
+  /// Crash-restart candidates (durable mode only): if the choice seam says
+  /// yes at `when`, crash and power back up `restart_delay` later.
+  FaultPlan& maybe_crash_restart_primary(TimePoint when, Duration restart_delay,
+                                         double probability = 0.0);
+  FaultPlan& maybe_crash_restart_backup(TimePoint when, Duration restart_delay,
+                                        double probability = 0.0);
 
   /// Arbitrary scripted action.
   FaultPlan& at(TimePoint when, std::string label, std::function<void()> action);

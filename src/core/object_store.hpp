@@ -62,6 +62,11 @@ class ObjectStore {
 
   [[nodiscard]] std::vector<ObjectId> ids() const;
 
+  /// Crash recovery: install a fully-formed state (spec, value, version and
+  /// both timestamps) exactly as the durability layer replayed it.
+  /// Overwrites any existing entry for the same id.
+  void restore(const ObjectState& state) { objects_[state.spec.id] = state; }
+
  private:
   std::map<ObjectId, ObjectState> objects_;
 };

@@ -119,6 +119,11 @@ void ReplicaServer::start() {
     arm_qos_tick();
   }
   if (!peers_.empty()) start_heartbeat();
+
+  // Persist the boot metadata (the initial primary's epoch 1, or a
+  // backup's epoch-0 placeholder) so even a replica that crashes before
+  // its first write recovers a fenced identity.
+  durable_log_meta();
 }
 
 void ReplicaServer::start_heartbeat() {
@@ -247,12 +252,24 @@ void ReplicaServer::clear_peers() {
 
 void ReplicaServer::crash() {
   if (crashed_) return;
+  // Snapshot what this replica could have acknowledged: every version its
+  // in-memory store held at the instant of the crash.  Under the
+  // log-before-apply discipline all of it is already durable; restart()
+  // diffs the recovered image against this snapshot to feed the
+  // durable-recovery oracle (recovery_lost_updates() must stay 0).
+  if (storage_ != nullptr) {
+    acked_at_crash_.clear();
+    store_.for_each(
+        [this](const ObjectState& s) { acked_at_crash_[s.spec.id] = s.version; });
+  }
   crashed_ = true;
   cpu_.stop();
   for (auto& [n, ps] : peer_state_) {
     if (ps.detector) ps.detector->stop();
   }
   transfer_retry_.cancel();
+  resync_retry_.cancel();
+  resync_pending_ = false;
   qos_tick_.cancel();
   batch_flush_.cancel();
   staged_updates_.clear();
@@ -295,6 +312,7 @@ AdmissionResult ReplicaServer::register_object(const ObjectSpec& spec) {
                admission_error_name(result.code()));
     return result;
   }
+  if (!durable_log_insert(spec)) return result;  // fail-stopped
   const bool inserted = store_.insert(spec);
   RTPB_ASSERT(inserted);
   metrics_.track_object(spec.id, spec.window(), spec.client_period);
@@ -318,7 +336,7 @@ AdmissionStatus ReplicaServer::add_constraint(const InterObjectConstraint& c) {
     // Replicate the constraint table to the backups (acked + retried like
     // a registration, with no object entries).
     if (!peers_.empty()) {
-      const std::uint64_t tid = next_transfer_id_++;
+      const std::uint64_t tid = mint_transfer_id();
       PendingTransfer& pending = pending_transfers_[tid];
       for (const net::Endpoint& peer : peers_) pending.awaiting.insert(peer.node);
       wire::StateTransfer st;
@@ -338,6 +356,14 @@ void ReplicaServer::local_write(ObjectId id, Bytes value, const sched::JobInfo& 
   // deposed this primary; drop the write instead of asserting.
   if (role_ != Role::kPrimary) return;
   if (!store_.contains(id)) return;  // racing a failed registration
+  // Log-before-apply: the write (at the version it is about to get) is
+  // durable before the in-memory store — and through it any ack a client
+  // or backup could observe — sees it.
+  if (storage_ != nullptr &&
+      !storage_->log_write(id, store_.get(id).version + 1, info.finish, info.finish, value)) {
+    fail_stop("wal-write");
+    return;
+  }
   store_.write(id, std::move(value), info.finish);
   metrics_.record_response(info.finish - info.release);
   metrics_.on_primary_write(id, info.finish);
@@ -368,6 +394,7 @@ void ReplicaServer::local_write(ObjectId id, Bytes value, const sched::JobInfo& 
     cpu_.submit_job("xmit-now-" + std::to_string(id), cost,
                     [this, id](const sched::JobInfo& job) { send_update(id, false, &job); });
   }
+  maybe_checkpoint();
 }
 
 std::optional<ObjectState> ReplicaServer::read(ObjectId id) const { return store_.find(id); }
@@ -627,21 +654,14 @@ Duration ReplicaServer::effective_update_interval(ObjectId id) const {
 
 void ReplicaServer::replicate_registration(ObjectId id) {
   if (peers_.empty()) return;
-  const std::uint64_t tid = next_transfer_id_++;
+  const std::uint64_t tid = mint_transfer_id();
   PendingTransfer& pending = pending_transfers_[tid];
   pending.ids = {id};
   for (const net::Endpoint& peer : peers_) pending.awaiting.insert(peer.node);
 
   wire::StateTransfer st;
   st.transfer_id = tid;
-  const ObjectState& state = store_.get(id);
-  wire::StateEntry entry;
-  entry.spec = state.spec;
-  entry.update_period = effective_update_interval(id);
-  entry.version = state.version;
-  entry.timestamp = state.origin_timestamp;
-  entry.value = state.value;
-  st.entries.push_back(std::move(entry));
+  st.entries.push_back(state_entry_for(id));
   st.constraints = replicated_constraints_;
   st.epoch = epoch_;
 
@@ -685,18 +705,28 @@ void ReplicaServer::retry_pending_registrations() {
       it = pending_transfers_.erase(it);
       continue;
     }
+    if (pending.delta) {
+      // Incremental-rejoin retry: re-encode the dirty set as a kStateDelta
+      // with the SAME transfer id, so the receiver's per-sender reorder
+      // guard treats the retry exactly like the original.
+      wire::StateDelta sd;
+      sd.transfer_id = it->first;
+      for (ObjectId id : pending.ids) {
+        if (store_.contains(id)) sd.entries.push_back(state_entry_for(id));
+      }
+      sd.constraints = replicated_constraints_;
+      sd.epoch = epoch_;
+      xkernel::Message frame{wire::encode(sd)};
+      for (const net::Endpoint& peer : peers_) {
+        if (pending.awaiting.contains(peer.node)) send_to(peer, frame);
+      }
+      ++it;
+      continue;
+    }
     wire::StateTransfer st;
     st.transfer_id = it->first;
     for (ObjectId id : pending.ids) {
-      if (!store_.contains(id)) continue;
-      const ObjectState& state = store_.get(id);
-      wire::StateEntry entry;
-      entry.spec = state.spec;
-      entry.update_period = effective_update_interval(id);
-      entry.version = state.version;
-      entry.timestamp = state.origin_timestamp;
-      entry.value = state.value;
-      st.entries.push_back(std::move(entry));
+      if (store_.contains(id)) st.entries.push_back(state_entry_for(id));
     }
     st.constraints = replicated_constraints_;
     st.epoch = epoch_;
@@ -732,6 +762,7 @@ void ReplicaServer::promote() {
   // seen, and above the initial primary's epoch 1 even if this backup
   // never received a single message before promoting.
   epoch_ = std::max<std::uint64_t>(epoch_, 1) + 1;
+  durable_log_meta();  // the minted incarnation must survive a crash
   if (sim_.trace().enabled()) {
     sim_.trace().record(sim_.now(), sim::TraceCategory::kService, "promote",
                         "node" + std::to_string(node()) + " epoch" + std::to_string(epoch_));
@@ -810,6 +841,7 @@ void ReplicaServer::step_down(std::uint64_t new_epoch) {
   }
   role_ = Role::kBackup;
   epoch_ = new_epoch;
+  durable_log_meta();
   flight(sim_, telemetry::FlightKind::kRoleChange, node(), 0, 0, epoch_, 0, /*arg=*/0,
          "step-down");
   flight(sim_, telemetry::FlightKind::kEpoch, node(), 0, 0, epoch_);
@@ -1036,7 +1068,7 @@ void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
     add_peer(new_backup);
   }
 
-  const std::uint64_t tid = next_transfer_id_++;
+  const std::uint64_t tid = mint_transfer_id();
   std::vector<ObjectId> ids = store_.ids();
   PendingTransfer& pending = pending_transfers_[tid];
   pending.ids = ids;
@@ -1044,16 +1076,7 @@ void ReplicaServer::recruit_backup(net::Endpoint new_backup) {
 
   wire::StateTransfer st;
   st.transfer_id = tid;
-  for (ObjectId id : ids) {
-    const ObjectState& state = store_.get(id);
-    wire::StateEntry entry;
-    entry.spec = state.spec;
-    entry.update_period = effective_update_interval(id);
-    entry.version = state.version;
-    entry.timestamp = state.origin_timestamp;
-    entry.value = state.value;
-    st.entries.push_back(std::move(entry));
-  }
+  for (ObjectId id : ids) st.entries.push_back(state_entry_for(id));
   st.constraints = replicated_constraints_;
   st.epoch = epoch_;
   send_to(new_backup, wire::encode(st));
@@ -1129,6 +1152,7 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
     if (role_ == Role::kBackup) {
       // Backups adopt the highest epoch seen on accepted traffic.
       epoch_ = msg_epoch;
+      durable_log_meta();
     } else if (config_.epoch_fencing) {
       // A higher epoch at a primary means someone was promoted over us:
       // we were deposed without noticing.  Step down, then handle the
@@ -1167,6 +1191,12 @@ void ReplicaServer::handle_message(xkernel::Message& msg, const xkernel::MsgAttr
       break;
     case wire::MsgType::kStateTransferAck:
       handle_state_transfer_ack(*decoded->state_transfer_ack, from);
+      break;
+    case wire::MsgType::kResyncRequest:
+      handle_resync_request(*decoded->resync_request, from);
+      break;
+    case wire::MsgType::kStateDelta:
+      handle_state_delta(*decoded->state_delta, from);
       break;
     case wire::MsgType::kConstraintDowngrade:
       handle_constraint_downgrade(*decoded->constraint_downgrade, from);
@@ -1207,6 +1237,13 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
                  "update-unknown", obj_tag(u.object, u.version));
     }
     return;
+  }
+  // Log-before-apply (backup side): the version must be durable before
+  // the store — and the ack below — can expose it.  Staleness is gated
+  // here first so duplicate/old versions never hit the WAL.
+  if (u.version > store_.get(u.object).version &&
+      !durable_log_update(u.object, u.version, u.timestamp, u.value)) {
+    return;  // fail-stopped: no apply, no ack
   }
   const bool applied = store_.apply(u.object, u.version, u.timestamp, u.value, sim_.now());
   if (applied) {
@@ -1249,6 +1286,7 @@ void ReplicaServer::handle_update(const wire::Update& u, net::Endpoint from) {
     ++acks_sent_;
     send_to(from, wire::encode(wire::UpdateAck{u.object, u.version, epoch_}));
   }
+  maybe_checkpoint();
 }
 
 void ReplicaServer::handle_update_batch(wire::UpdateBatch& b, net::Endpoint from) {
@@ -1347,10 +1385,22 @@ void ReplicaServer::handle_state_transfer(const wire::StateTransfer& st, net::En
   }
   for (const auto& entry : st.entries) {
     if (!store_.contains(entry.spec.id)) {
+      if (!durable_log_insert(entry.spec)) return;  // fail-stopped
       store_.insert(entry.spec);
+      metrics_.track_object(entry.spec.id, entry.spec.window(), entry.spec.client_period);
+    } else if (newest) {
+      // A rejoiner may hold a stale spec (e.g. its recovered image
+      // predates a QoS downgrade the sender still runs under): the
+      // sender's spec is the admitted one, adopt it like the constraint
+      // table — a last-writer-wins snapshot behind the reorder guard.
+      store_.update_spec(entry.spec.id, entry.spec);
       metrics_.track_object(entry.spec.id, entry.spec.window(), entry.spec.client_period);
     }
     if (entry.version > 0) {
+      if (entry.version > store_.get(entry.spec.id).version &&
+          !durable_log_update(entry.spec.id, entry.version, entry.timestamp, entry.value)) {
+        return;  // fail-stopped: no apply, no ack
+      }
       if (store_.apply(entry.spec.id, entry.version, entry.timestamp, entry.value, sim_.now())) {
         if (st.epoch != 0 && st.epoch < epoch_) {
           ++cross_epoch_applies_;
@@ -1366,9 +1416,13 @@ void ReplicaServer::handle_state_transfer(const wire::StateTransfer& st, net::En
     }
   }
   if (newest) replicated_constraints_ = st.constraints;
+  // A full transfer also satisfies a pending resync (the fallback path).
+  resync_pending_ = false;
+  resync_retry_.cancel();
   // Always ack — even a stale transfer id — so the sender's retry loop
   // terminates.
   send_to(from, wire::encode(wire::StateTransferAck{st.transfer_id, epoch_}));
+  maybe_checkpoint();
 }
 
 void ReplicaServer::handle_state_transfer_ack(const wire::StateTransferAck& ack,
@@ -1543,6 +1597,337 @@ void ReplicaServer::arm_watchdog(ObjectId id) {
     }
     arm_watchdog(id);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Durability & crash recovery.
+// ---------------------------------------------------------------------------
+
+wire::StateEntry ReplicaServer::state_entry_for(ObjectId id) const {
+  const ObjectState& state = store_.get(id);
+  wire::StateEntry entry;
+  entry.spec = state.spec;
+  entry.update_period = effective_update_interval(id);
+  entry.version = state.version;
+  entry.timestamp = state.origin_timestamp;
+  entry.value = state.value;
+  return entry;
+}
+
+bool ReplicaServer::durable_log_insert(const ObjectSpec& spec) {
+  if (storage_ == nullptr) return true;
+  if (!storage_->log_insert(spec)) {
+    fail_stop("wal-insert");
+    return false;
+  }
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter("core.store.wal_records").add();
+  }
+  return true;
+}
+
+bool ReplicaServer::durable_log_update(ObjectId id, std::uint64_t version, TimePoint origin_ts,
+                                       const Bytes& value) {
+  if (storage_ == nullptr) return true;
+  // `timestamp` is this site's apply time — exactly what store_.apply()
+  // stamps next — so the recovered state matches the in-memory one
+  // byte-for-byte.
+  if (!storage_->log_write(id, version, sim_.now(), origin_ts, value)) {
+    fail_stop("wal-write");
+    return false;
+  }
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter("core.store.wal_records").add();
+  }
+  return true;
+}
+
+void ReplicaServer::durable_log_meta() {
+  if (storage_ == nullptr || crashed_) return;
+  if (!storage_->log_meta(epoch_, next_transfer_id_)) fail_stop("wal-meta");
+}
+
+std::uint64_t ReplicaServer::mint_transfer_id() {
+  const std::uint64_t tid = next_transfer_id_++;
+  // Persist the new high water before the id can reach the wire: a
+  // restarted primary must never re-mint an id its peers already saw, or
+  // their per-sender reorder guards would discard the fresh transfer.
+  durable_log_meta();
+  return tid;
+}
+
+void ReplicaServer::maybe_checkpoint() {
+  if (storage_ == nullptr || crashed_ || !storage_->should_checkpoint()) return;
+  std::vector<ObjectState> states;
+  states.reserve(store_.size());
+  store_.for_each([&states](const ObjectState& s) { states.push_back(s); });
+  if (!storage_->checkpoint(states, epoch_, next_transfer_id_)) {
+    fail_stop("checkpoint");
+    return;
+  }
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter("core.store.checkpoints").add();
+  }
+}
+
+void ReplicaServer::fail_stop(const char* what) {
+  if (crashed_) return;
+  RTPB_WARN("rtpb", "%s@node%u: storage append failed (%s); fail-stop", role_name(role_),
+            node(), what);
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter("core.store.fail_stops").add();
+  }
+  crash();
+}
+
+void ReplicaServer::restart() {
+  RTPB_EXPECTS(started_);
+  RTPB_EXPECTS(crashed_);
+  RTPB_EXPECTS(storage_ != nullptr);
+  // Power-cycle: the devices keep their contents; any armed crash point or
+  // latched failure clears with the power.
+  storage_->wal_device().clear_failure();
+  storage_->checkpoint_device().clear_failure();
+  store::RecoveryResult rec = storage_->recover();
+
+  // Rebuild the in-memory store from the recovered image: last valid
+  // checkpoint plus the WAL tail, already merged by the durability layer.
+  store_ = ObjectStore{};
+  for (const ObjectState& s : rec.states) {
+    store_.restore(s);
+    metrics_.track_object(s.spec.id, s.spec.window(), s.spec.client_period);
+  }
+  epoch_ = rec.epoch;
+  next_transfer_id_ = rec.next_transfer_id;
+
+  // Durable-recovery oracle: every version the dead incarnation's store
+  // held (= could have acked) must be in the recovered image.  Under
+  // log-before-apply this count stays 0; a torn WAL tail only ever holds
+  // writes that were never applied or acked.
+  for (const auto& [id, acked_version] : acked_at_crash_) {
+    std::uint64_t have = 0;
+    if (const auto s = store_.find(id)) have = s->version;
+    if (have < acked_version) recovery_lost_updates_ += acked_version - have;
+  }
+  acked_at_crash_.clear();
+
+  // Shed every trace of the dead incarnation's runtime machinery.  The
+  // CPU restart below re-arms all registered tasks, so the old update
+  // tasks must be removed from the scheduler first.
+  for (auto& [id, task] : update_tasks_) cpu_.remove_task(task.task);
+  update_tasks_.clear();
+  ack_state_.clear();
+  staged_updates_.clear();
+  watchdogs_.clear();  // timers were cancelled at crash()
+  pending_transfers_.clear();
+  transfer_high_water_.clear();
+  downgrades_.clear();
+  // QoS renegotiation is not durable: the recovered specs are whatever
+  // the WAL image holds, which predates any notice this incarnation
+  // applied.  Claiming the old seqs in the resync vector would hide a
+  // spec-stale object from the dirty set — report 0 and re-learn.
+  qos_applied_seq_.clear();
+  clear_peers();
+
+  // The rejoiner always comes back as an ORPHANED, non-successor backup —
+  // even a crashed primary.  Its recovered epoch may predate a failover
+  // it slept through, so it must not claim any role until the service
+  // re-points it at the acting primary and a transfer re-peers it.
+  role_ = Role::kBackup;
+  successor_ = false;
+  crashed_ = false;
+  resync_attempts_ = 0;
+  resync_pending_ = false;
+  ++recoveries_;
+
+  network_.set_node_up(node(), true);
+  cpu_.start(sim_.now());
+
+  if (sim_.trace().enabled()) {
+    sim_.trace().record(sim_.now(), sim::TraceCategory::kService, "restart",
+                        "node" + std::to_string(node()) + " epoch" + std::to_string(epoch_) +
+                            " objects" + std::to_string(store_.size()));
+  }
+  telemetry::Hub& hub = sim_.telemetry();
+  if (hub.enabled()) {
+    hub.registry().counter("core.store.recoveries").add();
+    hub.registry().counter("core.store.replayed_wal_records")
+        .add(static_cast<std::uint64_t>(rec.wal_records));
+    if (rec.wal_torn) hub.registry().counter("core.store.torn_wal_tails").add();
+    if (rec.checkpoint_torn) hub.registry().counter("core.store.torn_checkpoint_tails").add();
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "restart",
+               std::to_string(rec.wal_records) + " wal records on " +
+                   std::to_string(rec.checkpoint_records) + " checkpoint(s)");
+  }
+  flight(sim_, telemetry::FlightKind::kRoleChange, node(), 0, 0, epoch_, 0,
+         static_cast<std::int64_t>(rec.wal_records), "restart");
+  RTPB_INFO("rtpb",
+            "node%u restarted from durable state: %zu object(s), epoch %llu, "
+            "%zu wal record(s)%s",
+            node(), store_.size(), static_cast<unsigned long long>(epoch_), rec.wal_records,
+            rec.wal_torn ? " (torn tail discarded)" : "");
+}
+
+void ReplicaServer::request_resync() {
+  if (crashed_ || role_ != Role::kBackup || peers_.empty()) return;
+  if (config_.transfer_retry_limit > 0 && resync_attempts_ > config_.transfer_retry_limit) {
+    RTPB_WARN("rtpb", "backup@node%u gave up resyncing after %u attempts", node(),
+              resync_attempts_ - 1);
+    resync_pending_ = false;
+    return;
+  }
+  wire::ResyncRequest rq;
+  store_.for_each([this, &rq](const ObjectState& s) {
+    const auto q = qos_applied_seq_.find(s.spec.id);
+    rq.have.push_back(wire::ResyncEntry{
+        s.spec.id, s.version, q != qos_applied_seq_.end() ? q->second : 0});
+  });
+  // Deliberately the epoch-0 bootstrap wildcard (see wire.hpp): the
+  // recovered epoch may be stale and a fenced resync would strand us.
+  ++resync_requests_sent_;
+  ++resync_attempts_;
+  resync_pending_ = true;
+  if (sim_.telemetry().enabled()) {
+    sim_.telemetry().registry().counter("core.store.resync_requests").add();
+  }
+  send_to(peers_.front(), wire::encode(rq));
+  // Re-ask until a kStateDelta or full kStateTransfer lands.
+  resync_retry_.cancel();
+  resync_retry_ = sim_.schedule_after(config_.ping_period * 2, [this] {
+    if (resync_pending_) request_resync();
+  });
+}
+
+void ReplicaServer::handle_resync_request(const wire::ResyncRequest& rq, net::Endpoint from) {
+  telemetry::Hub& hub = sim_.telemetry();
+  if (role_ != Role::kPrimary) {
+    ++role_rejections_;
+    if (hub.enabled()) hub.registry().counter("core.role_rejected").add();
+    return;
+  }
+  // Dirty set: everything the rejoiner has never seen, is version-behind
+  // on, or holds under an older QoS spec than the one admitted here (QoS
+  // state is not durable — a restarted replica reports seq 0, so any
+  // object this primary ever renegotiated resyncs its spec too).
+  std::map<ObjectId, const wire::ResyncEntry*> have;
+  for (const wire::ResyncEntry& e : rq.have) have[e.object] = &e;
+  std::vector<ObjectId> dirty;
+  store_.for_each([&](const ObjectState& s) {
+    const auto it = have.find(s.spec.id);
+    const auto q = qos_applied_seq_.find(s.spec.id);
+    const std::uint64_t qos_here = q != qos_applied_seq_.end() ? q->second : 0;
+    if (it == have.end() || it->second->version < s.version ||
+        it->second->qos_seq < qos_here) {
+      dirty.push_back(s.spec.id);
+    }
+  });
+
+  if (rq.have.empty() || dirty.size() == store_.size()) {
+    // The delta saves nothing (empty vector, or everything is dirty):
+    // fall back to the full-transfer recruitment path.
+    ++resync_fulls_sent_;
+    if (hub.enabled()) hub.registry().counter("core.store.resync_fulls").add();
+    recruit_backup(from);
+    return;
+  }
+
+  if (std::find_if(peers_.begin(), peers_.end(), [&](const net::Endpoint& e) {
+        return e.node == from.node;
+      }) == peers_.end()) {
+    add_peer(from);
+  }
+
+  const std::uint64_t tid = mint_transfer_id();
+  PendingTransfer& pending = pending_transfers_[tid];
+  pending.ids = dirty;
+  pending.awaiting.insert(from.node);
+  pending.delta = true;
+
+  wire::StateDelta sd;
+  sd.transfer_id = tid;
+  for (ObjectId id : dirty) sd.entries.push_back(state_entry_for(id));
+  sd.constraints = replicated_constraints_;
+  sd.epoch = epoch_;
+  ++resync_deltas_sent_;
+  delta_entries_sent_ += dirty.size();
+  if (hub.enabled()) {
+    hub.registry().counter("core.store.resync_deltas").add();
+    hub.registry().counter("core.store.delta_entries")
+        .add(static_cast<std::uint64_t>(dirty.size()));
+    hub.record(telemetry::kNoSpan, node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "resync-delta", std::to_string(dirty.size()) + "/" +
+                                   std::to_string(store_.size()) + " dirty to node" +
+                                   std::to_string(from.node));
+  }
+  RTPB_INFO("rtpb", "primary@node%u resyncs node%u incrementally: %zu/%zu object(s) dirty",
+            node(), from.node, dirty.size(), store_.size());
+  send_to(from, wire::encode(sd));
+  arm_transfer_retry();
+}
+
+void ReplicaServer::handle_state_delta(wire::StateDelta& sd, net::Endpoint from) {
+  telemetry::Hub& hub = sim_.telemetry();
+  if (role_ != Role::kBackup) {
+    ++role_rejections_;
+    if (hub.enabled()) hub.registry().counter("core.role_rejected").add();
+    return;
+  }
+  // Identical discipline to handle_state_transfer: re-peer on an unknown
+  // sender, share the per-sender transfer-id reorder guard (deltas and
+  // full transfers are totally ordered against each other), version-gate
+  // every apply, always ack.
+  const bool known_peer =
+      std::find_if(peers_.begin(), peers_.end(),
+                   [&](const net::Endpoint& e) { return e.node == from.node; }) != peers_.end();
+  if (!known_peer) follow_new_primary(from);
+
+  std::uint64_t& high_water = transfer_high_water_[from.node];
+  const bool newest = sd.transfer_id > high_water;
+  if (newest) high_water = sd.transfer_id;
+  if (hub.enabled()) {
+    hub.registry().counter("core.backup.state_deltas").add();
+    if (!newest) hub.registry().counter("core.backup.state_deltas_stale").add();
+    hub.record(hub.current_span(), node(), telemetry::EventKind::kInstant, rtpb_track(node()),
+               "state-delta",
+               std::to_string(sd.entries.size()) + " entries" + (newest ? "" : " (stale id)"));
+  }
+  for (wire::StateEntry& entry : sd.entries) {
+    if (!store_.contains(entry.spec.id)) {
+      if (!durable_log_insert(entry.spec)) return;  // fail-stopped
+      store_.insert(entry.spec);
+      metrics_.track_object(entry.spec.id, entry.spec.window(), entry.spec.client_period);
+    } else if (newest) {
+      // Adopt the sender's (possibly QoS-downgraded) spec — see the
+      // full-transfer handler.
+      store_.update_spec(entry.spec.id, entry.spec);
+      metrics_.track_object(entry.spec.id, entry.spec.window(), entry.spec.client_period);
+    }
+    if (entry.version > 0) {
+      if (entry.version > store_.get(entry.spec.id).version &&
+          !durable_log_update(entry.spec.id, entry.version, entry.timestamp, entry.value)) {
+        return;  // fail-stopped: no apply, no ack
+      }
+      if (store_.apply(entry.spec.id, entry.version, entry.timestamp, std::move(entry.value),
+                       sim_.now())) {
+        if (sd.epoch != 0 && sd.epoch < epoch_) {
+          ++cross_epoch_applies_;
+          if (hub.enabled()) hub.registry().counter("core.epoch.cross_epoch_applies").add();
+        }
+        metrics_.on_backup_apply(entry.spec.id, entry.timestamp, sim_.now());
+      }
+    }
+    if (newest) {
+      WatchdogState& w = watchdogs_[entry.spec.id];
+      w.expected_period = entry.update_period;
+      arm_watchdog(entry.spec.id);
+    }
+  }
+  if (newest) replicated_constraints_ = sd.constraints;
+  resync_pending_ = false;
+  resync_retry_.cancel();
+  send_to(from, wire::encode(wire::StateTransferAck{sd.transfer_id, epoch_}));
+  maybe_checkpoint();
 }
 
 // ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@
 #include "net/network.hpp"
 #include "sched/cpu.hpp"
 #include "sim/simulator.hpp"
+#include "store/durable_store.hpp"
 #include "xkernel/fraglite.hpp"
 #include "xkernel/graph.hpp"
 
@@ -148,6 +149,37 @@ class ReplicaServer {
   /// down.  Used for failure injection.
   void crash();
   [[nodiscard]] bool crashed() const { return crashed_; }
+
+  // ---- durability & crash recovery ----
+  /// Attach the write-ahead-logged backing store.  Must happen before
+  /// start(); a null store (the default) keeps the replica purely
+  /// in-memory with byte-identical behaviour.
+  void attach_storage(store::DurableStore* storage) {
+    RTPB_EXPECTS(!started_);
+    storage_ = storage;
+  }
+  [[nodiscard]] store::DurableStore* durable() { return storage_; }
+  /// Crashed replica only: power-cycle the storage devices, replay the
+  /// last checkpoint plus the WAL tail into the object store, re-derive
+  /// epoch and transfer-id high water from the persisted metadata, and
+  /// come back up as an orphaned backup (the service layer re-points it
+  /// at the acting primary and drives the resync).  Requires attached
+  /// storage.
+  void restart();
+  /// Rejoined backup: announce the recovered version vector to the first
+  /// peer and ask for everything newer (kResyncRequest → kStateDelta or
+  /// full kStateTransfer).  Retries on a timer until a transfer arrives.
+  void request_resync();
+  /// Client-acked updates the recovered state was found to be missing
+  /// (durability oracle: must stay 0 under log-before-apply).
+  [[nodiscard]] std::uint64_t recovery_lost_updates() const { return recovery_lost_updates_; }
+  [[nodiscard]] std::uint64_t recoveries() const { return recoveries_; }
+  [[nodiscard]] std::uint64_t resync_requests_sent() const { return resync_requests_sent_; }
+  [[nodiscard]] std::uint64_t resync_deltas_sent() const { return resync_deltas_sent_; }
+  [[nodiscard]] std::uint64_t resync_fulls_sent() const { return resync_fulls_sent_; }
+  /// Object entries shipped inside kStateDelta frames (O(dirty set), the
+  /// incremental-rejoin win the recovery bench asserts).
+  [[nodiscard]] std::uint64_t delta_entries_sent() const { return delta_entries_sent_; }
 
   // ---- client-facing interface (Mach IPC in the paper; a co-located
   // ---- call here).  Valid only while role() == kPrimary.
@@ -293,6 +325,9 @@ class ReplicaServer {
   void handle_ping_ack(const wire::PingAck& p, net::Endpoint from);
   void handle_state_transfer(const wire::StateTransfer& st, net::Endpoint from);
   void handle_state_transfer_ack(const wire::StateTransferAck& ack, net::Endpoint from);
+  void handle_resync_request(const wire::ResyncRequest& rq, net::Endpoint from);
+  /// Non-const: entry values are moved into the store rather than copied.
+  void handle_state_delta(wire::StateDelta& sd, net::Endpoint from);
   void handle_constraint_downgrade(const wire::ConstraintDowngrade& d, net::Endpoint from);
   void handle_constraint_restore(const wire::ConstraintRestore& rs, net::Endpoint from);
   void handle_frontier(const wire::Frontier& f, net::Endpoint from);
@@ -358,6 +393,26 @@ class ReplicaServer {
   /// Grow the admission frame budget to cover `payload_bytes`.
   void grow_frame_budget(std::size_t payload_bytes);
 
+  // ---- durability helpers (all no-ops with no attached storage) ----
+  /// WAL a remote update BEFORE applying it (log-before-apply): returns
+  /// false — and the caller must bail without applying or acking — when
+  /// the append fail-stopped this replica.
+  bool durable_log_update(ObjectId id, std::uint64_t version, TimePoint origin_ts,
+                          const Bytes& value);
+  /// WAL a registration before inserting it; fail-stop on device failure.
+  bool durable_log_insert(const ObjectSpec& spec);
+  /// Persist (epoch, next_transfer_id) — called whenever either moves.
+  void durable_log_meta();
+  /// Mint the next transfer id and persist the new high water, so a
+  /// restarted primary never reuses an id its peers already saw.
+  std::uint64_t mint_transfer_id();
+  /// Checkpoint when the WAL grew past the configured record budget.
+  void maybe_checkpoint();
+  /// A storage append failed: crash this replica (fail-stop discipline).
+  void fail_stop(const char* what);
+  /// One kStateTransfer/kStateDelta entry for `id` from the live store.
+  [[nodiscard]] wire::StateEntry state_entry_for(ObjectId id) const;
+
   sim::Simulator& sim_;
   net::Network& network_;
   NameService& names_;
@@ -404,10 +459,21 @@ class ReplicaServer {
     std::vector<ObjectId> ids;
     std::set<net::NodeId> awaiting;
     std::uint32_t attempts = 0;  ///< retries so far (capped by transfer_retry_limit)
+    bool delta = false;          ///< retry re-encodes kStateDelta, not kStateTransfer
   };
   std::map<std::uint64_t, PendingTransfer> pending_transfers_;
   std::uint64_t next_transfer_id_ = 1;
   sim::EventHandle transfer_retry_;
+
+  // ---- durability & crash recovery state ----
+  store::DurableStore* storage_ = nullptr;  ///< null = in-memory replica
+  /// Store versions at the instant of crash() — everything the replica
+  /// could have acked.  restart() diffs the recovered state against this
+  /// to feed the durable-recovery oracle.
+  std::map<ObjectId, std::uint64_t> acked_at_crash_;
+  sim::EventHandle resync_retry_;
+  std::uint32_t resync_attempts_ = 0;
+  bool resync_pending_ = false;
 
   bool started_ = false;
   bool crashed_ = false;
@@ -465,6 +531,12 @@ class ReplicaServer {
   std::uint64_t frontier_frames_received_ = 0;
   std::uint64_t cross_epoch_applies_ = 0;
   std::uint64_t step_downs_ = 0;
+  std::uint64_t recovery_lost_updates_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t resync_requests_sent_ = 0;
+  std::uint64_t resync_deltas_sent_ = 0;
+  std::uint64_t resync_fulls_sent_ = 0;
+  std::uint64_t delta_entries_sent_ = 0;
 };
 
 }  // namespace rtpb::core

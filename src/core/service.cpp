@@ -29,6 +29,17 @@ RtpbService::RtpbService(ServiceParams params)
   backup_client_ =
       std::make_unique<ClientApp>(sim_, *backups_.front(), sim_.rng().fork(), /*active=*/false);
 
+  if (params_.durable) {
+    // One WAL + checkpoint device pair per replica, attached before
+    // start() so even the boot metadata is persisted.
+    storage_.push_back(std::make_unique<ReplicaStorage>(params_.checkpoint_every));
+    primary_->attach_storage(&storage_.back()->durable);
+    for (auto& b : backups_) {
+      storage_.push_back(std::make_unique<ReplicaStorage>(params_.checkpoint_every));
+      b->attach_storage(&storage_.back()->durable);
+    }
+  }
+
   wire_backup_hooks();
 }
 
@@ -112,6 +123,65 @@ void RtpbService::crash_primary() { primary_->crash(); }
 
 void RtpbService::crash_backup() { backups_.front()->crash(); }
 
+RtpbService::ReplicaStorage* RtpbService::storage_for(std::size_t replica_index) {
+  return replica_index < storage_.size() ? storage_[replica_index].get() : nullptr;
+}
+
+store::SimStorageDevice* RtpbService::wal_device(std::size_t replica_index) {
+  ReplicaStorage* s = storage_for(replica_index);
+  return s ? &s->wal : nullptr;
+}
+
+store::SimStorageDevice* RtpbService::checkpoint_device(std::size_t replica_index) {
+  ReplicaStorage* s = storage_for(replica_index);
+  return s ? &s->checkpoint : nullptr;
+}
+
+void RtpbService::restart_primary() { restart_replica(*primary_); }
+
+void RtpbService::restart_backup(std::size_t index) {
+  RTPB_EXPECTS(index < backups_.size());
+  restart_replica(*backups_[index]);
+}
+
+void RtpbService::restart_replica(ReplicaServer& replica) {
+  RTPB_EXPECTS(params_.durable);
+  // The original primary's client twin must not keep generating writes
+  // into a replica that rejoins as a backup.  (The successor's twin is
+  // hook-managed: on_deposed already deactivates it.)
+  if (&replica == primary_.get()) client_->deactivate();
+  replica.restart();
+  rejoin_when_primary_known(replica);
+}
+
+void RtpbService::rejoin_when_primary_known(ReplicaServer& replica) {
+  if (replica.crashed()) return;  // crashed again while waiting
+  const auto addr = names_.lookup(params_.service_name);
+  if (addr && addr->node != replica.node()) {
+    // Only follow a LIVE primary: the name file may still point at the
+    // very replica that just died (failover not yet settled), or at a
+    // node that has since crashed too.
+    bool addr_live = false;
+    for_each_replica([&](const ReplicaServer& r) {
+      if (r.node() == addr->node && !r.crashed() && r.role() == Role::kPrimary) {
+        addr_live = true;
+      }
+    });
+    if (addr_live) {
+      replica.follow_new_primary(*addr);
+      replica.request_resync();
+      // A restarted replica comes back as a non-successor orphan.  Once
+      // the front backup is following a live primary again, re-designate
+      // it: otherwise a later primary crash would leave the cluster
+      // primary-less forever.
+      if (&replica == backups_.front().get()) replica.set_successor(true);
+      return;
+    }
+  }
+  sim_.schedule_after(params_.config.ping_period,
+                      [this, &replica] { rejoin_when_primary_known(replica); });
+}
+
 ReplicaServer& RtpbService::acting_primary() {
   if (!primary_->crashed() && primary_->role() == Role::kPrimary) return *primary_;
   for (auto& b : backups_) {
@@ -139,6 +209,10 @@ ReplicaServer& RtpbService::add_standby() {
   RTPB_EXPECTS(standby_ == nullptr);
   standby_ = std::make_unique<ReplicaServer>(sim_, network_, names_, params_.config, metrics_,
                                              Role::kBackup, params_.service_name);
+  if (params_.durable) {
+    storage_.push_back(std::make_unique<ReplicaStorage>(params_.checkpoint_every));
+    standby_->attach_storage(&storage_.back()->durable);
+  }
   ReplicaServer& new_primary = acting_primary();
   // Connect the standby to every replica, not just the acting primary: in
   // a multi-backup chain a later failover may have a different survivor

@@ -17,6 +17,8 @@
 #include "core/types.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "store/device.hpp"
+#include "store/durable_store.hpp"
 
 namespace rtpb::core {
 
@@ -29,6 +31,15 @@ struct ServiceParams {
   /// backups").  The first backup is the designated failover successor;
   /// further backups re-peer with the new primary after a failover.
   std::size_t backup_count = 1;
+  /// Give every replica a write-ahead-logged object store on simulated
+  /// storage devices, enabling crash–restart via restart_primary() /
+  /// restart_backup().  Off by default: WAL appends are synchronous (no
+  /// sim events, no rng draws), so enabling durability without crashing
+  /// keeps traces and digests byte-identical — but off keeps the
+  /// historical memory profile.
+  bool durable = false;
+  /// WAL records between automatic checkpoints (durable mode).
+  std::size_t checkpoint_every = 64;
 };
 
 class RtpbService {
@@ -58,6 +69,18 @@ class RtpbService {
   // ---- failure injection / failover ----
   void crash_primary();
   void crash_backup();
+  /// Durable mode only: restart the (original) primary replica from its
+  /// durable state.  It rejoins as an orphaned backup; the service polls
+  /// the name service for the acting primary and drives an incremental
+  /// resync (kResyncRequest → kStateDelta).
+  void restart_primary();
+  /// Durable mode only: restart backup `index` the same way.
+  void restart_backup(std::size_t index = 0);
+  /// The simulated storage devices of a replica (crash-point / torn-write
+  /// injection), or nullptr when not durable.  `replica_index` follows
+  /// for_each_replica order: 0 = original primary, then backups.
+  [[nodiscard]] store::SimStorageDevice* wal_device(std::size_t replica_index);
+  [[nodiscard]] store::SimStorageDevice* checkpoint_device(std::size_t replica_index);
   /// Create a fresh standby host wired to the current primary, have the
   /// primary recruit it, and return it.  Models §4.4's "waits to recruit a
   /// new backup".
@@ -93,6 +116,16 @@ class RtpbService {
   [[nodiscard]] Duration link_delay_bound() const;
 
  private:
+  /// Per-replica durable backing: two simulated devices (WAL +
+  /// checkpoint) and the store that owns the framing/replay logic.
+  struct ReplicaStorage {
+    store::SimStorageDevice wal;
+    store::SimStorageDevice checkpoint;
+    store::DurableStore durable;
+    explicit ReplicaStorage(std::size_t checkpoint_every)
+        : durable(wal, checkpoint, checkpoint_every) {}
+  };
+
   ServiceParams params_;
   sim::Simulator sim_;
   net::Network network_;
@@ -103,12 +136,20 @@ class RtpbService {
   std::unique_ptr<ClientApp> client_;
   std::unique_ptr<ClientApp> backup_client_;
   std::unique_ptr<ReplicaServer> standby_;
+  /// for_each_replica order: [0] original primary, then the backups.
+  /// Empty unless params_.durable.
+  std::vector<std::unique_ptr<ReplicaStorage>> storage_;
   bool started_ = false;
 
   void wire_backup_hooks();
   /// Non-successor backup lost the primary: poll the name service until
   /// the successor has published itself, then follow it.
   void repoint_backup(ReplicaServer& backup, net::Endpoint dead_primary);
+  /// Restart `replica` from durable state, then poll the name service for
+  /// the acting primary and drive follow + incremental resync.
+  void restart_replica(ReplicaServer& replica);
+  void rejoin_when_primary_known(ReplicaServer& replica);
+  [[nodiscard]] ReplicaStorage* storage_for(std::size_t replica_index);
 };
 
 }  // namespace rtpb::core

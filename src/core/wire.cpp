@@ -17,6 +17,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kConstraintDowngrade: return "CONSTRAINT_DOWNGRADE";
     case MsgType::kConstraintRestore: return "CONSTRAINT_RESTORE";
     case MsgType::kFrontier: return "FRONTIER";
+    case MsgType::kResyncRequest: return "RESYNC_REQUEST";
+    case MsgType::kStateDelta: return "STATE_DELTA";
   }
   return "?";
 }
@@ -81,6 +83,14 @@ std::size_t encoded_size(const UpdateBatch& m) {
 }
 
 std::size_t encoded_size(const StateTransfer& m) {
+  std::size_t total = kTag + kU64 /*transfer id*/ + kU32 /*entry count*/ +
+                      kU32 /*constraint count*/ + kU64 /*epoch*/;
+  for (const auto& e : m.entries) total += encoded_size(e);
+  total += m.constraints.size() * (kU32 + kU32 + kU64);
+  return total;
+}
+
+std::size_t encoded_size(const StateDelta& m) {
   std::size_t total = kTag + kU64 /*transfer id*/ + kU32 /*entry count*/ +
                       kU32 /*constraint count*/ + kU64 /*epoch*/;
   for (const auto& e : m.entries) total += encoded_size(e);
@@ -211,6 +221,41 @@ Bytes encode(const Frontier& m) {
   w.u8(static_cast<std::uint8_t>(MsgType::kFrontier));
   w.u32(m.shard);
   w.timepoint(m.stable_ts);
+  w.u64(m.epoch);
+  return std::move(w).take();
+}
+
+Bytes encode(const ResyncRequest& m) {
+  ByteWriter w(kTag + kU32 + m.have.size() * (kU32 + kU64 + kU64) + kU64 /*epoch*/);
+  w.u8(static_cast<std::uint8_t>(MsgType::kResyncRequest));
+  w.u32(static_cast<std::uint32_t>(m.have.size()));
+  for (const auto& e : m.have) {
+    w.u32(e.object);
+    w.u64(e.version);
+    w.u64(e.qos_seq);
+  }
+  w.u64(m.epoch);
+  return std::move(w).take();
+}
+
+Bytes encode(const StateDelta& m) {
+  ByteWriter w(encoded_size(m));
+  w.u8(static_cast<std::uint8_t>(MsgType::kStateDelta));
+  w.u64(m.transfer_id);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const auto& e : m.entries) {
+    encode_spec(w, e.spec);
+    w.duration(e.update_period);
+    w.u64(e.version);
+    w.timepoint(e.timestamp);
+    w.bytes(e.value);
+  }
+  w.u32(static_cast<std::uint32_t>(m.constraints.size()));
+  for (const auto& c : m.constraints) {
+    w.u32(c.first);
+    w.u32(c.second);
+    w.duration(c.delta);
+  }
   w.u64(m.epoch);
   return std::move(w).take();
 }
@@ -377,6 +422,66 @@ std::optional<AnyMessage> decode(std::span<const std::uint8_t> data) {
       out.frontier = m;
       return out;
     }
+    case MsgType::kResyncRequest: {
+      ResyncRequest m;
+      const std::uint32_t n = r.u32();
+      // 20 bytes per (object, version, qos_seq) triple; reject forged
+      // counts before the reserve.
+      constexpr std::size_t kMinEntry = kU32 + kU64 + kU64;
+      if (!r.ok() || static_cast<std::size_t>(n) * kMinEntry > r.remaining()) {
+        return std::nullopt;
+      }
+      m.have.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        ResyncEntry e;
+        e.object = r.u32();
+        e.version = r.u64();
+        e.qos_seq = r.u64();
+        m.have.push_back(e);
+      }
+      m.epoch = r.u64();
+      if (!r.ok() || !r.at_end() || m.have.size() != n) return std::nullopt;
+      out.resync_request = std::move(m);
+      return out;
+    }
+    case MsgType::kStateDelta: {
+      StateDelta m;
+      m.transfer_id = r.u64();
+      const std::uint32_t n = r.u32();
+      // Every entry carries at least a minimal spec (52 bytes) plus
+      // period/version/timestamp and an empty value prefix.
+      constexpr std::size_t kMinEntry = (kU32 + kLenPrefix + kU32 + 5 * kU64) + 3 * kU64 +
+                                        kLenPrefix;
+      if (!r.ok() || static_cast<std::size_t>(n) * kMinEntry > r.remaining()) {
+        return std::nullopt;
+      }
+      m.entries.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        StateEntry e;
+        e.spec = decode_spec(r);
+        e.update_period = r.duration();
+        e.version = r.u64();
+        e.timestamp = r.timepoint();
+        e.value = r.bytes();
+        m.entries.push_back(std::move(e));
+      }
+      const std::uint32_t nc = r.u32();
+      constexpr std::size_t kMinConstraint = kU32 + kU32 + kU64;
+      if (!r.ok() || static_cast<std::size_t>(nc) * kMinConstraint > r.remaining()) {
+        return std::nullopt;
+      }
+      for (std::uint32_t i = 0; i < nc && r.ok(); ++i) {
+        InterObjectConstraint c;
+        c.first = r.u32();
+        c.second = r.u32();
+        c.delta = r.duration();
+        m.constraints.push_back(c);
+      }
+      m.epoch = r.u64();
+      if (!r.ok() || !r.at_end() || m.entries.size() != n) return std::nullopt;
+      out.state_delta = std::move(m);
+      return out;
+    }
     case MsgType::kActivePrepare: {
       ActivePrepare m;
       m.sequence = r.u64();
@@ -420,6 +525,11 @@ std::uint64_t epoch_of(const AnyMessage& m) {
       // Cross-GROUP traffic: the carried epoch belongs to another
       // primary-backup group and must never fence here.
       return 0;
+    case MsgType::kResyncRequest:
+      // Always the bootstrap wildcard — a rejoiner's recovered epoch may
+      // predate a failover it slept through (see the struct comment).
+      return 0;
+    case MsgType::kStateDelta: return m.state_delta ? m.state_delta->epoch : 0;
     case MsgType::kActivePrepare:
     case MsgType::kActiveAck: return 0;
   }

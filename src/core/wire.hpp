@@ -33,6 +33,9 @@ enum class MsgType : std::uint8_t {
   kConstraintRestore = 12,    ///< primary → backups/client: original window back
   // Sharded scale-out: cross-shard temporal-consistency exchange.
   kFrontier = 13,             ///< shard primary → peer shard primaries
+  // Durable crash recovery: incremental rejoin of a restarted peer.
+  kResyncRequest = 14,        ///< rejoining backup → primary: durable version vector
+  kStateDelta = 15,           ///< primary → rejoining backup: dirty objects only
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
@@ -160,6 +163,43 @@ struct Frontier {
   std::uint64_t epoch = 0;  ///< sender's group epoch; informational only
 };
 
+/// One (object, version, qos_seq) triple of a rejoining replica's
+/// durable version vector.  `qos_seq` is the newest QoS renegotiation
+/// sequence the rejoiner has applied for the object (0 if none — QoS
+/// state is deliberately not durable, so a restarted replica always
+/// reports 0): an object whose spec lags the primary's renegotiated one
+/// is dirty even when its version is current.
+struct ResyncEntry {
+  ObjectId object = kInvalidObject;
+  std::uint64_t version = 0;
+  std::uint64_t qos_seq = 0;
+};
+
+/// Durable crash recovery: a restarted replica announces the version
+/// vector it recovered from its WAL and asks the primary for everything
+/// newer.  Sent with the epoch-0 bootstrap wildcard — the rejoiner's
+/// recovered epoch may predate a failover that happened while it was
+/// down, and a fenced resync request would strand it forever.
+struct ResyncRequest {
+  std::vector<ResyncEntry> have;
+  std::uint64_t epoch = 0;
+};
+
+/// The primary's answer to a ResyncRequest: only the objects whose
+/// version is ahead of the rejoiner's durable vector (the dirty set),
+/// plus the (small) inter-object constraint table so a later promotion
+/// of the rejoined replica rebuilds admission correctly.  Falls back to a
+/// full kStateTransfer when the delta would not actually save anything.
+/// Shares the transfer-id sequence (and the kStateTransferAck / retry
+/// machinery) with kStateTransfer, so the per-sender reorder guard
+/// totally orders deltas and full transfers.
+struct StateDelta {
+  std::uint64_t transfer_id = 0;
+  std::vector<StateEntry> entries;
+  std::vector<InterObjectConstraint> constraints;
+  std::uint64_t epoch = 0;
+};
+
 /// Active baseline: a write stamped with a global sequence number; every
 /// replica applies writes in sequence order.
 struct ActivePrepare {
@@ -187,6 +227,8 @@ struct ActiveAck {
 [[nodiscard]] Bytes encode(const ConstraintDowngrade& m);
 [[nodiscard]] Bytes encode(const ConstraintRestore& m);
 [[nodiscard]] Bytes encode(const Frontier& m);
+[[nodiscard]] Bytes encode(const ResyncRequest& m);
+[[nodiscard]] Bytes encode(const StateDelta& m);
 [[nodiscard]] Bytes encode(const ActivePrepare& m);
 [[nodiscard]] Bytes encode(const ActiveAck& m);
 
@@ -197,6 +239,7 @@ struct ActiveAck {
 [[nodiscard]] std::size_t encoded_size(const Update& m);
 [[nodiscard]] std::size_t encoded_size(const UpdateBatch& m);
 [[nodiscard]] std::size_t encoded_size(const StateTransfer& m);
+[[nodiscard]] std::size_t encoded_size(const StateDelta& m);
 [[nodiscard]] std::size_t encoded_size(const ActivePrepare& m);
 
 struct AnyMessage {
@@ -212,6 +255,8 @@ struct AnyMessage {
   std::optional<ConstraintDowngrade> constraint_downgrade;
   std::optional<ConstraintRestore> constraint_restore;
   std::optional<Frontier> frontier;
+  std::optional<ResyncRequest> resync_request;
+  std::optional<StateDelta> state_delta;
   std::optional<ActivePrepare> active_prepare;
   std::optional<ActiveAck> active_ack;
 };

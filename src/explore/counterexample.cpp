@@ -35,6 +35,12 @@ std::string Counterexample::fault_plan() const {
       os << "plan.add_standby(TimePoint{" << a.at.nanos() << "});\n";
     } else if (a.label == "partition-primary") {
       os << "plan.partition_primary(TimePoint{" << a.at.nanos() << "});\n";
+    } else if (a.label == "crash-restart-primary") {
+      os << "plan.crash_restart_primary(TimePoint{" << a.at.nanos() << "}, TimePoint{"
+         << (a.at + config.restart_delay).nanos() << "});\n";
+    } else if (a.label == "crash-restart-backup") {
+      os << "plan.crash_restart_backup(TimePoint{" << a.at.nanos() << "}, TimePoint{"
+         << (a.at + config.restart_delay).nanos() << "});\n";
     } else if (a.label == "drop-frame") {
       os << "// drop frame #" << a.frame << " on link " << a.a << "->" << a.b << " at "
          << a.at.nanos() << " ns (replayed via the choice trace)\n";
@@ -64,6 +70,8 @@ std::string Counterexample::to_text() const {
   os << "drop-budget " << config.bounds.drop_budget << "\n";
   os << "drop-from-ns " << config.bounds.drop_from.nanos() << "\n";
   os << "drop-until-ns " << config.bounds.drop_until.nanos() << "\n";
+  os << "restart-delay-ns " << config.restart_delay.nanos() << "\n";
+  os << "torn-bytes " << config.torn_tail_bytes << "\n";
   for (const Duration d : config.crash_primary_at) {
     os << "candidate crash-primary " << d.nanos() << "\n";
   }
@@ -75,6 +83,12 @@ std::string Counterexample::to_text() const {
   }
   for (const Duration d : config.partition_at) {
     os << "candidate partition-primary " << d.nanos() << "\n";
+  }
+  for (const Duration d : config.crash_restart_primary_at) {
+    os << "candidate crash-restart-primary " << d.nanos() << "\n";
+  }
+  for (const Duration d : config.crash_restart_backup_at) {
+    os << "candidate crash-restart-backup " << d.nanos() << "\n";
   }
   os << "trace";
   for (const std::uint16_t t : trace) os << " " << t;
@@ -149,6 +163,12 @@ std::optional<Counterexample> parse_counterexample(const std::string& text) {
       std::int64_t ns = 0;
       ls >> ns;
       ce.config.bounds.drop_until = TimePoint{ns};
+    } else if (key == "restart-delay-ns") {
+      std::int64_t ns = 0;
+      ls >> ns;
+      ce.config.restart_delay = Duration{ns};
+    } else if (key == "torn-bytes") {
+      ls >> ce.config.torn_tail_bytes;
     } else if (key == "candidate") {
       std::string label;
       std::int64_t ns = 0;
@@ -162,6 +182,10 @@ std::optional<Counterexample> parse_counterexample(const std::string& text) {
         ce.config.add_standby_at.push_back(d);
       } else if (label == "partition-primary") {
         ce.config.partition_at.push_back(d);
+      } else if (label == "crash-restart-primary") {
+        ce.config.crash_restart_primary_at.push_back(d);
+      } else if (label == "crash-restart-backup") {
+        ce.config.crash_restart_backup_at.push_back(d);
       } else {
         return std::nullopt;  // unknown candidate verb: cannot replay faithfully
       }

@@ -157,6 +157,7 @@ class TrajectoryPolicy final : public sim::ChoicePolicy {
           ++faults_taken_;
           actions_.push_back({label, now, 0, 0, 0});
           declare_fault_epoch(label, now);
+          maybe_tear_wal(label);
         }
         return fire;
       }
@@ -218,10 +219,24 @@ class TrajectoryPolicy final : public sim::ChoicePolicy {
     });
     // Never offer crashing (or isolating) the last live replica: those
     // trajectories only prove the cluster dies when everyone dies.
-    if (name == "crash-primary" || name == "crash-backup" || name == "partition-primary") {
+    if (name == "crash-primary" || name == "crash-backup" || name == "partition-primary" ||
+        name == "crash-restart-primary" || name == "crash-restart-backup") {
       return live >= 2;
     }
     return false;
+  }
+
+  /// Torn-write sabotage on a fired crash-restart candidate: the victim is
+  /// about to crash (same fault action, no intervening sim time), so
+  /// shearing its WAL tail now is equivalent to corrupting the disk while
+  /// it is down.  The subsequent recovery replays a clean-but-short prefix
+  /// and the durable-recovery oracle must notice the acked versions hole.
+  void maybe_tear_wal(const std::string& label) {
+    if (cfg_.torn_tail_bytes == 0) return;
+    if (label != "crash-restart-primary" && label != "crash-restart-backup") return;
+    store::SimStorageDevice* wal =
+        service_.wal_device(label == "crash-restart-primary" ? 0 : 1);
+    if (wal != nullptr) wal->tear_tail(cfg_.torn_tail_bytes);
   }
 
   void declare_fault_epoch(const std::string& label, TimePoint now) {
@@ -230,6 +245,16 @@ class TrajectoryPolicy final : public sim::ChoicePolicy {
       // fencing-driven step-down takes a detection round longer.
       monitor_.declare_epoch({now, now + cfg_.failover_grace + cfg_.failover_grace,
                               chaos::FaultKind::kPartitionPrimary});
+      return;
+    }
+    if (label == "crash-restart-primary" || label == "crash-restart-backup") {
+      // Self-recovering: the replica restarts from its durable image after
+      // restart_delay and resyncs, so the epoch runs outage + grace — and
+      // crash_fired_ stays false, no add-standby recruit is owed.
+      const chaos::FaultKind kind = label == "crash-restart-backup"
+                                        ? chaos::FaultKind::kCrashRestartBackup
+                                        : chaos::FaultKind::kCrashRestartPrimary;
+      monitor_.declare_epoch({now, now + cfg_.restart_delay + cfg_.failover_grace, kind});
       return;
     }
     // A crash: the distance metric cannot recover until a standby has been
@@ -321,6 +346,11 @@ TrajectoryResult run_trajectory(const ExploreConfig& cfg,
   params.config = service_config(cfg);
   params.backup_count = cfg.backups;
   params.service_name = "explore-service";
+  // Crash-restart candidates need a durable image to restart from; WAL
+  // appends are synchronous and draw no randomness, so durable storage
+  // never perturbs the explored choice tree by itself.
+  params.durable =
+      !cfg.crash_restart_primary_at.empty() || !cfg.crash_restart_backup_at.empty();
   core::RtpbService service(params);
   telemetry::Hub& hub = service.simulator().telemetry();
   if (observe.telemetry) {
@@ -343,6 +373,12 @@ TrajectoryResult run_trajectory(const ExploreConfig& cfg,
   for (const Duration d : cfg.crash_backup_at) plan.maybe_crash_backup(TimePoint::zero() + d);
   for (const Duration d : cfg.add_standby_at) plan.maybe_add_standby(TimePoint::zero() + d);
   for (const Duration d : cfg.partition_at) plan.maybe_partition_primary(TimePoint::zero() + d);
+  for (const Duration d : cfg.crash_restart_primary_at) {
+    plan.maybe_crash_restart_primary(TimePoint::zero() + d, cfg.restart_delay);
+  }
+  for (const Duration d : cfg.crash_restart_backup_at) {
+    plan.maybe_crash_restart_backup(TimePoint::zero() + d, cfg.restart_delay);
+  }
   plan.arm();
 
   chaos::OracleMonitor monitor(service, admitted, {});

@@ -86,6 +86,19 @@ struct ExploreConfig {
   std::vector<Duration> crash_backup_at;
   std::vector<Duration> add_standby_at;
   std::vector<Duration> partition_at;
+  /// Crash-restart candidates (durable replicas only — arming any of these
+  /// switches the explored service to durable storage).  Unlike plain
+  /// crashes these recover by *themselves* — the crashed replica restarts
+  /// from WAL + checkpoint after `restart_delay` — so they neither consume
+  /// an add-standby recovery candidate nor require one.
+  std::vector<Duration> crash_restart_primary_at;
+  std::vector<Duration> crash_restart_backup_at;
+  Duration restart_delay = millis(400);
+  /// Torn-write sabotage: when non-zero, a fired crash-restart candidate
+  /// also shears this many bytes off the victim's WAL tail while it is
+  /// down, so recovery silently loses acked updates — the durable-recovery
+  /// oracle must catch it (sabotage canary, like the chaos harness's).
+  std::size_t torn_tail_bytes = 0;
   ExploreBounds bounds;
   bool prune_visited = true;  ///< state-hash expansion pruning
   bool sleep_sets = true;     ///< commuting-delivery reduction

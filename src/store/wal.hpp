@@ -1,0 +1,99 @@
+// Write-ahead-log record format.
+//
+// Every record on the device is CRC-framed:
+//
+//     u32 payload_len | u32 crc32(payload) | payload
+//
+// and the payload is a 1-byte record kind followed by the body.  Replay
+// walks the device front to back and stops at the FIRST record whose
+// frame is short or whose CRC mismatches — the single-file prefix-
+// durability discipline (recall ALICE): a torn tail never resurrects as
+// state, and everything before it is exactly what was acknowledged.
+//
+// The codec layer here is deliberately link-light (util only): the
+// durable store compiles underneath rtpb_core, so record bodies reuse
+// the header-only core structs (ObjectSpec / ObjectState) but call no
+// core-compiled functions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/object_store.hpp"
+#include "core/types.hpp"
+#include "util/bytebuffer.hpp"
+
+namespace rtpb::store {
+
+/// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+enum class RecordKind : std::uint8_t {
+  kInsert = 1,      ///< object registered (spec only, version 0)
+  kWrite = 2,       ///< one object write/apply: id, version, timestamps, value
+  kMeta = 3,        ///< fenced replica metadata: epoch + next transfer id
+  kCheckpoint = 4,  ///< full store snapshot (checkpoint device only)
+};
+
+struct InsertRecord {
+  core::ObjectSpec spec;
+};
+
+struct WriteRecord {
+  core::ObjectId object = core::kInvalidObject;
+  std::uint64_t version = 0;
+  TimePoint timestamp{};
+  TimePoint origin_timestamp{};
+  Bytes value;
+};
+
+/// Replica identity that must survive a restart FENCED: a recovered
+/// replica that forgot its epoch could accept a deposed primary's
+/// traffic, and one that forgot its transfer-id high water could mint
+/// transfer ids peers silently discard as stale.
+struct MetaRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t next_transfer_id = 1;
+};
+
+struct CheckpointRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t next_transfer_id = 1;
+  std::vector<core::ObjectState> states;
+};
+
+struct AnyRecord {
+  RecordKind kind{};
+  std::optional<InsertRecord> insert;
+  std::optional<WriteRecord> write;
+  std::optional<MetaRecord> meta;
+  std::optional<CheckpointRecord> checkpoint;
+};
+
+[[nodiscard]] Bytes encode(const InsertRecord& r);
+[[nodiscard]] Bytes encode(const WriteRecord& r);
+[[nodiscard]] Bytes encode(const MetaRecord& r);
+[[nodiscard]] Bytes encode(const CheckpointRecord& r);
+
+/// Decode one record payload (the bytes inside a frame).  nullopt on any
+/// malformation — short body, trailing garbage, absurd counts.
+[[nodiscard]] std::optional<AnyRecord> decode_record(std::span<const std::uint8_t> payload);
+
+/// Wrap a payload in the length+CRC frame.
+[[nodiscard]] Bytes frame_record(std::span<const std::uint8_t> payload);
+
+struct ReplayStats {
+  std::size_t records = 0;     ///< valid records delivered to the callback
+  std::size_t torn_bytes = 0;  ///< bytes after the valid prefix, discarded
+  bool clean = true;           ///< false when a torn/corrupt tail was cut
+};
+
+/// Walk `log` record by record, handing each valid payload to `fn`.
+/// Stops at the first short frame or CRC mismatch (prefix durability).
+ReplayStats replay(std::span<const std::uint8_t> log,
+                   const std::function<void(std::span<const std::uint8_t>)>& fn);
+
+}  // namespace rtpb::store

@@ -11,6 +11,7 @@
 #include "core/object_store.hpp"
 #include "core/wire.hpp"
 #include "sim/simulator.hpp"
+#include "store/wal.hpp"
 #include "util/rng.hpp"
 #include "xkernel/message.hpp"
 #include "xkernel/udplite.hpp"
@@ -25,11 +26,11 @@ TEST(WireFuzz, RandomBytesNeverCrashDecoder) {
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
     const auto decoded = core::wire::decode(junk);
     if (decoded) {
-      // If it decoded, the tag must be a known one (1..13: kUpdate through
-      // kFrontier).
+      // If it decoded, the tag must be a known one (1..15: kUpdate through
+      // kStateDelta).
       const auto t = static_cast<std::uint8_t>(decoded->type);
       EXPECT_GE(t, 1);
-      EXPECT_LE(t, 13);
+      EXPECT_LE(t, 15);
     }
   }
 }
@@ -236,6 +237,228 @@ TEST(WireFuzz, ConstraintMutationsKeepTypeOrFail) {
       EXPECT_EQ(decoded->type, use_down ? core::wire::MsgType::kConstraintDowngrade
                                         : core::wire::MsgType::kConstraintRestore);
     }
+  }
+}
+
+TEST(WireFuzz, ResyncRequestRoundTripPreservesEveryField) {
+  core::wire::ResyncRequest rq;
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    rq.have.push_back(core::wire::ResyncEntry{i + 1, i * 1000 + 3, i * 2});
+  }
+  const auto decoded = core::wire::decode(core::wire::encode(rq));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->type, core::wire::MsgType::kResyncRequest);
+  ASSERT_TRUE(decoded->resync_request.has_value());
+  const auto& rt = *decoded->resync_request;
+  ASSERT_EQ(rt.have.size(), rq.have.size());
+  for (std::size_t i = 0; i < rt.have.size(); ++i) {
+    EXPECT_EQ(rt.have[i].object, rq.have[i].object);
+    EXPECT_EQ(rt.have[i].version, rq.have[i].version);
+    EXPECT_EQ(rt.have[i].qos_seq, rq.have[i].qos_seq);
+  }
+  // The epoch must round-trip as the bootstrap wildcard the protocol
+  // relies on — a fenced resync request would strand every rejoiner.
+  EXPECT_EQ(rt.epoch, 0u);
+}
+
+TEST(WireFuzz, ResyncRequestTruncationsNeverDecode) {
+  core::wire::ResyncRequest rq;
+  rq.have.push_back(core::wire::ResyncEntry{1, 42, 0});
+  rq.have.push_back(core::wire::ResyncEntry{2, 7, 3});
+  const Bytes full = core::wire::encode(rq);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(core::wire::decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(WireFuzz, ResyncRequestAdversarialEntryCountsRejected) {
+  core::wire::ResyncRequest rq;
+  rq.have.push_back(core::wire::ResyncEntry{1, 1, 0});
+  const Bytes original = core::wire::encode(rq);
+  // Forge the u32 entry count (bytes 1..4, little-endian): the decoder
+  // must reject every lie before reserving storage for the claimed count.
+  for (const std::uint32_t forged :
+       {0u, 2u, 3u, 0x0000ffffu, 0x00ffffffu, 0x7fffffffu, 0xffffffffu}) {
+    Bytes lied = original;
+    lied[1] = static_cast<std::uint8_t>(forged & 0xff);
+    lied[2] = static_cast<std::uint8_t>((forged >> 8) & 0xff);
+    lied[3] = static_cast<std::uint8_t>((forged >> 16) & 0xff);
+    lied[4] = static_cast<std::uint8_t>((forged >> 24) & 0xff);
+    EXPECT_FALSE(core::wire::decode(lied).has_value()) << "count=" << forged;
+  }
+}
+
+namespace {
+
+core::wire::StateDelta sample_delta() {
+  core::wire::StateDelta sd;
+  sd.transfer_id = 99;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    core::wire::StateEntry e;
+    e.spec.id = i + 1;
+    e.spec.name = "delta-" + std::to_string(i + 1);
+    e.spec.client_period = millis(10 + i);
+    e.spec.delta_primary = millis(20);
+    e.spec.delta_backup = millis(100 + i * 10);
+    e.update_period = millis(5 + i);
+    e.version = 1000 + i;
+    e.timestamp = TimePoint{static_cast<std::int64_t>(i) * 777};
+    e.value = Bytes(16 + i * 8, static_cast<std::uint8_t>(0xC0 + i));
+    sd.entries.push_back(std::move(e));
+  }
+  sd.constraints.push_back(core::InterObjectConstraint{1, 2, millis(40)});
+  sd.epoch = 6;
+  return sd;
+}
+
+}  // namespace
+
+TEST(WireFuzz, StateDeltaRoundTripPreservesEveryField) {
+  const core::wire::StateDelta sd = sample_delta();
+  const auto decoded = core::wire::decode(core::wire::encode(sd));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->type, core::wire::MsgType::kStateDelta);
+  ASSERT_TRUE(decoded->state_delta.has_value());
+  const auto& rt = *decoded->state_delta;
+  EXPECT_EQ(rt.transfer_id, sd.transfer_id);
+  EXPECT_EQ(rt.epoch, sd.epoch);
+  ASSERT_EQ(rt.entries.size(), sd.entries.size());
+  for (std::size_t i = 0; i < rt.entries.size(); ++i) {
+    EXPECT_EQ(rt.entries[i].spec.id, sd.entries[i].spec.id);
+    EXPECT_EQ(rt.entries[i].spec.name, sd.entries[i].spec.name);
+    EXPECT_EQ(rt.entries[i].spec.delta_backup, sd.entries[i].spec.delta_backup);
+    EXPECT_EQ(rt.entries[i].update_period, sd.entries[i].update_period);
+    EXPECT_EQ(rt.entries[i].version, sd.entries[i].version);
+    EXPECT_EQ(rt.entries[i].timestamp, sd.entries[i].timestamp);
+    EXPECT_EQ(rt.entries[i].value, sd.entries[i].value);
+  }
+  ASSERT_EQ(rt.constraints.size(), 1u);
+  EXPECT_EQ(rt.constraints[0].first, 1u);
+  EXPECT_EQ(rt.constraints[0].second, 2u);
+  EXPECT_EQ(rt.constraints[0].delta, millis(40));
+}
+
+TEST(WireFuzz, StateDeltaTruncationsNeverDecode) {
+  const Bytes full = core::wire::encode(sample_delta());
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes truncated(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(core::wire::decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(WireFuzz, StateDeltaMutationsNeverCrashOrMisparse) {
+  const Bytes original = core::wire::encode(sample_delta());
+  Rng rng(0xD317A);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes mutated = original;
+    const int flips = static_cast<int>(rng.uniform(1, 3));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[pos] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    }
+    const auto decoded = core::wire::decode(mutated);
+    if (decoded && decoded->type == core::wire::MsgType::kStateDelta) {
+      // If it still parsed as a delta, the entry list must be internally
+      // consistent — never a half-read frame.
+      ASSERT_TRUE(decoded->state_delta.has_value());
+      EXPECT_LE(decoded->state_delta->entries.size(), mutated.size());
+    }
+  }
+}
+
+TEST(WalFuzz, RandomLogsNeverCrashReplay) {
+  Rng rng(0x3A11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes junk(static_cast<std::size_t>(rng.uniform(0, 256)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    std::size_t delivered = 0;
+    const store::ReplayStats s = store::replay(
+        junk, [&delivered](std::span<const std::uint8_t>) { ++delivered; });
+    // Whatever the bytes, the stats must balance: every delivered payload
+    // was a valid record, and the torn tail accounts for the rest.
+    EXPECT_EQ(s.records, delivered);
+    EXPECT_LE(s.torn_bytes, junk.size());
+    if (!s.clean) EXPECT_GT(s.torn_bytes, 0u);
+  }
+}
+
+TEST(WalFuzz, CorruptionStopsReplayAtFirstBadFrame) {
+  // Three framed records; flipping any byte inside record k must cut the
+  // replay to exactly the k records before it (CRC prefix discipline).
+  std::vector<Bytes> frames;
+  std::vector<std::size_t> starts;
+  Bytes log;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    store::WriteRecord w;
+    w.object = i + 1;
+    w.version = 10 + i;
+    w.timestamp = TimePoint{static_cast<std::int64_t>(i) * 100};
+    w.origin_timestamp = w.timestamp;
+    w.value = Bytes(24, static_cast<std::uint8_t>(i));
+    const Bytes frame = store::frame_record(store::encode(w));
+    starts.push_back(log.size());
+    frames.push_back(frame);
+    log.insert(log.end(), frame.begin(), frame.end());
+  }
+  Rng rng(0xBADC);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto k = static_cast<std::size_t>(rng.uniform(0, 2));
+    const auto off = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(frames[k].size()) - 1));
+    Bytes corrupted = log;
+    corrupted[starts[k] + off] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    const store::ReplayStats s = store::replay(corrupted, [](auto) {});
+    EXPECT_LE(s.records, k) << "k=" << k << " off=" << off;
+    EXPECT_FALSE(s.clean && s.records < 3);
+  }
+}
+
+TEST(WalFuzz, DuplicateAndOverlappingRecordsAreDeliveredVerbatim) {
+  // Duplicate suppression is the recovery layer's job (version gating);
+  // the codec must deliver every well-framed record, duplicates included.
+  store::WriteRecord w;
+  w.object = 5;
+  w.version = 1;
+  w.value = Bytes(8, 0xEE);
+  const Bytes frame = store::frame_record(store::encode(w));
+  Bytes log;
+  for (int i = 0; i < 4; ++i) log.insert(log.end(), frame.begin(), frame.end());
+  std::size_t seen = 0;
+  const store::ReplayStats s = store::replay(log, [&seen](auto) { ++seen; });
+  EXPECT_EQ(s.records, 4u);
+  EXPECT_EQ(seen, 4u);
+  EXPECT_TRUE(s.clean);
+
+  // An "overlapping" log — a record whose length field swallows the next
+  // frame's bytes — fails its CRC and cuts the replay there.
+  Bytes overlap = log;
+  overlap[0] = static_cast<std::uint8_t>(overlap[0] + 4);  // inflate len of record 0
+  const store::ReplayStats o = store::replay(overlap, [](auto) {});
+  EXPECT_EQ(o.records, 0u);
+  EXPECT_FALSE(o.clean);
+}
+
+TEST(WalFuzz, AbsurdCheckpointCountsRejectedByRecordDecoder) {
+  store::CheckpointRecord cp;
+  cp.epoch = 2;
+  core::ObjectState st;
+  st.spec.id = 1;
+  st.spec.client_period = millis(10);
+  cp.states.push_back(st);
+  Bytes payload = store::encode(cp);
+  ASSERT_TRUE(store::decode_record(payload).has_value());
+  // The state count sits after kind(1) + epoch(8) + next_transfer_id(8);
+  // forge it to every kind of lie — each must be rejected, not reserved.
+  const std::size_t count_at = 1 + 8 + 8;
+  for (const std::uint32_t forged : {0u, 2u, 0x0000ffffu, 0x7fffffffu, 0xffffffffu}) {
+    Bytes lied = payload;
+    lied[count_at] = static_cast<std::uint8_t>(forged & 0xff);
+    lied[count_at + 1] = static_cast<std::uint8_t>((forged >> 8) & 0xff);
+    lied[count_at + 2] = static_cast<std::uint8_t>((forged >> 16) & 0xff);
+    lied[count_at + 3] = static_cast<std::uint8_t>((forged >> 24) & 0xff);
+    EXPECT_FALSE(store::decode_record(lied).has_value()) << "count=" << forged;
   }
 }
 

@@ -92,8 +92,11 @@ void usage(const char* argv0) {
             << "                     crashing (needs --backups >= 2; replaces crashes)\n"
             << "  --overload         enable the overload fault family (cpu_spike,\n"
             << "                     throttle_bandwidth, inflate_latency)\n"
+            << "  --crash-restart    durable replicas: crash one mid-run and power it\n"
+            << "                     back up from WAL + checkpoint (incremental rejoin;\n"
+            << "                     replaces the plain crash family)\n"
             << "  --sabotage MODE    none | no-failover | slow-updates | split-brain |\n"
-            << "                     no-shedding\n"
+            << "                     no-shedding | torn-write\n"
             << "  --log-warnings     keep service WARN lines (hidden by default)\n"
             << "  --telemetry        collect causal spans + metrics (per-seed summary)\n"
             << "  --trace-out FILE   write a Chrome trace (Perfetto-loadable) for the\n"
@@ -164,6 +167,8 @@ int main(int argc, char** argv) {
       opts.enable_partition = true;
     } else if (arg == "--overload") {
       opts.enable_overload = true;
+    } else if (arg == "--crash-restart") {
+      opts.enable_crash_restart = true;
     } else if (arg == "--sabotage") {
       sabotage = next();
     } else if (arg == "--log-warnings") {
@@ -236,6 +241,15 @@ int main(int argc, char** argv) {
     // epochs cannot excuse (or cause) the violations being judged.
     opts.config.degradation_enabled = false;
     opts.enable_overload = true;
+    opts.enable_loss_storms = false;
+    opts.enable_link_faults = false;
+    opts.enable_crashes = false;
+  } else if (sabotage == "torn-write") {
+    // Shear bytes off the downed replica's WAL mid-outage: the recovered
+    // image misses client-acked versions.  durable-recovery must catch it.
+    // Other fault families are off so every run is a crash-restart arc.
+    opts.enable_crash_restart = true;
+    opts.torn_tail_bytes = 512;
     opts.enable_loss_storms = false;
     opts.enable_link_faults = false;
     opts.enable_crashes = false;
@@ -343,6 +357,16 @@ int main(int argc, char** argv) {
       for (const rtpb::chaos::SeedReport& rep : result.failures) {
         for (const rtpb::chaos::OracleViolation& v : rep.violations) {
           if (v.oracle == "no-silent-violation") caught = true;
+        }
+      }
+    }
+    if (caught && sabotage == "torn-write") {
+      // The durability hole must be caught AS a durability hole (the torn
+      // tail also regresses versions, which monotone-versions flags).
+      caught = false;
+      for (const rtpb::chaos::SeedReport& rep : result.failures) {
+        for (const rtpb::chaos::OracleViolation& v : rep.violations) {
+          if (v.oracle == "durable-recovery") caught = true;
         }
       }
     }

@@ -38,6 +38,12 @@ void usage(const char* argv0) {
       << "  --crash-backup-at MS  add a crash-backup candidate (repeatable)\n"
       << "  --standby-at MS       add an add-standby candidate (repeatable)\n"
       << "  --partition-at MS     add a partition-primary candidate (repeatable)\n"
+      << "  --crash-restart-primary-at MS  add a crash-restart-primary candidate\n"
+      << "                        (repeatable; arms durable replicas)\n"
+      << "  --crash-restart-backup-at MS   add a crash-restart-backup candidate\n"
+      << "  --restart-delay-ms MS crash-restart outage length (default 400)\n"
+      << "  --torn-bytes N        shear N bytes off a fired crash-restart victim's\n"
+      << "                        WAL tail (torn-write sabotage; default 0 = off)\n"
       << "  --no-default-faults   empty candidate set (any --*-at also clears defaults)\n"
       << "  --faults N            fault budget per trajectory (default 2)\n"
       << "  --drops N             frame-drop budget per trajectory (default 1)\n"
@@ -47,7 +53,7 @@ void usage(const char* argv0) {
       << "  --max-choices N       choice points per trajectory (default 160)\n"
       << "  --no-prune            disable visited-state expansion pruning\n"
       << "  --no-sleep-sets       disable the commuting-delivery reduction\n"
-      << "  --sabotage MODE       none | split-brain | no-failover\n"
+      << "  --sabotage MODE       none | split-brain | no-failover | torn-write\n"
       << "  --emit FILE           write the first counterexample artifact to FILE;\n"
       << "                        a flight-recorder autopsy of its replay is\n"
       << "                        attached as FILE.postmortem.jsonl\n"
@@ -104,6 +110,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--partition-at") {
       cfg.partition_at.push_back(next_ms());
       default_faults = false;
+    } else if (arg == "--crash-restart-primary-at") {
+      cfg.crash_restart_primary_at.push_back(next_ms());
+      default_faults = false;
+    } else if (arg == "--crash-restart-backup-at") {
+      cfg.crash_restart_backup_at.push_back(next_ms());
+      default_faults = false;
+    } else if (arg == "--restart-delay-ms") {
+      cfg.restart_delay = next_ms();
+    } else if (arg == "--torn-bytes") {
+      cfg.torn_tail_bytes = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--no-default-faults") {
       default_faults = false;
     } else if (arg == "--faults") {
@@ -180,6 +196,20 @@ int main(int argc, char** argv) {
     cfg.bounds.fault_budget = 1;
     cfg.bounds.drop_budget = 0;
     expect_oracle = "exactly-one-primary";
+  } else if (sabotage == "torn-write") {
+    // A fired crash-restart loses part of its WAL tail while down: the
+    // recovered image silently misses client-acked versions.  The
+    // durable-recovery oracle (not merely monotone-versions, which also
+    // trips on the rollback) must name the durability hole.
+    cfg.crash_primary_at.clear();
+    cfg.crash_backup_at.clear();
+    cfg.add_standby_at.clear();
+    cfg.partition_at.clear();
+    cfg.crash_restart_backup_at.assign(1, rtpb::millis(251));
+    cfg.torn_tail_bytes = 512;
+    cfg.bounds.fault_budget = 1;
+    cfg.bounds.drop_budget = 0;
+    expect_oracle = "durable-recovery";
   } else if (sabotage != "none") {
     std::cerr << "unknown sabotage mode: " << sabotage << "\n";
     return 2;
@@ -190,7 +220,9 @@ int main(int argc, char** argv) {
             << " faults<=" << cfg.bounds.fault_budget << " drops<=" << cfg.bounds.drop_budget
             << " horizon=" << cfg.bounds.horizon.millis() << "ms"
             << " candidates=" << cfg.crash_primary_at.size() + cfg.crash_backup_at.size() +
-                                     cfg.add_standby_at.size() + cfg.partition_at.size()
+                                     cfg.add_standby_at.size() + cfg.partition_at.size() +
+                                     cfg.crash_restart_primary_at.size() +
+                                     cfg.crash_restart_backup_at.size()
             << "\n";
 
   const rtpb::explore::ExploreReport report =

@@ -440,6 +440,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  {
+    // Durability activity: WAL appends, checkpoints, recoveries, replay
+    // volume, resync path taken.  Only instruments under core.store.* —
+    // present when the trace came from a telemetry-enabled durable run.
+    bool header = false;
+    const auto section = [&header] {
+      if (!header) std::printf("\ndurability & recovery (core.store.*)\n");
+      header = true;
+    };
+    for (const auto& [name, value] : counters) {
+      if (name.rfind("core.store.", 0) != 0) continue;
+      section();
+      std::printf("  %-44s %8llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, value] : gauges) {
+      if (name.rfind("core.store.", 0) != 0) continue;
+      section();
+      std::printf("  %-44s %8.3f  (final)\n", name.c_str(), value);
+    }
+  }
+
   if (worst_k > 0) {
     // Worst updates: every violated span first, then the slowest deliveries.
     std::vector<const Span*> worst(violated);
